@@ -1,0 +1,42 @@
+// Ablation ABL1: flips per iteration (t = |F|).
+//
+// The paper holds |F| constant but never states its value; the energy
+// reduction factors imply |F| = 2 (ADC ratio ~ n/|F|).  This sweep shows
+// the quality/energy/latency trade-off that choice sits on.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace fecim;
+
+int main() {
+  bench::print_header("ABL1 -- flips per iteration (|F|) sweep");
+
+  const auto instance = bench::make_instance(1000, 0);
+  util::Table table({"|F|", "norm. cut", "success", "energy/run",
+                     "time/run", "ADC conv / iter"});
+  for (const std::size_t flips : {1u, 2u, 4u, 8u}) {
+    core::StandardSetup setup;
+    setup.iterations = 1000;
+    setup.flips_per_iteration = flips;
+    const auto annealer = core::make_annealer(core::AnnealerKind::kThisWork,
+                                              instance.model, setup);
+    const auto result = core::run_maxcut_campaign(
+        *annealer, instance, bench::campaign_config(61));
+    const double conversions_per_iteration =
+        static_cast<double>(result.total_ledger.adc_conversions) /
+        static_cast<double>(result.total_ledger.iterations);
+    table.row()
+        .add(flips)
+        .add(result.normalized_cut.mean(), 3)
+        .add(result.success_rate * 100.0, 0)
+        .add(util::si_format(result.energy.mean(), "J"))
+        .add(util::si_format(result.time.mean(), "s"))
+        .add(conversions_per_iteration, 1);
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("ADC conversions scale as 2 * |F| * k: energy per iteration "
+              "grows linearly in |F| while per-flip quality gains saturate "
+              "-- |F| = 2 matches the paper's reported reduction factors.\n");
+  return 0;
+}

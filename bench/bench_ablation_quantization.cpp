@@ -1,0 +1,51 @@
+// Ablation ABL2: weight quantization width k (bits per coupling).
+//
+// Each J element occupies a 1 x k cell subarray; k trades array width and
+// ADC count against E_inc fidelity.  Unit-weight Gset instances quantize
+// exactly at any k, so this sweep uses a +-1-weighted instance where
+// quantization actually matters, plus a weighted-error report.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "crossbar/bit_slicing.hpp"
+#include "problems/maxcut.hpp"
+
+using namespace fecim;
+
+int main() {
+  bench::print_header("ABL2 -- weight quantization (k bits) sweep");
+
+  // A weighted instance: Gaussian weights stress the quantizer.
+  util::Rng weight_rng(3);
+  auto graph = problems::random_graph(512, 16.0,
+                                      problems::WeightScheme::kPlusMinusOne, 3);
+  problems::Graph weighted(graph.num_vertices());
+  for (const auto& e : graph.edges())
+    weighted.add_edge(e.u, e.v, e.weight * weight_rng.uniform(0.25, 1.0));
+  const auto instance = core::make_maxcut_instance("weighted-512",
+                                                   std::move(weighted), 32);
+
+  util::Table table({"k bits", "max |J| error", "norm. cut", "success",
+                     "energy/run"});
+  for (const int bits : {2, 4, 6, 8}) {
+    const crossbar::QuantizedCouplings quantized(instance.model->couplings(),
+                                                 bits);
+    core::StandardSetup setup;
+    setup.iterations = 2000;
+    setup.bits = bits;
+    const auto annealer = core::make_annealer(core::AnnealerKind::kThisWork,
+                                              instance.model, setup);
+    const auto result = core::run_maxcut_campaign(
+        *annealer, instance, bench::campaign_config(67));
+    table.row()
+        .add(bits)
+        .add(quantized.max_abs_error(instance.model->couplings()), 5)
+        .add(result.normalized_cut.mean(), 3)
+        .add(result.success_rate * 100.0, 0)
+        .add(util::si_format(result.energy.mean(), "J"));
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("coarse k injects weight error yet ADC energy shrinks with k;"
+              " the paper's k = 8 sits at the fidelity plateau.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 10 reproduction: normalized cut values per node group for the three
+// annealers, success rate against the 90 %-of-best-known target, and the
+// paper's headline averages (98 % vs 50 %).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace fecim;
+
+int main() {
+  bench::print_header(
+      "FIG10 -- normalized cut values and success rates (paper Fig. 10)");
+
+  constexpr core::AnnealerKind kKinds[] = {core::AnnealerKind::kThisWork,
+                                           core::AnnealerKind::kCimFpga,
+                                           core::AnnealerKind::kCimAsic};
+
+  util::Table table({"nodes", "iters", "annealer", "norm. cut (mean)",
+                     "norm. cut (min)", "success rate"});
+  double ours_success_sum = 0.0;
+  double baseline_success_sum = 0.0;
+  std::size_t group_count = 0;
+
+  for (const auto& group : bench::node_groups()) {
+    ++group_count;
+    for (const auto kind : kKinds) {
+      util::RunningStats normalized;
+      double min_norm = 1.0;
+      util::RunningStats success;
+      for (std::size_t i = 0; i < group.instances; ++i) {
+        const auto instance = bench::make_instance(group.nodes, i);
+        core::StandardSetup setup;
+        setup.iterations = group.iterations;
+        const auto annealer = core::make_annealer(kind, instance.model, setup);
+        const auto result = core::run_maxcut_campaign(
+            *annealer, instance, bench::campaign_config(41 + i));
+        normalized.add(result.normalized_cut.mean());
+        min_norm = std::min(min_norm, result.normalized_cut.min());
+        success.add(result.success_rate);
+      }
+      if (kind == core::AnnealerKind::kThisWork)
+        ours_success_sum += success.mean();
+      if (kind == core::AnnealerKind::kCimFpga)
+        baseline_success_sum += success.mean();
+      table.row()
+          .add(group.nodes)
+          .add(group.iterations)
+          .add(core::annealer_kind_name(kind))
+          .add(normalized.mean(), 3)
+          .add(min_norm, 3)
+          .add(success.mean() * 100.0, 0);
+    }
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\naverage success rate -- this work: %.0f %% (paper: 98 %%), "
+              "baselines: %.0f %% (paper: 50 %%)\n",
+              100.0 * ours_success_sum / static_cast<double>(group_count),
+              100.0 * baseline_success_sum / static_cast<double>(group_count));
+  std::printf("target cut = 90 %% of the best-known value per instance "
+              "(certified optimum for the toroidal 3000-node family).\n");
+  std::printf("paper: baselines clear the bar only on the 2000/3000-node "
+              "groups, where the budget is >= 10k iterations.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 5 reproduction: VMV complexity reduction of the incremental-E
+// transformation -- n^2 product terms (direct-E) vs (n - |F|) * |F|
+// (incremental), plus measured sparse-arithmetic operation counts and the
+// exactness of the dE identity on a real instance.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ising/incremental.hpp"
+#include "problems/maxcut.hpp"
+#include "util/timer.hpp"
+
+using namespace fecim;
+
+int main() {
+  bench::print_header(
+      "FIG5 -- incremental-E complexity reduction (paper Fig. 5)");
+
+  std::printf("\n-- dense product-term counts, |F| = 2 --\n");
+  util::Table table({"n", "direct n^2", "incremental (n-|F|)|F|", "reduction"});
+  for (const std::size_t n : {800u, 1000u, 2000u, 3000u}) {
+    const auto count = ising::count_product_terms(n, 2);
+    table.row()
+        .add(n)
+        .add(static_cast<long long>(count.direct_terms))
+        .add(static_cast<long long>(count.incremental_terms))
+        .add(static_cast<double>(count.direct_terms) /
+                 static_cast<double>(count.incremental_terms),
+             1);
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("paper: O(n^2) -> O(n); at n = 3000, |F| = 2 the dense VMV\n"
+              "shrinks from 9.0M to 6.0k product terms (1500x).\n");
+
+  std::printf("\n-- identity check + measured wall time on a 2000-node "
+              "Gset-class instance --\n");
+  const auto graph = problems::gset_like_instance(2000, 7);
+  const auto model = problems::maxcut_to_ising(graph);
+  util::Rng rng(1);
+  auto spins = ising::random_spins(2000, rng);
+
+  double worst_error = 0.0;
+  util::WallTimer incremental_timer;
+  double checksum = 0.0;
+  constexpr int kTrials = 2000;
+  std::vector<ising::FlipSet> flip_sets;
+  flip_sets.reserve(kTrials);
+  for (int i = 0; i < kTrials; ++i)
+    flip_sets.push_back(ising::random_flip_set(2000, 2, rng));
+
+  incremental_timer.reset();
+  for (const auto& flips : flip_sets)
+    checksum += model.incremental_vmv(spins, flips);
+  const double incremental_ms = incremental_timer.milliseconds();
+
+  util::WallTimer direct_timer;
+  double direct_checksum = 0.0;
+  constexpr int kDirectTrials = 50;  // full energies are 40x more expensive
+  for (int i = 0; i < kDirectTrials; ++i) {
+    const auto flipped = ising::flipped_copy(spins, flip_sets[i]);
+    direct_checksum += model.energy(flipped) - model.energy(spins);
+  }
+  const double direct_ms = direct_timer.milliseconds();
+
+  for (int i = 0; i < kDirectTrials; ++i) {
+    const auto flipped = ising::flipped_copy(spins, flip_sets[i]);
+    const double direct = model.energy(flipped) - model.energy(spins);
+    const double incremental = 4.0 * model.incremental_vmv(spins, flip_sets[i]);
+    worst_error = std::max(worst_error, std::fabs(direct - incremental));
+  }
+
+  std::printf("dE = 4 sigma_r^T J sigma_c identity: worst |error| = %.3g "
+              "over %d random moves\n", worst_error, kDirectTrials);
+  std::printf("host time per evaluation: direct %.3f us vs incremental "
+              "%.3f us (%.0fx)   [checksums %.1f / %.1f]\n",
+              1e3 * direct_ms / kDirectTrials,
+              1e3 * incremental_ms / kTrials,
+              (direct_ms / kDirectTrials) / (incremental_ms / kTrials),
+              direct_checksum, checksum);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 6(b)/(c) reproduction: the DG FeFET I_SL-V_BG characteristic and its
+// normalized form approximating the fractional annealing factor
+// f(T) = 1/(-0.006 T + 5) - 0.2 across the BG DAC ladder.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/ft_calibration.hpp"
+
+using namespace fecim;
+
+int main() {
+  bench::print_header(
+      "FIG6 -- I_SL(V_BG) vs fractional factor f(T) (paper Fig. 6(b)(c))");
+
+  const ising::FractionalFactor factor;
+  const circuit::BgDac dac;
+  const device::DgFefetParams params;
+
+  std::printf("\n-- Fig. 6(b): I_SL-V_BG of a stored-'1' cell at full drive --\n");
+  util::Table iv({"V_BG [V]", "I_SL [A]", "normalized"});
+  const double i_max = device::DgFefet::on_current(params, dac.v_max);
+  for (double vbg = 0.1; vbg <= 0.7001; vbg += 0.1) {
+    const double current = device::DgFefet::on_current(params, vbg);
+    iv.row()
+        .add(vbg, 2)
+        .add(util::si_format(current, "A"))
+        .add(current / i_max, 4);
+  }
+  std::printf("%s", iv.str().c_str());
+
+  std::printf("\n-- Fig. 6(c): f(T) approximation across the DAC ladder --\n");
+  const auto report = core::evaluate_ft_approximation(params, factor, dac);
+  util::Table table({"V_BG [V]", "T", "f(T) target", "device", "error"});
+  for (std::size_t i = 0; i < report.samples.size(); i += 7) {
+    const auto& sample = report.samples[i];
+    table.row()
+        .add(sample.vbg, 2)
+        .add(sample.temperature, 1)
+        .add(sample.target, 4)
+        .add(sample.device, 4)
+        .add(sample.device - sample.target, 4);
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("RMS error %.4f, max error %.4f, monotone: %s "
+              "(paper shows a close visual overlay)\n",
+              report.rms_error, report.max_error,
+              report.monotone ? "yes" : "NO");
+
+  std::printf("\n-- device re-fit from scratch (grid search) --\n");
+  core::FtFitOptions options;
+  options.step = 0.005;
+  const auto fitted = core::fit_dg_fefet_to_factor(factor, dac, params, options);
+  const auto fitted_report = core::evaluate_ft_approximation(fitted, factor, dac);
+  std::printf("fitted vth_low = %.3f V, gamma = %.3f V/V -> RMS %.4f "
+              "(shipped defaults: vth_low = %.3f, gamma = %.3f)\n",
+              fitted.vth_low, fitted.back_gate_coupling,
+              fitted_report.rms_error, params.vth_low,
+              params.back_gate_coupling);
+  return 0;
+}

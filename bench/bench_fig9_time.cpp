@@ -1,0 +1,99 @@
+// Fig. 9 reproduction.
+//  (a) average modeled time cost per run across the four node groups
+//      (paper: ~8x reductions, 7.98x..8.15x);
+//  (b) time vs iteration count on a 1000-node instance.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cost/cost_model.hpp"
+
+using namespace fecim;
+
+namespace {
+
+constexpr core::AnnealerKind kKinds[] = {core::AnnealerKind::kThisWork,
+                                         core::AnnealerKind::kCimFpga,
+                                         core::AnnealerKind::kCimAsic};
+
+void figure_9a() {
+  std::printf("\n-- Fig. 9(a): average time cost per run --\n");
+  util::Table table({"nodes", "iters", "annealer", "time/run",
+                     "ADC sense time", "reduction vs this work"});
+  for (const auto& group : bench::node_groups()) {
+    double ours_time = 0.0;
+    for (const auto kind : kKinds) {
+      util::RunningStats time;
+      util::RunningStats adc_time;
+      for (std::size_t i = 0; i < group.instances; ++i) {
+        const auto instance = bench::make_instance(group.nodes, i);
+        core::StandardSetup setup;
+        setup.iterations = group.iterations;
+        const auto annealer = core::make_annealer(kind, instance.model, setup);
+        const auto result = core::run_maxcut_campaign(
+            *annealer, instance, bench::campaign_config(29 + i));
+        time.add(result.time.mean());
+        // The slot-serialized ADC share dominates both designs.
+        const auto breakdown = cost::compute_cost(
+            result.total_ledger, cost::ComponentCosts{}, annealer->exp_unit());
+        adc_time.add(breakdown.adc_time /
+                     static_cast<double>(result.runs));
+      }
+      if (kind == core::AnnealerKind::kThisWork) ours_time = time.mean();
+      table.row()
+          .add(group.nodes)
+          .add(group.iterations)
+          .add(core::annealer_kind_name(kind))
+          .add(util::si_format(time.mean(), "s"))
+          .add(util::si_format(adc_time.mean(), "s"))
+          .add(time.mean() / ours_time, 2);
+    }
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("paper Fig. 9(a) reductions -- CiM/FPGA: 8.01x/8.05x/8.10x/"
+              "8.15x; CiM/ASIC: 7.98x/8.02x/8.04x/8.08x\n");
+}
+
+void figure_9b() {
+  std::printf("\n-- Fig. 9(b): time vs iteration, 1000-node instance --\n");
+  const auto instance = bench::make_instance(1000, 0);
+  const cost::ComponentCosts costs;
+  util::Table table({"iteration", "This Work [s]", "CiM/FPGA [s]",
+                     "CiM/ASIC [s]"});
+
+  core::StandardSetup setup;
+  setup.iterations = 1000;
+  setup.trace.enabled = true;
+  setup.trace.stride = 100;
+
+  std::vector<std::vector<double>> curves;
+  for (const auto kind : kKinds) {
+    const auto annealer = core::make_annealer(kind, instance.model, setup);
+    const auto result = annealer->run(321);
+    std::vector<double> times;
+    for (const auto& snapshot : result.ledger_trajectory) {
+      times.push_back(
+          cost::compute_cost(snapshot.ledger, costs, annealer->exp_unit())
+              .total_time);
+    }
+    curves.push_back(std::move(times));
+  }
+  for (std::size_t point = 0; point < curves[0].size(); ++point) {
+    table.row()
+        .add(point * 100)
+        .add(util::si_format(curves[0][point], "s"))
+        .add(util::si_format(curves[1][point], "s"))
+        .add(util::si_format(curves[2][point], "s"));
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("paper: the two baselines overlap (ADC-dominated); this work "
+              "is ~8x below them.\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("FIG9 -- time-cost comparison (paper Fig. 9)");
+  figure_9a();
+  figure_9b();
+  return 0;
+}

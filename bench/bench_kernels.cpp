@@ -1,0 +1,89 @@
+// PERF: google-benchmark microbenchmarks of the arithmetic kernels -- the
+// host-side cost of direct-E vs incremental-E evaluation, the analog
+// crossbar read, and the flip-set generators.
+#include <benchmark/benchmark.h>
+
+#include "crossbar/analog_engine.hpp"
+#include "crossbar/ideal_engine.hpp"
+#include "ising/incremental.hpp"
+#include "problems/generators.hpp"
+#include "problems/maxcut.hpp"
+
+using namespace fecim;
+
+namespace {
+
+struct KernelFixture {
+  explicit KernelFixture(std::size_t n)
+      : graph(problems::gset_like_instance(n, 7)),
+        model(problems::maxcut_to_ising(graph)),
+        rng(1),
+        spins(ising::random_spins(n, rng)) {}
+
+  problems::Graph graph;
+  ising::IsingModel model;
+  util::Rng rng;
+  ising::SpinVector spins;
+};
+
+void BM_DirectEnergy(benchmark::State& state) {
+  KernelFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.model.energy(fx.spins));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DirectEnergy)->Arg(800)->Arg(1000)->Arg(2000)->Arg(3000)
+    ->Complexity(benchmark::oN);  // sparse instance: O(nnz) ~ O(n)
+
+void BM_IncrementalVmv(benchmark::State& state) {
+  KernelFixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto flips = ising::random_flip_set(fx.model.num_spins(), 2, fx.rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.model.incremental_vmv(fx.spins, flips));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IncrementalVmv)->Arg(800)->Arg(1000)->Arg(2000)->Arg(3000)
+    ->Complexity(benchmark::o1);  // O(|F| * degree), size-independent
+
+void BM_AnalogEngineEvaluate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  KernelFixture fx(n);
+  const crossbar::QuantizedCouplings quantized(fx.model.couplings(), 8);
+  const crossbar::CrossbarMapping mapping(
+      n, quantized.has_negative() ? 2 : 1, {});
+  const auto array = std::make_shared<const crossbar::ProgrammedArray>(
+      quantized, mapping, device::DgFefetParams{},
+      device::VariationParams{0.03, 0.02, 0.0, 0.0}, 5);
+  crossbar::AnalogCrossbarEngine engine(array, {});
+  const auto flips = ising::random_flip_set(n, 2, fx.rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.evaluate(fx.spins, flips, {0.5, 0.5}, fx.rng));
+  }
+}
+BENCHMARK(BM_AnalogEngineEvaluate)->Arg(800)->Arg(2000);
+
+void BM_RandomFlipSet(benchmark::State& state) {
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ising::random_flip_set(3000, static_cast<std::size_t>(state.range(0)),
+                               rng));
+  }
+}
+BENCHMARK(BM_RandomFlipSet)->Arg(1)->Arg(2)->Arg(8);
+
+void BM_BitSliceQuantization(benchmark::State& state) {
+  KernelFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const crossbar::QuantizedCouplings quantized(fx.model.couplings(), 8);
+    benchmark::DoNotOptimize(quantized.nonzeros());
+  }
+}
+BENCHMARK(BM_BitSliceQuantization)->Arg(800)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,23 @@
+#include "circuit/drivers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fecim::circuit {
+
+double BgDac::quantize(double v) const noexcept {
+  const double clamped = std::clamp(v, v_min, v_max);
+  const double steps = std::round((clamped - v_min) / step);
+  return std::min(v_min + steps * step, v_max);
+}
+
+std::size_t BgDac::num_levels() const noexcept {
+  return static_cast<std::size_t>(std::round((v_max - v_min) / step)) + 1;
+}
+
+double BgDac::level_voltage(std::size_t level) const {
+  FECIM_EXPECTS(level < num_levels());
+  return v_min + static_cast<double>(level) * step;
+}
+
+}  // namespace fecim::circuit

@@ -1,0 +1,54 @@
+// Peripheral drive circuitry behaviour: the FG/DL binary drivers that encode
+// sigma_r / sigma_c, the analog back-gate DAC that encodes f(T), and the
+// 8:1 column multiplexer.
+#pragma once
+
+#include <cstddef>
+
+#include "util/assert.hpp"
+
+namespace fecim::circuit {
+
+/// Back-gate DAC: V_BG is generated on a uniform grid (paper: 0.7 V .. 0 V
+/// with a 0.01 V gradient).  quantize() snaps an ideal voltage onto the grid
+/// and clamps to the range.
+struct BgDac {
+  double v_min = 0.0;
+  double v_max = 0.7;
+  double step = 0.01;
+
+  double quantize(double v) const noexcept;
+  std::size_t num_levels() const noexcept;
+  /// Grid voltage for a level index (0 -> v_min).
+  double level_voltage(std::size_t level) const;
+};
+
+/// Binary line driver: maps a ternary encoded spin input in {-1, 0, +1} to
+/// the wire voltage of the selected polarity pass (the crossbar handles
+/// positive and negative inputs in separate passes; Sec. 3.3).
+struct LineDriver {
+  double v_high = 1.0;
+
+  /// Drive voltage for this input during a pass of the given polarity
+  /// (+1 pass drives +1 inputs, -1 pass drives -1 inputs).
+  double drive(int input, int pass_polarity) const noexcept {
+    return input == pass_polarity ? v_high : 0.0;
+  }
+};
+
+/// 8:1 column multiplexer: `ratio` columns share one ADC and are sensed
+/// sequentially; sensing m active columns in a group takes m slots.
+struct ColumnMux {
+  std::size_t ratio = 8;
+
+  std::size_t group_of_column(std::size_t column) const {
+    FECIM_EXPECTS(ratio > 0);
+    return column / ratio;
+  }
+  std::size_t num_groups(std::size_t columns) const {
+    FECIM_EXPECTS(ratio > 0);
+    return (columns + ratio - 1) / ratio;
+  }
+};
+
+}  // namespace fecim::circuit

@@ -1,0 +1,70 @@
+#include "circuit/mna.hpp"
+
+#include "util/assert.hpp"
+
+namespace fecim::circuit {
+
+namespace {
+
+struct LadderSystem {
+  linalg::CsrMatrix conductance;
+  std::vector<double> injection;
+};
+
+LadderSystem build_ladder(std::span<const double> cell_currents,
+                          double v_drive, double r_segment) {
+  FECIM_EXPECTS(!cell_currents.empty());
+  FECIM_EXPECTS(v_drive > 0.0);
+  FECIM_EXPECTS(r_segment > 0.0);
+  const std::size_t n = cell_currents.size();
+  const double g_wire = 1.0 / r_segment;
+
+  linalg::CsrMatrix::Builder builder(n, n);
+  std::vector<double> injection(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    FECIM_EXPECTS(cell_currents[k] >= 0.0);
+    const double g_cell = cell_currents[k] / v_drive;
+    double diag = g_cell;
+    // Wire to the previous node (toward the far end).
+    if (k > 0) {
+      diag += g_wire;
+      builder.add(k, k - 1, -g_wire);
+    }
+    // Wire to the next node; the last node connects to the virtual ground.
+    diag += g_wire;
+    if (k + 1 < n) builder.add(k, k + 1, -g_wire);
+    builder.add(k, k, diag);
+    injection[k] = g_cell * v_drive;
+  }
+  return {builder.build(), std::move(injection)};
+}
+
+}  // namespace
+
+double sense_column_current(std::span<const double> cell_currents,
+                            double v_drive, double r_segment,
+                            const linalg::SolveOptions& options) {
+  if (r_segment <= 0.0) {
+    double sum = 0.0;
+    for (const double i : cell_currents) sum += i;
+    return sum;
+  }
+  const auto voltages =
+      column_node_voltages(cell_currents, v_drive, r_segment, options);
+  // Sensed current = current through the final segment into the 0 V node.
+  return voltages.back() / r_segment;
+}
+
+std::vector<double> column_node_voltages(std::span<const double> cell_currents,
+                                         double v_drive, double r_segment,
+                                         const linalg::SolveOptions& options) {
+  auto system = build_ladder(cell_currents, v_drive, r_segment);
+  std::vector<double> voltages(cell_currents.size(), 0.0);
+  const auto report = linalg::conjugate_gradient(
+      system.conductance, system.injection, voltages, options);
+  if (!report.converged)
+    throw contract_error("mna: conjugate gradient failed to converge");
+  return voltages;
+}
+
+}  // namespace fecim::circuit

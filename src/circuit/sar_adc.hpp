@@ -1,0 +1,48 @@
+// Behavioural model of the 13-bit SAR ADC the paper instantiates [36]
+// (kT/C-noise-cancelling SAR, 40 MS/s, scaled to 22 nm; 8 columns share one
+// converter through a MUX).
+//
+// The model captures what reaches the algorithm: input clamping, uniform
+// quantization, and input-referred noise (comparator + residual kT/C) in
+// LSBs.  Energy and latency per conversion live in fecim::cost.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace fecim::circuit {
+
+struct SarAdcParams {
+  int bits = 13;
+  double full_scale_current = 12e-6;  ///< current mapped to the top code [A]
+  double noise_lsb_rms = 0.5;         ///< input-referred noise [LSB rms]
+};
+
+class SarAdc {
+ public:
+  explicit SarAdc(const SarAdcParams& params = {});
+
+  /// Quantize a sensed column current into a code in [0, 2^bits - 1].
+  /// Negative inputs clamp to 0, overrange clamps to full scale.
+  std::uint32_t convert(double current, util::Rng& rng) const;
+
+  /// Noiseless transfer (for calibration and tests).
+  std::uint32_t convert_ideal(double current) const;
+
+  /// Current represented by one LSB.
+  double lsb_current() const noexcept { return lsb_; }
+
+  /// Reconstruct the current a code stands for (mid-rise).
+  double current_from_code(std::uint32_t code) const noexcept;
+
+  std::uint32_t max_code() const noexcept { return max_code_; }
+  const SarAdcParams& params() const noexcept { return params_; }
+
+ private:
+  SarAdcParams params_;
+  std::uint32_t max_code_;
+  double lsb_;
+};
+
+}  // namespace fecim::circuit

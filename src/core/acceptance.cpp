@@ -1,0 +1,14 @@
+#include "core/acceptance.hpp"
+
+#include <cmath>
+
+namespace fecim::core {
+
+MetropolisAcceptance::Decision MetropolisAcceptance::accept(
+    double delta_e, double temperature, util::Rng& rng) const {
+  if (delta_e <= 0.0) return {true, false};
+  if (temperature <= 0.0) return {false, true};
+  return {rng.uniform01() < std::exp(-delta_e / temperature), true};
+}
+
+}  // namespace fecim::core

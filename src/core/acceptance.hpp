@@ -1,0 +1,33 @@
+// Move acceptance rules.
+//
+// FractionalAcceptance -- Algorithm 1, lines 7-13: accept when E_inc <= 0,
+// otherwise accept when E_inc <= rand(0,1).  No transcendental function;
+// the temperature dependence is already inside E_inc via f(T).
+//
+// MetropolisAcceptance -- the baselines' rule: accept when dE <= 0,
+// otherwise when rand(0,1) < exp(-dE/T); each uphill evaluation invokes the
+// e^x hardware unit, which the decision reports so the annealer can charge
+// the ledger.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace fecim::core {
+
+struct FractionalAcceptance {
+  bool accept(double e_inc, util::Rng& rng) const {
+    if (e_inc <= 0.0) return true;
+    return e_inc <= rng.uniform01();
+  }
+};
+
+struct MetropolisAcceptance {
+  struct Decision {
+    bool accepted;
+    bool exp_evaluated;
+  };
+
+  Decision accept(double delta_e, double temperature, util::Rng& rng) const;
+};
+
+}  // namespace fecim::core

@@ -1,0 +1,79 @@
+#include "core/annealer_factory.hpp"
+
+#include "core/direct_annealer.hpp"
+#include "core/mesa.hpp"
+#include "util/assert.hpp"
+
+namespace fecim::core {
+
+std::unique_ptr<Annealer> make_annealer(
+    AnnealerKind kind, std::shared_ptr<const ising::IsingModel> model,
+    const StandardSetup& setup) {
+  FECIM_EXPECTS(model != nullptr);
+
+  const crossbar::MappingConfig mapping{setup.bits, setup.mux_ratio};
+
+  switch (kind) {
+    case AnnealerKind::kThisWork:
+    case AnnealerKind::kThisWorkIdeal: {
+      InSituConfig config;
+      config.iterations = setup.iterations;
+      config.flips_per_iteration = setup.flips_per_iteration;
+      config.acceptance_gain = setup.acceptance_gain;
+      config.mapping = mapping;
+      config.device = setup.device;
+      config.variation = setup.variation;
+      config.trace = setup.trace;
+      config.engine = kind == AnnealerKind::kThisWork
+                          ? InSituConfig::EngineKind::kAnalog
+                          : InSituConfig::EngineKind::kIdeal;
+      return std::make_unique<InSituCimAnnealer>(std::move(model),
+                                                 std::move(config));
+    }
+    case AnnealerKind::kCimFpga:
+    case AnnealerKind::kCimAsic: {
+      DirectEConfig config;
+      config.iterations = setup.iterations;
+      config.flips_per_iteration = setup.baseline_flips;
+      config.mapping = mapping;
+      config.exp_unit = kind == AnnealerKind::kCimFpga ? cost::ExpUnit::kFpga
+                                                       : cost::ExpUnit::kAsic;
+      config.trace = setup.trace;
+      return std::make_unique<DirectEAnnealer>(std::move(model),
+                                               std::move(config));
+    }
+    case AnnealerKind::kMesa: {
+      MesaConfig config;
+      config.base.iterations = setup.iterations;
+      config.base.flips_per_iteration = setup.baseline_flips;
+      config.base.mapping = mapping;
+      config.base.exp_unit = cost::ExpUnit::kFpga;
+      // MESA re-ladders the temperature per epoch; use the budget-normalized
+      // schedule within each epoch.
+      config.base.schedule_kind = ClassicSchedule::Kind::kGeometric;
+      config.base.trace = setup.trace;
+      return std::make_unique<MesaAnnealer>(std::move(model),
+                                            std::move(config));
+    }
+  }
+  FECIM_ASSERT(false);
+  return nullptr;
+}
+
+const char* annealer_kind_name(AnnealerKind kind) noexcept {
+  switch (kind) {
+    case AnnealerKind::kThisWork:
+      return "This Work";
+    case AnnealerKind::kThisWorkIdeal:
+      return "This Work (ideal)";
+    case AnnealerKind::kCimFpga:
+      return "CiM/FPGA";
+    case AnnealerKind::kCimAsic:
+      return "CiM/ASIC";
+    case AnnealerKind::kMesa:
+      return "MESA";
+  }
+  return "unknown";
+}
+
+}  // namespace fecim::core

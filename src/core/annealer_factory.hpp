@@ -1,0 +1,43 @@
+// Convenience factory assembling the three annealers the paper evaluates
+// (Sec. 4) from one shared setup: "this work" (DG FeFET in-situ, fractional
+// factor, no e^x unit) and the two direct-E baselines (FeFET CiM + FPGA or
+// ASIC exponential unit [7, 18]).
+#pragma once
+
+#include <memory>
+
+#include "core/annealer.hpp"
+#include "core/insitu_annealer.hpp"
+
+namespace fecim::core {
+
+enum class AnnealerKind {
+  kThisWork,       ///< analog DG FeFET engine (default evaluation target)
+  kThisWorkIdeal,  ///< in-situ dataflow with exact arithmetic (ablation)
+  kCimFpga,        ///< direct-E baseline, FPGA exponential unit
+  kCimAsic,        ///< direct-E baseline, ASIC exponential unit
+  kMesa            ///< MESA multi-epoch baseline [7] (extension)
+};
+
+struct StandardSetup {
+  std::size_t iterations = 1000;
+  std::size_t flips_per_iteration = 2;   ///< |F| for the in-situ annealer
+  std::size_t baseline_flips = 1;        ///< per-iteration flips for baselines
+  double acceptance_gain = 16.0;         ///< comparator scaling (in-situ)
+  int bits = 8;                          ///< weight quantization
+  std::size_t mux_ratio = 8;
+  device::DgFefetParams device{};
+  /// Mild programming variation + read noise by default: the evaluation's
+  /// robustness claim is made *with* device non-idealities on.
+  device::VariationParams variation{0.03, 0.02, 0.0, 0.0};
+  TraceOptions trace{};
+};
+
+std::unique_ptr<Annealer> make_annealer(
+    AnnealerKind kind, std::shared_ptr<const ising::IsingModel> model,
+    const StandardSetup& setup);
+
+/// Display name used by bench tables.
+const char* annealer_kind_name(AnnealerKind kind) noexcept;
+
+}  // namespace fecim::core

@@ -1,0 +1,77 @@
+#include "core/ft_calibration.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace fecim::core {
+
+FtReport evaluate_ft_approximation(const device::DgFefetParams& device,
+                                   const ising::FractionalFactor& factor,
+                                   const circuit::BgDac& dac) {
+  FECIM_EXPECTS(dac.v_max > dac.v_min);
+  FtReport report;
+  const double i_max = device::DgFefet::on_current(device, dac.v_max);
+  FECIM_EXPECTS(i_max > 0.0);
+
+  double sum_sq = 0.0;
+  double previous = -std::numeric_limits<double>::infinity();
+  const std::size_t levels = dac.num_levels();
+  report.samples.reserve(levels);
+  for (std::size_t level = 0; level < levels; ++level) {
+    FtSample sample{};
+    sample.vbg = dac.level_voltage(level);
+    const double fraction = (sample.vbg - dac.v_min) / (dac.v_max - dac.v_min);
+    sample.temperature =
+        factor.t_min() + (factor.t_max() - factor.t_min()) * fraction;
+    sample.target = factor(sample.temperature);
+    sample.device = device::DgFefet::on_current(device, sample.vbg) / i_max;
+
+    const double error = sample.device - sample.target;
+    sum_sq += error * error;
+    report.max_error = std::max(report.max_error, std::fabs(error));
+    if (sample.device < previous) report.monotone = false;
+    previous = sample.device;
+    report.samples.push_back(sample);
+  }
+  report.rms_error = std::sqrt(sum_sq / static_cast<double>(levels));
+  return report;
+}
+
+device::DgFefetParams fit_dg_fefet_to_factor(
+    const ising::FractionalFactor& factor, const circuit::BgDac& dac,
+    const device::DgFefetParams& base, const FtFitOptions& options) {
+  FECIM_EXPECTS(options.step > 0.0);
+  FECIM_EXPECTS(options.vth_low_max >= options.vth_low_min);
+  FECIM_EXPECTS(options.coupling_max >= options.coupling_min);
+
+  const double memory_window = base.vth_high - base.vth_low;
+  // Seed with the base parameters so the fit never regresses below the
+  // caller's starting point (the grid may not contain it).
+  device::DgFefetParams best = base;
+  const auto base_report = evaluate_ft_approximation(base, factor, dac);
+  double best_rms = base_report.monotone
+                        ? base_report.rms_error
+                        : std::numeric_limits<double>::infinity();
+
+  for (double vth = options.vth_low_min; vth <= options.vth_low_max + 1e-12;
+       vth += options.step) {
+    for (double gamma = options.coupling_min;
+         gamma <= options.coupling_max + 1e-12; gamma += options.step) {
+      device::DgFefetParams candidate = base;
+      candidate.vth_low = vth;
+      candidate.vth_high = vth + memory_window;
+      candidate.back_gate_coupling = gamma;
+      const auto report = evaluate_ft_approximation(candidate, factor, dac);
+      if (report.monotone && report.rms_error < best_rms) {
+        best_rms = report.rms_error;
+        best = candidate;
+      }
+    }
+  }
+  FECIM_ENSURES(best_rms < std::numeric_limits<double>::infinity());
+  return best;
+}
+
+}  // namespace fecim::core

@@ -1,0 +1,51 @@
+// Calibration of the DG FeFET normalized on-current against the fractional
+// annealing factor (paper Fig. 6(c)): the device realizes
+//
+//   f(T) ~ I_SL(V_BG) / I_SL(V_BG_max),   T = T_max * V_BG / V_BG_max,
+//
+// sampled on the BG DAC grid.  evaluate_ft_approximation() reports the
+// approximation error; fit_dg_fefet_to_factor() grid-searches the device's
+// (vth_low, back-gate coupling) to minimize it.
+#pragma once
+
+#include <vector>
+
+#include "circuit/drivers.hpp"
+#include "device/dg_fefet.hpp"
+#include "ising/fractional_factor.hpp"
+
+namespace fecim::core {
+
+struct FtSample {
+  double vbg;          ///< DAC grid voltage [V]
+  double temperature;  ///< mapped annealing temperature
+  double target;       ///< ideal f(T)
+  double device;       ///< normalized device on-current
+};
+
+struct FtReport {
+  std::vector<FtSample> samples;
+  double rms_error = 0.0;
+  double max_error = 0.0;
+  bool monotone = true;  ///< device curve non-decreasing in V_BG
+};
+
+FtReport evaluate_ft_approximation(const device::DgFefetParams& device,
+                                   const ising::FractionalFactor& factor,
+                                   const circuit::BgDac& dac);
+
+struct FtFitOptions {
+  double vth_low_min = 1.00;
+  double vth_low_max = 1.30;
+  double coupling_min = 0.10;
+  double coupling_max = 0.60;
+  double step = 0.005;
+};
+
+/// Returns device parameters (derived from `base`, memory window preserved)
+/// minimizing the RMS error of the f(T) approximation.
+device::DgFefetParams fit_dg_fefet_to_factor(
+    const ising::FractionalFactor& factor, const circuit::BgDac& dac,
+    const device::DgFefetParams& base = {}, const FtFitOptions& options = {});
+
+}  // namespace fecim::core

@@ -1,0 +1,176 @@
+#include "core/insitu_annealer.hpp"
+
+#include "core/acceptance.hpp"
+#include "crossbar/ideal_engine.hpp"
+#include "ising/flipset.hpp"
+#include "util/assert.hpp"
+
+namespace fecim::core {
+
+namespace {
+
+crossbar::CrossbarMapping make_mapping(const ising::IsingModel& model,
+                                       const InSituConfig& config) {
+  const crossbar::QuantizedCouplings quantized(model.couplings(),
+                                               config.mapping.bits);
+  return crossbar::CrossbarMapping(model.num_spins(),
+                                   quantized.has_negative() ? 2 : 1,
+                                   config.mapping);
+}
+
+}  // namespace
+
+InSituCimAnnealer::InSituCimAnnealer(
+    std::shared_ptr<const ising::IsingModel> model, InSituConfig config)
+    : model_(std::move(model)),
+      config_(std::move(config)),
+      schedule_([&] {
+        auto schedule_config = config_.schedule;
+        schedule_config.total_iterations = config_.iterations;
+        return BgAnnealingSchedule(schedule_config);
+      }()),
+      mapping_(make_mapping(*model_, config_)) {
+  FECIM_EXPECTS(model_ != nullptr);
+  FECIM_EXPECTS(!model_->has_fields());  // fold fields via with_ancilla()
+  FECIM_EXPECTS(config_.flips_per_iteration >= 1);
+  FECIM_EXPECTS(config_.flips_per_iteration <= model_->num_flippable());
+  FECIM_EXPECTS(config_.acceptance_gain > 0.0);
+  // Keep the DAC range consistent with the device's annealing V_BG range.
+  FECIM_EXPECTS(config_.schedule.dac.v_max <= config_.device.vbg_max + 1e-12);
+
+  if (config_.engine == InSituConfig::EngineKind::kAnalog) {
+    const crossbar::QuantizedCouplings quantized(model_->couplings(),
+                                                 config_.mapping.bits);
+    array_ = std::make_shared<const crossbar::ProgrammedArray>(
+        quantized, mapping_, config_.device, config_.variation,
+        config_.array_seed);
+  }
+}
+
+ising::FlipSet InSituCimAnnealer::cluster_flip_set(util::Rng& rng) const {
+  const std::size_t flippable = model_->num_flippable();
+  double parity_mix = config_.parity_mix;
+  if (parity_mix < 0.0) parity_mix = model_->has_ancilla() ? 0.25 : 0.0;
+  std::size_t t = config_.flips_per_iteration;
+  if (t > 1 && parity_mix > 0.0 && rng.bernoulli(parity_mix)) --t;
+  ising::FlipSet flips;
+  flips.reserve(t);
+  flips.push_back(
+      static_cast<std::uint32_t>(rng.uniform_index(flippable)));
+
+  const auto& j = model_->couplings();
+  while (flips.size() < t) {
+    const auto current = flips.back();
+    const auto neighbors = j.row_cols(current);
+    std::uint32_t next = 0;
+    bool found = false;
+    // With probability cluster_neighbor_bias take a coupled spin; isolated
+    // or exhausted neighborhoods (and the remaining probability mass) fall
+    // back to a uniform pick so the set always reaches size t and every
+    // pair stays proposable.
+    if (rng.bernoulli(config_.cluster_neighbor_bias)) {
+      for (int attempt = 0; attempt < 8 && !neighbors.empty(); ++attempt) {
+        const auto candidate =
+            neighbors[rng.uniform_index(neighbors.size())];
+        if (candidate >= flippable) continue;  // never flip the ancilla
+        bool duplicate = false;
+        for (const auto f : flips) duplicate |= (f == candidate);
+        if (!duplicate) {
+          next = candidate;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      do {
+        next = static_cast<std::uint32_t>(rng.uniform_index(flippable));
+        bool duplicate = false;
+        for (const auto f : flips) duplicate |= (f == next);
+        if (!duplicate) break;
+      } while (true);
+    }
+    flips.push_back(next);
+  }
+  return flips;
+}
+
+AnnealResult InSituCimAnnealer::run(std::uint64_t seed) const {
+  util::Rng rng(seed);
+  const std::size_t n = model_->num_spins();
+
+  // Per-run engine instances: cheap wrappers over the shared immutable
+  // model/array, so parallel campaigns need no locking.
+  std::unique_ptr<crossbar::EincEngine> engine;
+  if (config_.engine == InSituConfig::EngineKind::kAnalog) {
+    engine = std::make_unique<crossbar::AnalogCrossbarEngine>(array_,
+                                                              config_.analog);
+  } else {
+    engine = std::make_unique<crossbar::IdealCrossbarEngine>(
+        *model_, mapping_, crossbar::Accounting::kInSitu);
+  }
+
+  AnnealResult result;
+  auto spins = ising::random_spins(n, rng);
+  if (model_->has_ancilla()) spins[model_->ancilla_index()] = ising::Spin{1};
+  double energy = model_->energy(spins);
+  result.best_spins = spins;
+  result.best_energy = energy;
+
+  const FractionalAcceptance acceptance;
+  double previous_vbg = -1.0;
+  ising::SweepFlipGenerator sweep(model_->num_flippable(),
+                                  config_.flips_per_iteration);
+
+  for (std::size_t it = 0; it < config_.iterations; ++it) {
+    const auto point = schedule_.at(it);
+    if (point.vbg != previous_vbg) {
+      ++result.ledger.bg_dac_updates;
+      previous_vbg = point.vbg;
+    }
+
+    ising::FlipSet flips;
+    switch (config_.flip_selection) {
+      case InSituConfig::FlipSelection::kCluster:
+        flips = cluster_flip_set(rng);
+        break;
+      case InSituConfig::FlipSelection::kRandom:
+        flips = ising::random_flip_set(model_->num_flippable(),
+                                       config_.flips_per_iteration, rng);
+        break;
+      case InSituConfig::FlipSelection::kSweep:
+        flips = sweep.next();
+        break;
+    }
+    const auto evaluation = engine->evaluate(
+        spins, flips, {point.factor, point.vbg}, rng);
+    crossbar::merge_trace(result.ledger, evaluation.trace);
+    ++result.ledger.iterations;
+
+    if (acceptance.accept(config_.acceptance_gain * evaluation.e_inc, rng)) {
+      // Exact energy bookkeeping is simulation-side observability; the
+      // hardware only updates the spin registers.
+      energy += model_->delta_energy(spins, flips);
+      ising::flip_in_place(spins, flips);
+      result.ledger.spin_updates += flips.size();
+      ++result.accepted_moves;
+      if (evaluation.e_inc > 0.0) ++result.uphill_accepted;
+      if (energy < result.best_energy) {
+        result.best_energy = energy;
+        result.best_spins = spins;
+      }
+    }
+
+    if (config_.trace.enabled && it % config_.trace.stride == 0) {
+      result.trajectory.push_back(
+          {it, energy, result.best_energy, point.vbg});
+      result.ledger_trajectory.push_back({it, result.ledger});
+    }
+  }
+
+  result.final_spins = std::move(spins);
+  result.final_energy = energy;
+  return result;
+}
+
+}  // namespace fecim::core

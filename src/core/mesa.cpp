@@ -1,0 +1,100 @@
+#include "core/mesa.hpp"
+
+#include <cmath>
+
+#include "core/acceptance.hpp"
+#include "crossbar/bit_slicing.hpp"
+#include "crossbar/ideal_engine.hpp"
+#include "ising/flipset.hpp"
+#include "util/assert.hpp"
+
+namespace fecim::core {
+
+MesaAnnealer::MesaAnnealer(std::shared_ptr<const ising::IsingModel> model,
+                           MesaConfig config)
+    : model_(std::move(model)),
+      config_(std::move(config)),
+      mapping_(model_->num_spins(),
+               crossbar::QuantizedCouplings(model_->couplings(),
+                                            config_.base.mapping.bits)
+                       .has_negative()
+                   ? 2
+                   : 1,
+               config_.base.mapping) {
+  FECIM_EXPECTS(model_ != nullptr);
+  FECIM_EXPECTS(config_.epochs >= 1);
+  FECIM_EXPECTS(config_.epoch_temperature_decay > 0.0 &&
+                config_.epoch_temperature_decay <= 1.0);
+  // Reuse the DirectEAnnealer's auto-calibration for the epoch-0 scale.
+  const DirectEAnnealer probe(model_, config_.base);
+  t_start_ = probe.calibrated_t_start();
+}
+
+AnnealResult MesaAnnealer::run(std::uint64_t seed) const {
+  util::Rng rng(seed);
+  const std::size_t n = model_->num_spins();
+  const std::size_t base_per_epoch =
+      std::max<std::size_t>(1, config_.base.iterations / config_.epochs);
+  const std::size_t remainder =
+      config_.base.iterations > base_per_epoch * config_.epochs
+          ? config_.base.iterations - base_per_epoch * config_.epochs
+          : 0;
+
+  crossbar::IdealCrossbarEngine engine(*model_, mapping_,
+                                       crossbar::Accounting::kDirectFullArray);
+  const MetropolisAcceptance acceptance;
+
+  AnnealResult result;
+  auto spins = ising::random_spins(n, rng);
+  if (model_->has_ancilla()) spins[model_->ancilla_index()] = ising::Spin{1};
+  double energy = model_->energy(spins);
+  result.best_spins = spins;
+  result.best_energy = energy;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Each epoch restarts from the incumbent best with a reheated (but
+    // decaying) temperature ladder.
+    spins = result.best_spins;
+    energy = result.best_energy;
+    // Early epochs absorb the division remainder so the exact budget runs.
+    const std::size_t per_epoch = base_per_epoch + (epoch < remainder ? 1 : 0);
+    const double epoch_t_start =
+        t_start_ * std::pow(config_.epoch_temperature_decay,
+                            static_cast<double>(epoch));
+    const ClassicSchedule schedule(
+        {epoch_t_start, epoch_t_start * config_.base.t_end_fraction,
+         per_epoch, config_.base.schedule_kind});
+
+    for (std::size_t it = 0; it < per_epoch; ++it) {
+      const double temperature = schedule.temperature(it);
+      const auto flips = ising::random_flip_set(
+          model_->num_flippable(), config_.base.flips_per_iteration, rng);
+      const auto evaluation = engine.evaluate(spins, flips, {1.0, 0.0}, rng);
+      crossbar::merge_trace(result.ledger, evaluation.trace);
+      ++result.ledger.iterations;
+      double delta_e = 4.0 * evaluation.raw_vmv;
+      for (const auto i : flips)
+        delta_e += -2.0 * model_->fields()[i] * static_cast<double>(spins[i]);
+
+      const auto decision = acceptance.accept(delta_e, temperature, rng);
+      if (decision.exp_evaluated) ++result.ledger.exp_evaluations;
+      if (decision.accepted) {
+        energy += delta_e;
+        ising::flip_in_place(spins, flips);
+        result.ledger.spin_updates += flips.size();
+        ++result.accepted_moves;
+        if (delta_e > 0.0) ++result.uphill_accepted;
+        if (energy < result.best_energy) {
+          result.best_energy = energy;
+          result.best_spins = spins;
+        }
+      }
+    }
+  }
+
+  result.final_spins = std::move(spins);
+  result.final_energy = energy;
+  return result;
+}
+
+}  // namespace fecim::core

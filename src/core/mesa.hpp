@@ -1,0 +1,41 @@
+// Multi-Epoch Simulated Annealing (MESA), the algorithmic enhancement of
+// the FeFET CiM annealer of Yin et al. [7]: the iteration budget splits into
+// epochs; each epoch restarts the temperature ladder (scaled down per epoch)
+// from the best configuration found so far, combining exploitation of the
+// incumbent with renewed uphill mobility.
+#pragma once
+
+#include <memory>
+
+#include "core/direct_annealer.hpp"
+
+namespace fecim::core {
+
+struct MesaConfig {
+  std::size_t epochs = 4;
+  /// Temperature scale multiplier applied per epoch (reheat decay).
+  double epoch_temperature_decay = 0.5;
+  DirectEConfig base{};  ///< iterations = total budget across all epochs
+};
+
+class MesaAnnealer final : public Annealer {
+ public:
+  MesaAnnealer(std::shared_ptr<const ising::IsingModel> model,
+               MesaConfig config);
+
+  AnnealResult run(std::uint64_t seed) const override;
+
+  cost::ExpUnit exp_unit() const noexcept override {
+    return config_.base.exp_unit;
+  }
+  std::string_view name() const noexcept override { return "mesa"; }
+  const ising::IsingModel& model() const noexcept override { return *model_; }
+
+ private:
+  std::shared_ptr<const ising::IsingModel> model_;
+  MesaConfig config_;
+  crossbar::CrossbarMapping mapping_;
+  double t_start_;
+};
+
+}  // namespace fecim::core

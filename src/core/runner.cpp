@@ -1,0 +1,71 @@
+#include "core/runner.hpp"
+
+#include <mutex>
+
+#include "problems/maxcut.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace fecim::core {
+
+MaxcutInstance make_maxcut_instance(std::string name, problems::Graph graph,
+                                    std::size_t reference_restarts,
+                                    std::uint64_t reference_seed) {
+  MaxcutInstance instance;
+  instance.name = std::move(name);
+  instance.reference_cut =
+      problems::reference_cut(graph, reference_restarts, reference_seed);
+  instance.graph =
+      std::make_shared<const problems::Graph>(std::move(graph));
+  instance.model = std::make_shared<const ising::IsingModel>(
+      problems::maxcut_to_ising(*instance.graph));
+  return instance;
+}
+
+CampaignResult run_maxcut_campaign(const Annealer& annealer,
+                                   const MaxcutInstance& instance,
+                                   const CampaignConfig& config) {
+  FECIM_EXPECTS(config.runs > 0);
+  FECIM_EXPECTS(instance.graph != nullptr && instance.model != nullptr);
+  FECIM_EXPECTS(instance.reference_cut > 0.0);
+
+  CampaignResult result;
+  result.runs = config.runs;
+  std::mutex merge_mutex;
+  std::size_t successes = 0;
+
+  // Derive per-run seeds up front so the outcome is independent of the
+  // thread schedule.
+  util::Rng seeder(config.base_seed);
+  std::vector<std::uint64_t> seeds(config.runs);
+  for (auto& s : seeds) s = seeder();
+
+  util::parallel_for(
+      config.runs,
+      [&](std::size_t run) {
+        const auto outcome = annealer.run(seeds[run]);
+        const double cut = problems::cut_from_energy(*instance.graph,
+                                                     outcome.best_energy);
+        const auto breakdown =
+            cost::compute_cost(outcome.ledger, config.costs,
+                               annealer.exp_unit());
+
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        result.cut.add(cut);
+        result.normalized_cut.add(cut / instance.reference_cut);
+        result.energy.add(breakdown.total_energy);
+        result.time.add(breakdown.total_time);
+        result.adc_energy.add(breakdown.adc_energy);
+        result.exp_energy.add(breakdown.exp_energy);
+        result.total_ledger.merge(outcome.ledger);
+        if (cut >= config.success_threshold * instance.reference_cut)
+          ++successes;
+      },
+      config.threads);
+
+  result.success_rate =
+      static_cast<double>(successes) / static_cast<double>(config.runs);
+  return result;
+}
+
+}  // namespace fecim::core

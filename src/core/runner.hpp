@@ -1,0 +1,58 @@
+// Experiment campaign runner: many independent annealing runs on a Max-Cut
+// instance, aggregated into the statistics the paper's evaluation reports
+// (normalized cut, success rate vs the 90 %-of-optimum target, modeled
+// energy and latency).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/annealer.hpp"
+#include "cost/cost_model.hpp"
+#include "problems/graph.hpp"
+#include "util/stats.hpp"
+
+namespace fecim::core {
+
+/// A Max-Cut benchmark instance bundled with its Ising model and the
+/// best-known reference cut (certified for toroidal instances, long-run
+/// local-search proxy otherwise).
+struct MaxcutInstance {
+  std::string name;
+  std::shared_ptr<const problems::Graph> graph;
+  std::shared_ptr<const ising::IsingModel> model;
+  double reference_cut = 0.0;
+};
+
+/// Build an instance from a graph; reference cut from reference_cut() with
+/// `reference_restarts` random-start 1-opt descents (ignored when the
+/// optimum is certified).
+MaxcutInstance make_maxcut_instance(std::string name, problems::Graph graph,
+                                    std::size_t reference_restarts = 64,
+                                    std::uint64_t reference_seed = 7);
+
+struct CampaignConfig {
+  std::size_t runs = 5;
+  std::uint64_t base_seed = 42;
+  double success_threshold = 0.9;  ///< paper: 90 % of the optimal cut
+  std::size_t threads = 0;         ///< 0 = util::worker_threads()
+  cost::ComponentCosts costs{};
+};
+
+struct CampaignResult {
+  std::size_t runs = 0;
+  util::RunningStats cut;             ///< best cut per run
+  util::RunningStats normalized_cut;  ///< cut / reference
+  util::RunningStats energy;          ///< modeled energy per run [J]
+  util::RunningStats time;            ///< modeled latency per run [s]
+  util::RunningStats adc_energy;      ///< ADC share of run energy [J]
+  util::RunningStats exp_energy;      ///< e^x share of run energy [J]
+  double success_rate = 0.0;          ///< fraction reaching the target cut
+  crossbar::CostLedger total_ledger;  ///< summed over all runs
+};
+
+CampaignResult run_maxcut_campaign(const Annealer& annealer,
+                                   const MaxcutInstance& instance,
+                                   const CampaignConfig& config);
+
+}  // namespace fecim::core

@@ -1,0 +1,29 @@
+#include "cost/components.hpp"
+
+namespace fecim::cost {
+
+double ComponentCosts::exp_energy(ExpUnit unit) const noexcept {
+  switch (unit) {
+    case ExpUnit::kNone:
+      return 0.0;
+    case ExpUnit::kFpga:
+      return exp_energy_fpga;
+    case ExpUnit::kAsic:
+      return exp_energy_asic;
+  }
+  return 0.0;
+}
+
+double ComponentCosts::exp_time(ExpUnit unit) const noexcept {
+  switch (unit) {
+    case ExpUnit::kNone:
+      return 0.0;
+    case ExpUnit::kFpga:
+      return exp_time_fpga;
+    case ExpUnit::kAsic:
+      return exp_time_asic;
+  }
+  return 0.0;
+}
+
+}  // namespace fecim::cost

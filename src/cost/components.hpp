@@ -1,0 +1,47 @@
+// Per-event energy/latency constants of the annealer's hardware components
+// at the paper's 22 nm node.
+//
+// Calibration targets (EXPERIMENTS.md records the derivation):
+//  * SAR ADC: 13-bit, 40 MS/s [36] -> 25 ns/conversion slot; 0.25 pJ per
+//    conversion scaled to 22 nm.  ADC energy/time dominate both annealers,
+//    exactly as the paper states.
+//  * Exponential unit [18]: the FPGA implementation costs ~2.66 nJ / 43 ns
+//    per e^x evaluation, the ASIC implementation ~8 pJ / 39 ns.  These
+//    reproduce the paper's baseline-vs-this-work ratios (Fig. 8(a): 732x /
+//    401x at 800 nodes ... 1716x / 1503x at 3000 nodes; Fig. 9(a): ~8x).
+//  * Line drivers / BG DAC / digital update logic: small CV^2-class costs;
+//    the paper treats them as negligible next to ADC + e^x.
+#pragma once
+
+namespace fecim::cost {
+
+/// Which exponential-function implementation a baseline annealer carries
+/// (this work needs none: the fractional factor is realized in situ).
+enum class ExpUnit { kNone, kFpga, kAsic };
+
+struct ComponentCosts {
+  // ADC [36], 8-to-1 multiplexed, scaled to 22 nm.
+  double adc_energy_per_conversion = 0.25e-12;  ///< [J]
+  double adc_time_per_slot = 25e-9;             ///< [s] (40 MS/s)
+
+  // Exponential function unit [18].
+  double exp_energy_fpga = 2.66e-9;  ///< [J] per evaluation
+  double exp_time_fpga = 43e-9;      ///< [s]
+  double exp_energy_asic = 8.0e-12;  ///< [J]
+  double exp_time_asic = 39e-9;      ///< [s]
+
+  // Peripheral drive (per line toggle).
+  double row_drive_energy = 0.01e-15;     ///< [J] FG wordline
+  double column_drive_energy = 0.01e-15;  ///< [J] DL bitline
+  double bg_dac_energy = 20e-15;          ///< [J] per V_BG reprogram
+
+  // Digital annealing logic (flip-set generation, compare, accept).
+  double digital_energy_per_iteration = 0.1e-12;  ///< [J]
+  double digital_time_per_iteration = 5e-9;       ///< [s]
+  double spin_update_energy = 10e-15;             ///< [J] per register write
+
+  double exp_energy(ExpUnit unit) const noexcept;
+  double exp_time(ExpUnit unit) const noexcept;
+};
+
+}  // namespace fecim::cost

@@ -1,0 +1,30 @@
+#include "cost/cost_model.hpp"
+
+namespace fecim::cost {
+
+CostBreakdown compute_cost(const crossbar::CostLedger& ledger,
+                           const ComponentCosts& costs, ExpUnit exp_unit) {
+  CostBreakdown out;
+  const auto count = [](std::uint64_t c) { return static_cast<double>(c); };
+
+  out.adc_energy =
+      count(ledger.adc_conversions) * costs.adc_energy_per_conversion;
+  out.exp_energy = count(ledger.exp_evaluations) * costs.exp_energy(exp_unit);
+  out.drive_energy = count(ledger.row_drives) * costs.row_drive_energy +
+                     count(ledger.column_drives) * costs.column_drive_energy +
+                     count(ledger.bg_dac_updates) * costs.bg_dac_energy;
+  out.digital_energy =
+      count(ledger.iterations) * costs.digital_energy_per_iteration +
+      count(ledger.spin_updates) * costs.spin_update_energy;
+  out.total_energy =
+      out.adc_energy + out.exp_energy + out.drive_energy + out.digital_energy;
+
+  out.adc_time = count(ledger.mux_slot_cycles) * costs.adc_time_per_slot;
+  out.exp_time = count(ledger.exp_evaluations) * costs.exp_time(exp_unit);
+  out.digital_time =
+      count(ledger.iterations) * costs.digital_time_per_iteration;
+  out.total_time = out.adc_time + out.exp_time + out.digital_time;
+  return out;
+}
+
+}  // namespace fecim::cost

@@ -1,0 +1,30 @@
+// Translate a CostLedger (hardware event counts) into energy and latency.
+//
+// Latency model: ADC sensing serializes per MUX slot (groups run in
+// parallel); the e^x unit and the digital update logic sit on the iteration
+// critical path; drivers and the BG DAC settle under the ADC slots and do
+// not add latency.
+#pragma once
+
+#include "cost/components.hpp"
+#include "crossbar/cost_ledger.hpp"
+
+namespace fecim::cost {
+
+struct CostBreakdown {
+  double adc_energy = 0.0;
+  double exp_energy = 0.0;
+  double drive_energy = 0.0;
+  double digital_energy = 0.0;
+  double total_energy = 0.0;  ///< [J]
+
+  double adc_time = 0.0;
+  double exp_time = 0.0;
+  double digital_time = 0.0;
+  double total_time = 0.0;  ///< [s]
+};
+
+CostBreakdown compute_cost(const crossbar::CostLedger& ledger,
+                           const ComponentCosts& costs, ExpUnit exp_unit);
+
+}  // namespace fecim::cost

@@ -1,0 +1,162 @@
+#include "crossbar/analog_engine.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace fecim::crossbar {
+
+namespace {
+
+circuit::SarAdcParams resolve_adc_params(const AnalogEngineConfig& config,
+                                         const ProgrammedArray& array) {
+  circuit::SarAdcParams params = config.adc;
+  const double i_on_max =
+      array.on_current(array.device_params().vbg_max);
+  params.full_scale_current = i_on_max * config.full_scale_cells;
+  return params;
+}
+
+}  // namespace
+
+AnalogCrossbarEngine::AnalogCrossbarEngine(
+    std::shared_ptr<const ProgrammedArray> array,
+    const AnalogEngineConfig& config)
+    : array_(std::move(array)),
+      config_(config),
+      adc_(resolve_adc_params(config, *array_)) {
+  FECIM_EXPECTS(array_ != nullptr);
+  i_on_max_ = array_->on_current(array_->device_params().vbg_max);
+  FECIM_EXPECTS(i_on_max_ > 0.0);
+  if (config_.model_ir_drop) {
+    const auto est = circuit::estimate_line_parasitics(
+        array_->mapping().physical_rows(), i_on_max_,
+        array_->device_params().read_vdl, config_.wire);
+    attenuation_ = est.ir_attenuation;
+  }
+}
+
+EincResult AnalogCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
+                                          const ising::FlipSet& flips,
+                                          const AnnealSignal& signal,
+                                          util::Rng& rng) {
+  FECIM_EXPECTS(!flips.empty());
+  const auto& mapping = array_->mapping();
+  const auto& couplings = array_->couplings();
+  FECIM_EXPECTS(spins.size() == mapping.num_spins());
+
+  const int bits = couplings.bits();
+  const double i_on = array_->on_current(signal.vbg);
+  const double read_noise_rel = array_->variation_params().read_noise_rel;
+
+  EincResult result;
+  EngineTrace& trace = result.trace;
+  trace.crossbar_passes = 4;
+
+  // Digital accumulator of signed, bit-weighted ADC codes.
+  double accumulator = 0.0;
+
+  auto is_flipped = [&flips](std::uint32_t row) {
+    for (const auto f : flips)
+      if (f == row) return true;
+    return false;
+  };
+
+  // Per (bit, plane) current accumulation scratch: [bit][plane 0=pos,1=neg]
+  // holding the sum of cell multipliers and the sum of their squares (for
+  // aggregated per-cell read noise).
+  std::array<std::array<double, 2>, 16> mult_sum{};
+  std::array<std::array<double, 2>, 16> mult_sq_sum{};
+  std::array<std::array<bool, 2>, 16> column_present{};
+
+  for (const auto j : flips) {
+    // sigma_c_j = -sigma_j (the flipped value); its sign selects the
+    // DL-polarity pass this column participates in.
+    const int q = -static_cast<int>(spins[j]);
+    const auto view = array_->column(j);
+
+    // Which (bit, plane) physical columns exist for this logical column:
+    // the controller knows the programmed map and skips empty bit-columns.
+    for (auto& row : column_present) row = {false, false};
+    for (std::size_t k = 0; k < view.rows.size(); ++k) {
+      const std::int32_t mag = view.magnitudes[k];
+      const auto abs_mag = static_cast<std::uint32_t>(std::abs(mag));
+      const int plane = mag < 0 ? 1 : 0;
+      for (int b = 0; b < bits; ++b)
+        if (abs_mag & (1u << b))
+          column_present[static_cast<std::size_t>(b)]
+                        [static_cast<std::size_t>(plane)] = true;
+    }
+
+    for (const int p : {+1, -1}) {  // row-polarity (FG) passes
+      for (auto& row : mult_sum) row = {0.0, 0.0};
+      for (auto& row : mult_sq_sum) row = {0.0, 0.0};
+
+      for (std::size_t k = 0; k < view.rows.size(); ++k) {
+        const auto i = view.rows[k];
+        // sigma_r is zero at flipped rows; the FG driver only raises rows
+        // whose unflipped spin matches the pass polarity.
+        if (static_cast<int>(spins[i]) != p || is_flipped(i)) continue;
+        const std::int32_t mag = view.magnitudes[k];
+        const auto abs_mag = static_cast<std::uint32_t>(std::abs(mag));
+        const int plane = mag < 0 ? 1 : 0;
+        const std::size_t entry = view.first_entry + k;
+        for (int b = 0; b < bits; ++b) {
+          if (!(abs_mag & (1u << b))) continue;
+          const double m = array_->bit_multiplier(entry, b);
+          mult_sum[static_cast<std::size_t>(b)]
+                  [static_cast<std::size_t>(plane)] += m;
+          mult_sq_sum[static_cast<std::size_t>(b)]
+                     [static_cast<std::size_t>(plane)] += m * m;
+        }
+      }
+
+      for (int b = 0; b < bits; ++b) {
+        for (int plane = 0; plane < 2; ++plane) {
+          if (!column_present[static_cast<std::size_t>(b)]
+                             [static_cast<std::size_t>(plane)])
+            continue;
+          double current = i_on * attenuation_ *
+                           mult_sum[static_cast<std::size_t>(b)]
+                                   [static_cast<std::size_t>(plane)];
+          if (read_noise_rel > 0.0) {
+            // Independent per-cell C2C noise aggregates in quadrature.
+            const double sigma =
+                read_noise_rel * i_on * attenuation_ *
+                std::sqrt(mult_sq_sum[static_cast<std::size_t>(b)]
+                                     [static_cast<std::size_t>(plane)]);
+            if (sigma > 0.0) current += rng.normal(0.0, sigma);
+          }
+          const std::uint32_t code = adc_.convert(current, rng);
+          const double plane_sign = plane == 0 ? 1.0 : -1.0;
+          accumulator += static_cast<double>(p * q) * plane_sign *
+                         static_cast<double>(1u << b) *
+                         static_cast<double>(code);
+          ++trace.adc_conversions;
+        }
+      }
+    }
+  }
+
+  // Fixed digital calibration: codes carry I_on(vbg) * attenuation / LSB;
+  // dividing by I_on(vbg_max) * attenuation re-expresses the result as
+  // (sigma_r^T J_hat sigma_c) * [I_on(vbg) / I_on(vbg_max)], i.e. the raw
+  // VMV times the hardware realization of f(T).
+  const double to_einc =
+      couplings.scale() * adc_.lsb_current() / (i_on_max_ * attenuation_);
+  result.e_inc = accumulator * to_einc;
+  const double f_hw = i_on / i_on_max_;
+  result.raw_vmv = f_hw > 0.0 ? result.e_inc / f_hw : 0.0;
+
+  const auto n = static_cast<std::uint64_t>(mapping.num_spins());
+  const auto t = static_cast<std::uint64_t>(flips.size());
+  trace.mux_slot_cycles = 2 * mapping.slots_for_flips(flips);
+  trace.row_drives = 2 * (n - t);
+  trace.column_drives =
+      2 * t * static_cast<std::uint64_t>(bits) *
+      static_cast<std::uint64_t>(mapping.planes());
+  return result;
+}
+
+}  // namespace fecim::crossbar

@@ -1,0 +1,59 @@
+// Analog DG FeFET crossbar E_inc engine (paper Sec. 3.3, Fig. 6(d)).
+//
+// For each flipped logical column j (driven at DL with sigma_c_j) the engine
+// senses the k bit-slice columns in both weight planes across the two
+// row-polarity passes; each sensed current is
+//
+//   I_col = I_on(V_BG) * att * sum_{active cells} multiplier_cell + noise,
+//
+// digitized by the shared SAR ADC, shifted by its bit weight, and
+// accumulated with the pass polarity sign.  Because every conducting cell's
+// current carries the factor I_on(V_BG), the product with the fractional
+// annealing factor f(T) happens *in situ*; the digital back end only scales
+// by the fixed calibration constant  scale * LSB / I_on(V_BG_max).
+#pragma once
+
+#include <memory>
+
+#include "circuit/parasitics.hpp"
+#include "circuit/sar_adc.hpp"
+#include "crossbar/engine.hpp"
+#include "crossbar/programmed_array.hpp"
+
+namespace fecim::crossbar {
+
+struct AnalogEngineConfig {
+  circuit::SarAdcParams adc{};
+  /// ADC full scale expressed in full-drive cell currents at V_BG max; the
+  /// absolute full_scale_current is derived at construction.
+  double full_scale_cells = 64.0;
+  bool model_ir_drop = true;
+  circuit::WireTech wire{};
+};
+
+class AnalogCrossbarEngine final : public EincEngine {
+ public:
+  AnalogCrossbarEngine(std::shared_ptr<const ProgrammedArray> array,
+                       const AnalogEngineConfig& config = {});
+
+  EincResult evaluate(std::span<const ising::Spin> spins,
+                      const ising::FlipSet& flips, const AnnealSignal& signal,
+                      util::Rng& rng) override;
+
+  std::size_t num_spins() const noexcept override {
+    return array_->mapping().num_spins();
+  }
+
+  const circuit::SarAdc& adc() const noexcept { return adc_; }
+  /// IR-drop attenuation factor applied to all column currents.
+  double ir_attenuation() const noexcept { return attenuation_; }
+
+ private:
+  std::shared_ptr<const ProgrammedArray> array_;
+  AnalogEngineConfig config_;
+  circuit::SarAdc adc_;
+  double attenuation_ = 1.0;
+  double i_on_max_ = 0.0;
+};
+
+}  // namespace fecim::crossbar

@@ -1,0 +1,80 @@
+#include "crossbar/bit_slicing.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace fecim::crossbar {
+
+QuantizedCouplings::QuantizedCouplings(const linalg::CsrMatrix& j, int bits)
+    : n_(j.rows()), bits_(bits) {
+  FECIM_EXPECTS(bits >= 1 && bits <= 16);
+  FECIM_EXPECTS(j.rows() == j.cols());
+  FECIM_EXPECTS(j.is_symmetric(1e-12));
+
+  const double max_abs = j.max_abs_value();
+  const double levels = static_cast<double>(max_magnitude());
+  scale_ = max_abs > 0.0 ? max_abs / levels : 1.0;
+
+  col_ptr_.assign(n_ + 1, 0);
+  // Symmetric matrix: its CSR is also its CSC, so quantize row-by-row and
+  // reinterpret rows as columns.
+  for (std::size_t r = 0; r < n_; ++r) {
+    const auto cols = j.row_cols(r);
+    const auto vals = j.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const double q = std::round(std::fabs(vals[k]) / scale_);
+      FECIM_ASSERT(q <= levels + 0.5);
+      auto magnitude = static_cast<std::int32_t>(q);
+      if (magnitude == 0) continue;  // rounds to zero: cell left erased
+      if (vals[k] < 0.0) {
+        magnitude = -magnitude;
+        has_negative_ = true;
+      }
+      row_idx_.push_back(cols[k]);
+      values_.push_back(magnitude);
+      ++col_ptr_[r + 1];
+    }
+  }
+  for (std::size_t c = 0; c < n_; ++c) col_ptr_[c + 1] += col_ptr_[c];
+}
+
+std::span<const std::uint32_t> QuantizedCouplings::column_rows(
+    std::size_t j) const {
+  FECIM_EXPECTS(j < n_);
+  return {row_idx_.data() + col_ptr_[j], col_ptr_[j + 1] - col_ptr_[j]};
+}
+
+std::span<const std::int32_t> QuantizedCouplings::column_values(
+    std::size_t j) const {
+  FECIM_EXPECTS(j < n_);
+  return {values_.data() + col_ptr_[j], col_ptr_[j + 1] - col_ptr_[j]};
+}
+
+linalg::CsrMatrix QuantizedCouplings::dequantize() const {
+  linalg::CsrMatrix::Builder builder(n_, n_);
+  for (std::size_t c = 0; c < n_; ++c) {
+    const auto rows = column_rows(c);
+    const auto vals = column_values(c);
+    for (std::size_t k = 0; k < rows.size(); ++k)
+      builder.add(c, rows[k], static_cast<double>(vals[k]) * scale_);
+  }
+  return builder.build();
+}
+
+double QuantizedCouplings::max_abs_error(
+    const linalg::CsrMatrix& original) const {
+  FECIM_EXPECTS(original.rows() == n_);
+  const auto dequantized = dequantize();
+  double worst = 0.0;
+  for (std::size_t r = 0; r < n_; ++r) {
+    const auto cols = original.row_cols(r);
+    const auto vals = original.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      worst = std::max(worst,
+                       std::fabs(vals[k] - dequantized.at(r, cols[k])));
+  }
+  return worst;
+}
+
+}  // namespace fecim::crossbar

@@ -1,0 +1,25 @@
+#include "crossbar/cost_ledger.hpp"
+
+namespace fecim::crossbar {
+
+void CostLedger::merge(const CostLedger& other) noexcept {
+  iterations += other.iterations;
+  adc_conversions += other.adc_conversions;
+  mux_slot_cycles += other.mux_slot_cycles;
+  row_drives += other.row_drives;
+  column_drives += other.column_drives;
+  bg_dac_updates += other.bg_dac_updates;
+  exp_evaluations += other.exp_evaluations;
+  spin_updates += other.spin_updates;
+  crossbar_passes += other.crossbar_passes;
+}
+
+void merge_trace(CostLedger& ledger, const EngineTrace& trace) noexcept {
+  ledger.adc_conversions += trace.adc_conversions;
+  ledger.mux_slot_cycles += trace.mux_slot_cycles;
+  ledger.row_drives += trace.row_drives;
+  ledger.column_drives += trace.column_drives;
+  ledger.crossbar_passes += trace.crossbar_passes;
+}
+
+}  // namespace fecim::crossbar

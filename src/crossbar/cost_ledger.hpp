@@ -1,0 +1,36 @@
+// Event counters for hardware cost accounting.  Engines and annealers only
+// count *events* here; translating events into joules/seconds is the cost
+// library's job, keeping the physics constants in one place.
+#pragma once
+
+#include <cstdint>
+
+namespace fecim::crossbar {
+
+struct CostLedger {
+  std::uint64_t iterations = 0;         ///< annealing iterations executed
+  std::uint64_t adc_conversions = 0;    ///< column currents digitized
+  std::uint64_t mux_slot_cycles = 0;    ///< serialized ADC sense slots
+  std::uint64_t row_drives = 0;         ///< FG lines driven high
+  std::uint64_t column_drives = 0;      ///< DL lines driven high
+  std::uint64_t bg_dac_updates = 0;     ///< back-gate voltage re-programs
+  std::uint64_t exp_evaluations = 0;    ///< e^x unit invocations (baselines)
+  std::uint64_t spin_updates = 0;       ///< digital solution-register writes
+  std::uint64_t crossbar_passes = 0;    ///< polarity passes issued
+
+  void merge(const CostLedger& other) noexcept;
+};
+
+/// Per-evaluation event trace an engine returns; the annealer merges it into
+/// its run ledger.
+struct EngineTrace {
+  std::uint64_t adc_conversions = 0;
+  std::uint64_t mux_slot_cycles = 0;
+  std::uint64_t row_drives = 0;
+  std::uint64_t column_drives = 0;
+  std::uint64_t crossbar_passes = 0;
+};
+
+void merge_trace(CostLedger& ledger, const EngineTrace& trace) noexcept;
+
+}  // namespace fecim::crossbar

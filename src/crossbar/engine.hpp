@@ -1,0 +1,48 @@
+// Abstract E_inc evaluation engine.
+//
+// The annealer hands the engine the current spins, the proposed flip set and
+// the annealing control signal; the engine returns
+//
+//   e_inc ~ sigma_r^T J sigma_c * f(T)
+//
+// plus the hardware events the evaluation incurred.  Two implementations:
+//   * IdealCrossbarEngine  -- exact digital arithmetic (and the baselines'
+//     full-array cost accounting mode);
+//   * AnalogCrossbarEngine -- DG FeFET currents, variation, ADC sampling,
+//     shift & add, positive/negative pass separation.
+#pragma once
+
+#include "crossbar/cost_ledger.hpp"
+#include "ising/flipset.hpp"
+#include "ising/spin.hpp"
+#include "util/rng.hpp"
+
+namespace fecim::crossbar {
+
+/// Annealing control signal for one evaluation.  `factor` is the ideal f(T)
+/// value; `vbg` is the (quantized) back-gate voltage realizing it on the
+/// device.  Engines use whichever representation their abstraction level
+/// needs.
+struct AnnealSignal {
+  double factor = 1.0;
+  double vbg = 0.7;
+};
+
+struct EincResult {
+  double e_inc = 0.0;    ///< sigma_r^T J sigma_c * f(T), engine's estimate
+  double raw_vmv = 0.0;  ///< engine's estimate of sigma_r^T J sigma_c alone
+  EngineTrace trace;     ///< hardware events incurred
+};
+
+class EincEngine {
+ public:
+  virtual ~EincEngine() = default;
+
+  virtual EincResult evaluate(std::span<const ising::Spin> spins,
+                              const ising::FlipSet& flips,
+                              const AnnealSignal& signal, util::Rng& rng) = 0;
+
+  virtual std::size_t num_spins() const noexcept = 0;
+};
+
+}  // namespace fecim::crossbar

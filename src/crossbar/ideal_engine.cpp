@@ -1,0 +1,46 @@
+#include "crossbar/ideal_engine.hpp"
+
+#include "util/assert.hpp"
+
+namespace fecim::crossbar {
+
+IdealCrossbarEngine::IdealCrossbarEngine(const ising::IsingModel& model,
+                                         CrossbarMapping mapping,
+                                         Accounting accounting)
+    : model_(&model), mapping_(std::move(mapping)), accounting_(accounting) {
+  FECIM_EXPECTS(mapping_.num_spins() == model.num_spins());
+}
+
+EincResult IdealCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
+                                         const ising::FlipSet& flips,
+                                         const AnnealSignal& signal,
+                                         util::Rng& /*rng*/) {
+  FECIM_EXPECTS(!flips.empty());
+  EincResult result;
+  result.raw_vmv = model_->incremental_vmv(spins, flips);
+  result.e_inc = result.raw_vmv * signal.factor;
+
+  const auto n = static_cast<std::uint64_t>(model_->num_spins());
+  const auto t = static_cast<std::uint64_t>(flips.size());
+  const auto bits = static_cast<std::uint64_t>(mapping_.bits());
+  const auto planes = static_cast<std::uint64_t>(mapping_.planes());
+
+  // Positive/negative inputs are handled in separate passes (Sec. 3.3):
+  // each active column is sensed once per row-polarity pass, i.e. twice.
+  EngineTrace& trace = result.trace;
+  trace.crossbar_passes = 4;
+  if (accounting_ == Accounting::kInSitu) {
+    trace.adc_conversions = 2 * t * bits * planes;
+    trace.mux_slot_cycles = 2 * mapping_.slots_for_flips(flips);
+    trace.row_drives = 2 * (n - t);
+    trace.column_drives = 2 * t * bits * planes;
+  } else {
+    trace.adc_conversions = 2 * n * bits * planes;
+    trace.mux_slot_cycles = 2 * mapping_.slots_full_array();
+    trace.row_drives = 2 * n;
+    trace.column_drives = 2 * n * bits * planes;
+  }
+  return result;
+}
+
+}  // namespace fecim::crossbar

@@ -1,0 +1,46 @@
+// Exact-arithmetic E_inc engine.
+//
+// Computes sigma_r^T J sigma_c in floating point (no quantization, device or
+// ADC effects) while still producing a faithful hardware event trace.  Two
+// accounting modes:
+//   * kInSitu         -- only the |F| flipped columns are driven and sensed
+//                        (this work's dataflow);
+//   * kDirectFullArray-- every column is sensed, modeling the direct-E
+//                        annealers [7] that recompute the full VMV each
+//                        iteration.
+// The baselines use this engine (their algorithmic behaviour is exact
+// digital arithmetic); the proposed annealer uses it for noise-free
+// ablations.
+#pragma once
+
+#include "crossbar/engine.hpp"
+#include "crossbar/mapping.hpp"
+#include "ising/ising_model.hpp"
+
+namespace fecim::crossbar {
+
+enum class Accounting { kInSitu, kDirectFullArray };
+
+class IdealCrossbarEngine final : public EincEngine {
+ public:
+  /// `model` must outlive the engine.
+  IdealCrossbarEngine(const ising::IsingModel& model, CrossbarMapping mapping,
+                      Accounting accounting);
+
+  EincResult evaluate(std::span<const ising::Spin> spins,
+                      const ising::FlipSet& flips, const AnnealSignal& signal,
+                      util::Rng& rng) override;
+
+  std::size_t num_spins() const noexcept override {
+    return model_->num_spins();
+  }
+
+  const CrossbarMapping& mapping() const noexcept { return mapping_; }
+
+ private:
+  const ising::IsingModel* model_;
+  CrossbarMapping mapping_;
+  Accounting accounting_;
+};
+
+}  // namespace fecim::crossbar

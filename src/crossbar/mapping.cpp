@@ -1,0 +1,62 @@
+#include "crossbar/mapping.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace fecim::crossbar {
+
+CrossbarMapping::CrossbarMapping(std::size_t num_spins, int planes,
+                                 const MappingConfig& config)
+    : n_(num_spins), planes_(planes), config_(config) {
+  FECIM_EXPECTS(num_spins > 0);
+  FECIM_EXPECTS(planes == 1 || planes == 2);
+  FECIM_EXPECTS(config_.bits >= 1 && config_.bits <= 16);
+  FECIM_EXPECTS(config_.mux_ratio >= 1);
+}
+
+std::size_t CrossbarMapping::physical_column(int plane, int bit,
+                                             std::size_t logical) const {
+  FECIM_EXPECTS(plane >= 0 && plane < planes_);
+  FECIM_EXPECTS(bit >= 0 && bit < config_.bits);
+  FECIM_EXPECTS(logical < n_);
+  return (static_cast<std::size_t>(plane) * config_.bits +
+          static_cast<std::size_t>(bit)) * n_ + logical;
+}
+
+std::size_t CrossbarMapping::mux_group(std::size_t physical_col) const {
+  FECIM_EXPECTS(physical_col < physical_columns());
+  return physical_col / config_.mux_ratio;
+}
+
+std::size_t CrossbarMapping::num_mux_groups() const noexcept {
+  return (physical_columns() + config_.mux_ratio - 1) / config_.mux_ratio;
+}
+
+std::size_t CrossbarMapping::group_of_logical(std::size_t logical) const {
+  FECIM_EXPECTS(logical < n_);
+  const std::size_t groups_per_segment =
+      (n_ + config_.mux_ratio - 1) / config_.mux_ratio;
+  return config_.interleave_columns ? logical % groups_per_segment
+                                    : logical / config_.mux_ratio;
+}
+
+std::size_t CrossbarMapping::slots_for_flips(
+    std::span<const std::uint32_t> flips) const {
+  if (flips.empty()) return 0;
+  // Two flipped columns serialize only when they share a MUX group within a
+  // bit-plane segment; the segment-local group assignment is identical
+  // across segments, so one multiplicity count suffices.
+  std::vector<std::size_t> groups;
+  groups.reserve(flips.size());
+  for (const auto j : flips) groups.push_back(group_of_logical(j));
+  std::sort(groups.begin(), groups.end());
+  std::size_t worst = 1;
+  std::size_t run = 1;
+  for (std::size_t i = 1; i < groups.size(); ++i) {
+    run = groups[i] == groups[i - 1] ? run + 1 : 1;
+    worst = std::max(worst, run);
+  }
+  return worst;
+}
+
+}  // namespace fecim::crossbar

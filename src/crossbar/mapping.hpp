@@ -1,0 +1,73 @@
+// Physical layout of the n x m crossbar (m = n * bits * planes) and the
+// MUX-group geometry that determines sensing serialization.
+//
+// Layout is bit-plane-major: plane p (0 = positive weights, 1 = negative),
+// bit b, logical column j  ->  physical column ((p * bits + b) * n) + j.
+// Every `mux_ratio` adjacent physical columns share one ADC (Fig. 6(d));
+// sensing a group's active columns is sequential, groups run in parallel.
+//
+// Consequence (the paper's ~8x latency gap): a full-array direct-E pass
+// touches all `mux_ratio` columns of every group, while an incremental pass
+// touches at most one column per group unless two flipped spins land in the
+// same group -- slots_for_flips() counts that exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/assert.hpp"
+
+namespace fecim::crossbar {
+
+struct MappingConfig {
+  int bits = 8;               ///< k-bit weight quantization
+  std::size_t mux_ratio = 8;  ///< columns per ADC (8-to-1 MUX [36])
+  /// Interleave logical columns across MUX groups (group = j mod #groups)
+  /// instead of blocking them (group = j / ratio).  Cluster moves flip
+  /// *coupled* -- often index-adjacent -- spins; interleaving keeps their
+  /// columns in distinct groups so they are sensed in parallel slots.
+  bool interleave_columns = true;
+};
+
+class CrossbarMapping {
+ public:
+  CrossbarMapping(std::size_t num_spins, int planes, const MappingConfig& config);
+
+  std::size_t num_spins() const noexcept { return n_; }
+  int bits() const noexcept { return config_.bits; }
+  int planes() const noexcept { return planes_; }
+  std::size_t mux_ratio() const noexcept { return config_.mux_ratio; }
+
+  std::size_t physical_columns() const noexcept {
+    return n_ * static_cast<std::size_t>(config_.bits) *
+           static_cast<std::size_t>(planes_);
+  }
+  std::size_t physical_rows() const noexcept { return n_; }
+  std::size_t num_cells() const noexcept {
+    return physical_rows() * physical_columns();
+  }
+
+  std::size_t physical_column(int plane, int bit, std::size_t logical) const;
+  std::size_t mux_group(std::size_t physical_col) const;
+  std::size_t num_mux_groups() const noexcept;
+
+  /// MUX group a logical column's bit-slices belong to (identical across
+  /// bit-plane segments).  With interleave_columns the assignment is
+  /// j mod #groups (a column-decoder remap), otherwise j / mux_ratio.
+  std::size_t group_of_logical(std::size_t logical) const;
+
+  /// Sequential ADC slots needed to sense the given flipped logical columns
+  /// in one pass: the maximum number of active columns falling into a single
+  /// MUX group (identical across bit planes by construction).
+  std::size_t slots_for_flips(std::span<const std::uint32_t> flips) const;
+
+  /// Slots for a full-array pass: every column of every group is sensed.
+  std::size_t slots_full_array() const noexcept { return config_.mux_ratio; }
+
+ private:
+  std::size_t n_;
+  int planes_;
+  MappingConfig config_;
+};
+
+}  // namespace fecim::crossbar

@@ -1,0 +1,75 @@
+#include "crossbar/programmed_array.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace fecim::crossbar {
+
+ProgrammedArray::ProgrammedArray(const QuantizedCouplings& couplings,
+                                 const CrossbarMapping& mapping,
+                                 const device::DgFefetParams& device_params,
+                                 const device::VariationParams& variation,
+                                 std::uint64_t seed)
+    : couplings_(couplings),
+      mapping_(mapping),
+      device_params_(device_params),
+      variation_(variation) {
+  FECIM_EXPECTS(mapping_.num_spins() == couplings_.num_spins());
+  FECIM_EXPECTS(mapping_.bits() == couplings_.bits());
+
+  const auto bits = static_cast<std::size_t>(couplings_.bits());
+  multipliers_.assign(couplings_.nonzeros() * bits, 1.0F);
+
+  if (variation_.ideal()) return;
+
+  util::Rng rng(seed);
+  // Subthreshold translation of a V_TH offset into a current factor:
+  // I ~ exp(-dVth / (n Vt)).
+  const double v_slope = device_params_.transistor.slope_factor *
+                         device_params_.transistor.thermal_voltage;
+  for (std::size_t cell = 0; cell < multipliers_.size(); ++cell) {
+    const double roll = rng.uniform01();
+    if (roll < variation_.stuck_off_rate) {
+      multipliers_[cell] = 0.0F;
+      ++faulted_;
+      continue;
+    }
+    if (roll < variation_.stuck_off_rate + variation_.stuck_on_rate) {
+      multipliers_[cell] = 1.0F;
+      ++faulted_;
+      continue;
+    }
+    if (variation_.vth_sigma > 0.0) {
+      const double dvth = rng.normal(0.0, variation_.vth_sigma);
+      multipliers_[cell] = static_cast<float>(std::exp(-dvth / v_slope));
+    }
+  }
+}
+
+double ProgrammedArray::on_current(double vbg) const noexcept {
+  return device::DgFefet::on_current(device_params_, vbg);
+}
+
+ProgrammedArray::ColumnView ProgrammedArray::column(std::size_t j) const {
+  ColumnView view;
+  view.rows = couplings_.column_rows(j);
+  view.magnitudes = couplings_.column_values(j);
+  // Entry index of the first element in this column: the spans are slices
+  // of the underlying arrays, so recover the offset from pointers.
+  view.first_entry = view.rows.empty()
+                         ? 0
+                         : static_cast<std::size_t>(
+                               view.rows.data() -
+                               couplings_.column_rows(0).data());
+  return view;
+}
+
+double ProgrammedArray::bit_multiplier(std::size_t entry, int bit) const {
+  const auto bits = static_cast<std::size_t>(couplings_.bits());
+  const std::size_t index = entry * bits + static_cast<std::size_t>(bit);
+  FECIM_EXPECTS(index < multipliers_.size());
+  return multipliers_[index];
+}
+
+}  // namespace fecim::crossbar

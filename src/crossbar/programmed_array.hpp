@@ -1,0 +1,76 @@
+// The programmed DG FeFET crossbar: quantized couplings written into cells,
+// with per-cell variation sampled at programming time.
+//
+// The array is stored sparsely (only cells whose magnitude bit is set
+// conduct, and Gset-class J matrices are sparse); per conducting bit-cell we
+// keep a static current multiplier that folds the device-to-device V_TH
+// offset through the subthreshold slope:
+//     I_cell(vbg) = I_on(vbg) * multiplier,
+//     multiplier  = exp(-dVth / (n * Vt))   (stuck-off -> 0, stuck-on -> 1).
+// This first-order factorization keeps campaign-scale simulation tractable;
+// tests compare it against the exact EKV evaluation on small arrays.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crossbar/bit_slicing.hpp"
+#include "crossbar/mapping.hpp"
+#include "device/dg_fefet.hpp"
+#include "device/variation.hpp"
+#include "util/rng.hpp"
+
+namespace fecim::crossbar {
+
+class ProgrammedArray {
+ public:
+  ProgrammedArray(const QuantizedCouplings& couplings,
+                  const CrossbarMapping& mapping,
+                  const device::DgFefetParams& device_params,
+                  const device::VariationParams& variation, std::uint64_t seed);
+
+  const CrossbarMapping& mapping() const noexcept { return mapping_; }
+  const QuantizedCouplings& couplings() const noexcept { return couplings_; }
+  const device::DgFefetParams& device_params() const noexcept {
+    return device_params_;
+  }
+  const device::VariationParams& variation_params() const noexcept {
+    return variation_;
+  }
+
+  /// Full-drive on-current at the given back-gate voltage (no variation).
+  double on_current(double vbg) const noexcept;
+
+  /// Sparse column view: entry k couples logical column `j` to row
+  /// `rows()[k]` with signed magnitude `magnitudes()[k]`; the per-bit
+  /// current multipliers for that entry start at `bit_multipliers(k)`.
+  struct ColumnView {
+    std::span<const std::uint32_t> rows;
+    std::span<const std::int32_t> magnitudes;
+    std::size_t first_entry;  ///< global entry index of rows[0]
+  };
+  ColumnView column(std::size_t j) const;
+
+  /// Current multiplier of bit `bit` of global entry `entry`.
+  double bit_multiplier(std::size_t entry, int bit) const;
+
+  /// Number of programmed (nonzero-magnitude) logical cells.
+  std::size_t num_programmed_entries() const noexcept {
+    return couplings_.nonzeros();
+  }
+
+  /// Count of faulted bit-cells (stuck-off or stuck-on) among programmed
+  /// cells -- reported by robustness benches.
+  std::size_t num_faulted_bit_cells() const noexcept { return faulted_; }
+
+ private:
+  QuantizedCouplings couplings_;
+  CrossbarMapping mapping_;
+  device::DgFefetParams device_params_;
+  device::VariationParams variation_;
+  // multipliers_[entry * bits + bit]
+  std::vector<float> multipliers_;
+  std::size_t faulted_ = 0;
+};
+
+}  // namespace fecim::crossbar

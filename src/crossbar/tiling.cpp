@@ -1,0 +1,42 @@
+#include "crossbar/tiling.hpp"
+
+#include "util/assert.hpp"
+
+namespace fecim::crossbar {
+
+TilePlan plan_tiles(const CrossbarMapping& mapping,
+                    const TileConstraints& constraints,
+                    double max_cell_current, double drive_voltage) {
+  FECIM_EXPECTS(constraints.max_rows > 0 && constraints.max_columns > 0);
+  FECIM_EXPECTS(drive_voltage > 0.0);
+
+  TilePlan plan;
+  plan.logical_rows = mapping.physical_rows();
+  plan.logical_columns = mapping.physical_columns();
+
+  plan.grid_rows =
+      (plan.logical_rows + constraints.max_rows - 1) / constraints.max_rows;
+  plan.grid_columns = (plan.logical_columns + constraints.max_columns - 1) /
+                      constraints.max_columns;
+  plan.num_tiles = plan.grid_rows * plan.grid_columns;
+  // Balance the load: distribute rows/columns evenly instead of filling
+  // tiles to the maximum and leaving a ragged remainder tile.
+  plan.tile_rows =
+      (plan.logical_rows + plan.grid_rows - 1) / plan.grid_rows;
+  plan.tile_columns =
+      (plan.logical_columns + plan.grid_columns - 1) / plan.grid_columns;
+
+  plan.tile_ir_attenuation = circuit::estimate_line_parasitics(
+                                 plan.tile_rows, max_cell_current,
+                                 drive_voltage, constraints.wire)
+                                 .ir_attenuation;
+  plan.monolithic_ir_attenuation = circuit::estimate_line_parasitics(
+                                       plan.logical_rows, max_cell_current,
+                                       drive_voltage, constraints.wire)
+                                       .ir_attenuation;
+  FECIM_ENSURES(plan.tile_ir_attenuation >=
+                plan.monolithic_ir_attenuation - 1e-12);
+  return plan;
+}
+
+}  // namespace fecim::crossbar

@@ -1,0 +1,51 @@
+// Multi-tile crossbar planning.
+//
+// The paper evaluates a single logical crossbar even at 3000 spins
+// (3000 x 24000 bit-cells); manufacturable arrays are bounded (typically
+// <= 1024 rows/columns per tile because of line parasitics and sense
+// margin).  TilePlan partitions the logical array onto a grid of physical
+// tiles, reports per-tile parasitics, and scales the peripheral overhead so
+// campaign costs stay honest for large instances.
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/parasitics.hpp"
+#include "crossbar/mapping.hpp"
+
+namespace fecim::crossbar {
+
+struct TileConstraints {
+  std::size_t max_rows = 1024;
+  std::size_t max_columns = 1024;
+  circuit::WireTech wire{};
+};
+
+struct TilePlan {
+  std::size_t logical_rows = 0;
+  std::size_t logical_columns = 0;
+  std::size_t tile_rows = 0;      ///< rows per tile (<= max_rows)
+  std::size_t tile_columns = 0;   ///< columns per tile (<= max_columns)
+  std::size_t grid_rows = 0;      ///< tiles stacked vertically
+  std::size_t grid_columns = 0;   ///< tiles side by side
+  std::size_t num_tiles = 0;
+
+  /// Per-tile source-line IR attenuation (rows per tile, worst case).
+  double tile_ir_attenuation = 1.0;
+  /// Attenuation if the same logical array were built as one monolithic
+  /// tile -- quantifies what tiling buys.
+  double monolithic_ir_attenuation = 1.0;
+
+  /// Partial results that must be digitally accumulated per logical column
+  /// (= tiles stacked along the row dimension).
+  std::size_t partial_sums_per_column() const noexcept { return grid_rows; }
+};
+
+/// Plan the tiling of a mapped crossbar under the given constraints.
+/// `max_cell_current` is the full-drive cell current used for the IR-drop
+/// estimates.
+TilePlan plan_tiles(const CrossbarMapping& mapping,
+                    const TileConstraints& constraints,
+                    double max_cell_current, double drive_voltage);
+
+}  // namespace fecim::crossbar

@@ -1,0 +1,24 @@
+#include "device/dg_fefet.hpp"
+
+namespace fecim::device {
+
+double DgFefet::effective_vth(double vbg) const noexcept {
+  const double vth0 = stored_one_ ? params_.vth_low : params_.vth_high;
+  return vth0 - params_.back_gate_coupling * vbg;
+}
+
+double DgFefet::drain_current(double vfg, double vbg, double vds) const noexcept {
+  return ekv_drain_current(params_.transistor, vfg, effective_vth(vbg), vds);
+}
+
+double DgFefet::isl_current(bool x, bool y, double z_vbg) const noexcept {
+  if (!x || !y) return 0.0;
+  return drain_current(params_.read_vfg, z_vbg, params_.read_vdl);
+}
+
+double DgFefet::on_current(const DgFefetParams& params, double vbg) noexcept {
+  const DgFefet reference(params, /*stored_one=*/true);
+  return reference.isl_current(true, true, vbg);
+}
+
+}  // namespace fecim::device

@@ -1,0 +1,26 @@
+#include "device/ekv.hpp"
+
+#include <cmath>
+
+namespace fecim::device {
+
+double ekv_drain_current(const EkvParams& params, double vgs, double vth,
+                         double vds) noexcept {
+  if (vds <= 0.0) return 0.0;
+  const double overdrive = (vgs - vth) / (2.0 * params.slope_factor *
+                                          params.thermal_voltage);
+  // log1p(exp(x)) with overflow-safe branch for large overdrive.
+  const double interp =
+      overdrive > 30.0 ? overdrive : std::log1p(std::exp(overdrive));
+  const double forward = interp * interp;
+  // Drain saturation: (1 - exp(-VDS/Vt)) rises to 1 within a few Vt, then
+  // channel-length modulation adds the weak linear slope.
+  const double sat = 1.0 - std::exp(-vds / params.thermal_voltage);
+  return params.i_spec * forward * sat * (1.0 + params.lambda * vds);
+}
+
+double ekv_subthreshold_swing(const EkvParams& params) noexcept {
+  return params.slope_factor * params.thermal_voltage * std::log(10.0);
+}
+
+}  // namespace fecim::device

@@ -1,0 +1,28 @@
+// EKV-style long-channel MOSFET drain-current expression.
+//
+// Shared by the single-gate FeFET (Fig. 2a/b) and the DG FeFET (Fig. 2c/d)
+// compact models.  The interpolation
+//   I_D = I_spec * [ln(1 + exp((V_GS - V_TH) / (2 n V_t)))]^2 * f_sat(V_DS)
+// reproduces the subthreshold exponential, the smooth transition around
+// threshold, and square-law saturation with one continuous expression --
+// exactly the regime span the annealer's back-gate sweep traverses.
+#pragma once
+
+namespace fecim::device {
+
+struct EkvParams {
+  double i_spec = 1e-6;            ///< specific current 2 n mu Cox (W/L) Vt^2 [A]
+  double slope_factor = 1.25;      ///< n; SS = n * Vt * ln(10)
+  double thermal_voltage = 0.0259; ///< Vt = kT/q at 300 K [V]
+  double lambda = 0.02;            ///< channel-length modulation [1/V]
+};
+
+/// Drain current for gate overdrive computed against an externally supplied
+/// threshold voltage (the ferroelectric state owns V_TH).
+double ekv_drain_current(const EkvParams& params, double vgs, double vth,
+                         double vds) noexcept;
+
+/// Subthreshold swing implied by the parameters [V/decade].
+double ekv_subthreshold_swing(const EkvParams& params) noexcept;
+
+}  // namespace fecim::device

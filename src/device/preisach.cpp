@@ -1,0 +1,77 @@
+#include "device/preisach.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace fecim::device {
+
+PreisachFefet::PreisachFefet(const PreisachParams& params) : params_(params) {
+  FECIM_EXPECTS(params_.grid_size >= 2);
+  FECIM_EXPECTS(params_.v_span > 0.0);
+  FECIM_EXPECTS(params_.memory_window > 0.0);
+
+  const int n = params_.grid_size;
+  const double step = 2.0 * params_.v_span / n;
+  const double vc = params_.coercive_voltage;
+  const double sigma = params_.density_sigma;
+
+  double total_weight = 0.0;
+  for (int ia = 0; ia < n; ++ia) {
+    const double alpha = -params_.v_span + (ia + 0.5) * step;
+    for (int ib = 0; ib < n; ++ib) {
+      const double beta = -params_.v_span + (ib + 0.5) * step;
+      if (beta > alpha) continue;  // Preisach half-plane
+      const double da = (alpha - vc) / sigma;
+      const double db = (beta + vc) / sigma;
+      const double w = std::exp(-0.5 * (da * da + db * db));
+      alpha_.push_back(alpha);
+      beta_.push_back(beta);
+      weight_.push_back(w);
+      state_.push_back(-1);  // negatively poled (erased, high V_TH)
+      total_weight += w;
+    }
+  }
+  FECIM_ASSERT(total_weight > 0.0);
+  for (auto& w : weight_) w /= total_weight;
+  recompute_polarization();
+}
+
+void PreisachFefet::apply_gate_voltage(double voltage) {
+  for (std::size_t k = 0; k < state_.size(); ++k) {
+    if (voltage >= alpha_[k])
+      state_[k] = 1;
+    else if (voltage <= beta_[k])
+      state_[k] = -1;
+  }
+  recompute_polarization();
+}
+
+void PreisachFefet::program(double amplitude) {
+  FECIM_EXPECTS(amplitude > 0.0);
+  apply_gate_voltage(amplitude);
+  apply_gate_voltage(0.0);
+}
+
+void PreisachFefet::erase(double amplitude) {
+  FECIM_EXPECTS(amplitude > 0.0);
+  apply_gate_voltage(-amplitude);
+  apply_gate_voltage(0.0);
+}
+
+double PreisachFefet::threshold_voltage() const noexcept {
+  return params_.vth_center - 0.5 * params_.memory_window * polarization_;
+}
+
+double PreisachFefet::drain_current(double vg, double vds) const noexcept {
+  return ekv_drain_current(params_.transistor, vg, threshold_voltage(), vds);
+}
+
+void PreisachFefet::recompute_polarization() noexcept {
+  double p = 0.0;
+  for (std::size_t k = 0; k < state_.size(); ++k)
+    p += weight_[k] * static_cast<double>(state_[k]);
+  polarization_ = p;
+}
+
+}  // namespace fecim::device

@@ -1,0 +1,70 @@
+// Scalar Preisach hysteresis model of the ferroelectric gate stack,
+// substituting for the circuit-compatible FeFET compact model of Ni et al.
+// [35] the paper simulates in SPECTRE.
+//
+// The polarization is the weighted sum of elementary hysterons on the
+// (alpha, beta) half-plane (alpha >= beta): a hysteron switches up when the
+// applied gate voltage exceeds alpha and down when it falls below beta.  A
+// Gaussian weight density centered at (+Vc, -Vc) reproduces the measured
+// saturation loop; the model inherits the classical Preisach properties
+// (return-point memory / wiping-out, congruent minor loops), which the test
+// suite checks explicitly.
+//
+// The FeFET's threshold voltage follows the polarization:
+//   V_TH = vth_center - (memory_window / 2) * P,   P in [-1, +1],
+// so +P saturation gives the low-V_TH ('1') state of Fig. 2(b).
+#pragma once
+
+#include <vector>
+
+#include "device/ekv.hpp"
+
+namespace fecim::device {
+
+struct PreisachParams {
+  int grid_size = 32;          ///< hysterons per axis
+  double v_span = 5.0;         ///< alpha/beta modeled over [-v_span, +v_span]
+  double coercive_voltage = 2.2;
+  double density_sigma = 0.9;  ///< spread of the Gaussian hysteron density
+  double vth_center = 0.3;     ///< V_TH at zero polarization [V]
+  double memory_window = 1.0;  ///< V_TH(low P) - V_TH(high P) [V]
+  EkvParams transistor{};      ///< read transistor underneath the FE stack
+};
+
+class PreisachFefet {
+ public:
+  explicit PreisachFefet(const PreisachParams& params = {});
+
+  /// Apply one quasi-static gate voltage level (pulse plateau).
+  void apply_gate_voltage(double voltage);
+
+  /// Apply a program (+amplitude) or erase (-amplitude) pulse and return to
+  /// 0 V.
+  void program(double amplitude = 4.0);
+  void erase(double amplitude = 4.0);
+
+  /// Normalized remanent polarization in [-1, 1].
+  double polarization() const noexcept { return polarization_; }
+
+  /// Threshold voltage implied by the current polarization.
+  double threshold_voltage() const noexcept;
+
+  /// Read current at the given bias using the EKV transistor model and the
+  /// ferroelectric V_TH (Fig. 2(b) I_D-V_G curves).
+  double drain_current(double vg, double vds) const noexcept;
+
+  const PreisachParams& params() const noexcept { return params_; }
+
+ private:
+  PreisachParams params_;
+  // Hysteron lattice: state_[k] in {-1, +1}, weight_[k] >= 0, sum weight = 1.
+  std::vector<double> alpha_;
+  std::vector<double> beta_;
+  std::vector<double> weight_;
+  std::vector<signed char> state_;
+  double polarization_ = 0.0;
+
+  void recompute_polarization() noexcept;
+};
+
+}  // namespace fecim::device

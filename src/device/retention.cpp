@@ -1,0 +1,64 @@
+#include "device/retention.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace fecim::device {
+
+RetentionModel::RetentionModel(const RetentionParams& params)
+    : params_(params) {
+  FECIM_EXPECTS(params_.decay_per_decade >= 0.0);
+  FECIM_EXPECTS(params_.time_reference > 0.0);
+  FECIM_EXPECTS(params_.read_disturb >= 0.0);
+  FECIM_EXPECTS(params_.min_polarization > 0.0 &&
+                params_.min_polarization < 1.0);
+}
+
+double RetentionModel::polarization_fraction(double elapsed_seconds,
+                                             std::uint64_t reads) const {
+  FECIM_EXPECTS(elapsed_seconds >= 0.0);
+  const double time_loss =
+      params_.decay_per_decade *
+      std::log10(1.0 + elapsed_seconds / params_.time_reference);
+  const double read_loss =
+      params_.read_disturb * static_cast<double>(reads);
+  return std::clamp(1.0 - time_loss - read_loss, 0.0, 1.0);
+}
+
+double RetentionModel::seconds_until_refresh(double reads_per_second) const {
+  FECIM_EXPECTS(reads_per_second >= 0.0);
+  // Solve 1 - k*log10(1 + t/t0) - r*t = threshold for t by bisection (the
+  // expression is monotone decreasing in t).
+  const double target = params_.min_polarization;
+  double lo = 0.0;
+  double hi = 1.0;
+  auto fraction_at = [&](double t) {
+    return polarization_fraction(
+        t, static_cast<std::uint64_t>(reads_per_second * t));
+  };
+  if (params_.decay_per_decade == 0.0 &&
+      params_.read_disturb * reads_per_second == 0.0)
+    return std::numeric_limits<double>::infinity();
+  while (fraction_at(hi) > target) {
+    hi *= 2.0;
+    if (hi > 1e18) return std::numeric_limits<double>::infinity();
+  }
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    (fraction_at(mid) > target ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::uint64_t RetentionModel::refreshes_needed(double total_seconds,
+                                               double reads_per_second) const {
+  FECIM_EXPECTS(total_seconds >= 0.0);
+  const double interval = seconds_until_refresh(reads_per_second);
+  if (!std::isfinite(interval) || interval >= total_seconds) return 0;
+  return static_cast<std::uint64_t>(std::floor(total_seconds / interval));
+}
+
+}  // namespace fecim::device

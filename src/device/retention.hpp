@@ -1,0 +1,57 @@
+// Ferroelectric retention / read-disturb model.
+//
+// FeFET polarization relaxes over time (depolarization field) and degrades
+// slightly with read cycling; both shrink the memory window and hence the
+// on/off margin of the stored couplings.  The standard empirical model is a
+// logarithmic decay of the remanent polarization:
+//
+//   P(t) = P0 * (1 - k_ret * log10(1 + t / t0)),
+//
+// plus a per-read disturb term.  The annealer re-programs the array when the
+// projected margin falls below a threshold; plan_refresh() computes that
+// interval so campaigns can charge the re-programming cost honestly.
+#pragma once
+
+#include <cstdint>
+
+namespace fecim::device {
+
+struct RetentionParams {
+  double decay_per_decade = 0.02;   ///< fractional P loss per time decade
+  double time_reference = 1.0;      ///< t0 [s]
+  double read_disturb = 1e-9;       ///< fractional P loss per read pulse
+  double min_polarization = 0.5;    ///< refresh threshold (fraction of P0)
+};
+
+class RetentionModel {
+ public:
+  explicit RetentionModel(const RetentionParams& params = {});
+
+  /// Remaining polarization fraction after `elapsed_seconds` and `reads`
+  /// read pulses, starting from full remanence (1.0).  Clamped to [0, 1].
+  double polarization_fraction(double elapsed_seconds,
+                               std::uint64_t reads = 0) const;
+
+  /// Memory-window fraction tracks the polarization fraction directly
+  /// (V_TH shift is linear in P).
+  double memory_window_fraction(double elapsed_seconds,
+                                std::uint64_t reads = 0) const {
+    return polarization_fraction(elapsed_seconds, reads);
+  }
+
+  /// Seconds until the polarization fraction reaches the refresh threshold
+  /// assuming `reads_per_second` read pulses.
+  double seconds_until_refresh(double reads_per_second) const;
+
+  /// Number of array refreshes needed over a campaign of `total_seconds`
+  /// at the given read rate (0 when retention outlasts the campaign).
+  std::uint64_t refreshes_needed(double total_seconds,
+                                 double reads_per_second) const;
+
+  const RetentionParams& params() const noexcept { return params_; }
+
+ private:
+  RetentionParams params_;
+};
+
+}  // namespace fecim::device

@@ -1,0 +1,52 @@
+#include "device/variation.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fecim::device {
+
+CellVariation::CellVariation(std::size_t num_cells,
+                             const VariationParams& params, util::Rng& rng) {
+  FECIM_EXPECTS(params.vth_sigma >= 0.0);
+  FECIM_EXPECTS(params.read_noise_rel >= 0.0);
+  FECIM_EXPECTS(params.stuck_off_rate >= 0.0 && params.stuck_on_rate >= 0.0);
+  FECIM_EXPECTS(params.stuck_off_rate + params.stuck_on_rate <= 1.0);
+
+  vth_offset_.resize(num_cells);
+  fault_.resize(num_cells, CellFault::kNone);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    vth_offset_[c] =
+        params.vth_sigma > 0.0 ? rng.normal(0.0, params.vth_sigma) : 0.0;
+    const double roll = rng.uniform01();
+    if (roll < params.stuck_off_rate)
+      fault_[c] = CellFault::kStuckOff;
+    else if (roll < params.stuck_off_rate + params.stuck_on_rate)
+      fault_[c] = CellFault::kStuckOn;
+  }
+}
+
+double CellVariation::vth_offset(std::size_t cell) const {
+  FECIM_EXPECTS(cell < vth_offset_.size());
+  return vth_offset_[cell];
+}
+
+CellFault CellVariation::fault(std::size_t cell) const {
+  FECIM_EXPECTS(cell < fault_.size());
+  return fault_[cell];
+}
+
+std::size_t CellVariation::count_faults() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(fault_.begin(), fault_.end(),
+                    [](CellFault f) { return f != CellFault::kNone; }));
+}
+
+double apply_read_noise(double current, const VariationParams& params,
+                        util::Rng& rng) noexcept {
+  if (params.read_noise_rel <= 0.0 || current == 0.0) return current;
+  const double noisy = current * (1.0 + rng.normal(0.0, params.read_noise_rel));
+  return std::max(0.0, noisy);
+}
+
+}  // namespace fecim::device

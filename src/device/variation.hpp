@@ -1,0 +1,49 @@
+// Non-ideality model for the crossbar cells: device-to-device threshold
+// spread (programming variation), cycle-to-cycle read noise, and stuck-at
+// faults.  This is the "custom device noise model" the algorithm is
+// evaluated against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fecim::device {
+
+struct VariationParams {
+  double vth_sigma = 0.0;        ///< D2D threshold spread [V], applied once
+  double read_noise_rel = 0.0;   ///< C2C relative current noise per read
+  double stuck_off_rate = 0.0;   ///< fraction of cells stuck at I = 0
+  double stuck_on_rate = 0.0;    ///< fraction stuck at full on-current
+
+  bool ideal() const noexcept {
+    return vth_sigma == 0.0 && read_noise_rel == 0.0 &&
+           stuck_off_rate == 0.0 && stuck_on_rate == 0.0;
+  }
+};
+
+enum class CellFault : std::uint8_t { kNone = 0, kStuckOff = 1, kStuckOn = 2 };
+
+/// Per-cell static variation state, sampled once at programming time.
+class CellVariation {
+ public:
+  CellVariation() = default;
+  CellVariation(std::size_t num_cells, const VariationParams& params,
+                util::Rng& rng);
+
+  std::size_t size() const noexcept { return vth_offset_.size(); }
+  double vth_offset(std::size_t cell) const;
+  CellFault fault(std::size_t cell) const;
+  std::size_t count_faults() const noexcept;
+
+ private:
+  std::vector<double> vth_offset_;
+  std::vector<CellFault> fault_;
+};
+
+/// Apply cycle-to-cycle read noise to a just-computed cell current.
+double apply_read_noise(double current, const VariationParams& params,
+                        util::Rng& rng) noexcept;
+
+}  // namespace fecim::device

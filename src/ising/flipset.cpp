@@ -1,0 +1,29 @@
+#include "ising/flipset.hpp"
+
+#include "util/assert.hpp"
+
+namespace fecim::ising {
+
+FlipSet random_flip_set(std::size_t n_flippable, std::size_t t,
+                        util::Rng& rng) {
+  FECIM_EXPECTS(t > 0);
+  FECIM_EXPECTS(t <= n_flippable);
+  return rng.sample_without_replacement(static_cast<std::uint32_t>(n_flippable),
+                                        static_cast<std::uint32_t>(t));
+}
+
+SweepFlipGenerator::SweepFlipGenerator(std::size_t n_flippable, std::size_t t)
+    : n_(n_flippable), t_(t) {
+  FECIM_EXPECTS(t > 0);
+  FECIM_EXPECTS(t <= n_flippable);
+}
+
+FlipSet SweepFlipGenerator::next() {
+  FlipSet flips(t_);
+  for (std::size_t i = 0; i < t_; ++i)
+    flips[i] = static_cast<std::uint32_t>((cursor_ + i) % n_);
+  cursor_ = (cursor_ + t_) % n_;
+  return flips;
+}
+
+}  // namespace fecim::ising

@@ -1,0 +1,37 @@
+#include "ising/fractional_factor.hpp"
+
+#include "util/assert.hpp"
+
+namespace fecim::ising {
+
+FractionalFactor::FractionalFactor() : FractionalFactor(Coefficients{}) {}
+
+FractionalFactor::FractionalFactor(const Coefficients& coefficients)
+    : coefficients_(coefficients) {
+  FECIM_EXPECTS(coefficients_.a != 0.0);
+  FECIM_EXPECTS(coefficients_.b != 0.0);
+  // Solve f(T) = 0 and f(T) = 1 for the paper's functional form; both must
+  // exist with t_min < t_max and f increasing between them.
+  const auto& k = coefficients_;
+  // f(T) = a/(bT + c) + d = v  ->  T = (a/(v - d) - c) / b
+  auto invert = [&k](double v) { return (k.a / (v - k.d) - k.c) / k.b; };
+  t_min_ = invert(0.0);
+  t_max_ = invert(1.0);
+  FECIM_EXPECTS(t_min_ < t_max_);
+  FECIM_EXPECTS((*this)(0.5 * (t_min_ + t_max_)) > 0.0);
+}
+
+double FractionalFactor::operator()(double temperature) const {
+  FECIM_EXPECTS(temperature >= t_min_ - 1e-9 &&
+                temperature <= t_max_ + 1e-9);
+  const auto& k = coefficients_;
+  return k.a / (k.b * temperature + k.c) + k.d;
+}
+
+double FractionalFactor::temperature_for(double f) const {
+  FECIM_EXPECTS(f >= 0.0 && f <= 1.0);
+  const auto& k = coefficients_;
+  return (k.a / (f - k.d) - k.c) / k.b;
+}
+
+}  // namespace fecim::ising

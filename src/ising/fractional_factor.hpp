@@ -1,0 +1,47 @@
+// The fractional annealing factor of the incremental-E transformation
+// (paper Eq. 10/11):
+//
+//   e^(-dE/T) is approximated through   E_inc = sigma_r^T J sigma_c * f(T),
+//   f(T) = a / (b*T + c) + d,
+//
+// with the paper's constants a=1, b=-0.006, c=5, d=-0.2 (Fig. 6(c)), i.e.
+// f(T) = 0.2*T / (833.3 - T): zero at T=0, unity at T_max = 694.44, strictly
+// increasing, and implementable as a normalized DG FeFET on-current.
+#pragma once
+
+namespace fecim::ising {
+
+class FractionalFactor {
+ public:
+  struct Coefficients {
+    double a = 1.0;
+    double b = -0.006;
+    double c = 5.0;
+    double d = -0.2;
+  };
+
+  /// Paper-default coefficients.
+  FractionalFactor();
+  explicit FractionalFactor(const Coefficients& coefficients);
+
+  /// f(T); valid for T in [0, t_max()].
+  double operator()(double temperature) const;
+
+  /// Temperature at which f reaches 1 (the annealing start temperature).
+  double t_max() const noexcept { return t_max_; }
+
+  /// Temperature at which f reaches 0 (the annealing end temperature).
+  double t_min() const noexcept { return t_min_; }
+
+  /// Inverse map: the temperature whose factor equals `f` (f in [0, 1]).
+  double temperature_for(double f) const;
+
+  const Coefficients& coefficients() const noexcept { return coefficients_; }
+
+ private:
+  Coefficients coefficients_;
+  double t_min_;
+  double t_max_;
+};
+
+}  // namespace fecim::ising

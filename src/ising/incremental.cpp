@@ -1,0 +1,57 @@
+#include "ising/incremental.hpp"
+
+#include "util/assert.hpp"
+
+namespace fecim::ising {
+
+IncrementalVectors make_incremental_vectors(std::span<const Spin> spins,
+                                            const FlipSet& flips) {
+  const std::size_t n = spins.size();
+  IncrementalVectors out;
+  out.sigma_f.assign(n, 0);
+  out.sigma_c.assign(n, 0);
+  out.sigma_r.assign(n, 0);
+
+  for (const auto idx : flips) {
+    FECIM_EXPECTS(idx < n);
+    FECIM_EXPECTS(out.sigma_f[idx] == 0);
+    out.sigma_f[idx] = 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // sigma_new_i = sigma_i * (1 - 2 sigma_f_i)
+    const auto sigma_new =
+        static_cast<std::int8_t>(spins[i] * (1 - 2 * out.sigma_f[i]));
+    if (out.sigma_f[i])
+      out.sigma_c[i] = sigma_new;
+    else
+      out.sigma_r[i] = sigma_new;
+  }
+  return out;
+}
+
+double incremental_vmv_reference(const linalg::CsrMatrix& j,
+                                 const IncrementalVectors& vectors) {
+  const std::size_t n = j.rows();
+  FECIM_EXPECTS(vectors.sigma_r.size() == n && vectors.sigma_c.size() == n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (vectors.sigma_r[r] == 0) continue;
+    const auto cols = j.row_cols(r);
+    const auto vals = j.row_values(r);
+    double inner = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      inner += vals[k] * static_cast<double>(vectors.sigma_c[cols[k]]);
+    acc += static_cast<double>(vectors.sigma_r[r]) * inner;
+  }
+  return acc;
+}
+
+ComplexityCount count_product_terms(std::size_t n, std::size_t flips) noexcept {
+  ComplexityCount count{};
+  count.direct_terms = static_cast<std::uint64_t>(n) * n;
+  count.incremental_terms =
+      static_cast<std::uint64_t>(n - flips) * static_cast<std::uint64_t>(flips);
+  return count;
+}
+
+}  // namespace fecim::ising

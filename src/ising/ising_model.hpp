@@ -1,0 +1,68 @@
+// Ising Hamiltonian H(sigma) = sigma^T J sigma + h^T sigma + c.
+//
+// J is stored symmetric with zero diagonal (both triangles populated), so
+// sigma^T J sigma counts every coupling twice -- the same convention the
+// paper's E = sigma^T J sigma uses.  External fields h are kept explicit;
+// with_ancilla() folds them into a pure quadratic form (one always-up spin)
+// for hardware mapping, since the crossbar evaluates quadratic terms only.
+#pragma once
+
+#include <span>
+
+#include "ising/spin.hpp"
+#include "linalg/csr_matrix.hpp"
+
+namespace fecim::ising {
+
+class IsingModel {
+ public:
+  /// `couplings` must be square/symmetric with zero diagonal; `fields` may be
+  /// empty (treated as all-zero) or of matching size.
+  IsingModel(linalg::CsrMatrix couplings, std::vector<double> fields = {},
+             double constant = 0.0);
+
+  std::size_t num_spins() const noexcept { return n_; }
+  const linalg::CsrMatrix& couplings() const noexcept { return j_; }
+  std::span<const double> fields() const noexcept { return h_; }
+  double constant() const noexcept { return constant_; }
+  bool has_fields() const noexcept;
+
+  /// Full O(n^2)-form energy sigma^T J sigma + h^T sigma + c (the direct-E
+  /// computation current annealers perform each iteration).
+  double energy(std::span<const Spin> spins) const;
+
+  /// Exact energy change if the spins at `flips` were flipped; O(|F| * deg)
+  /// via the incremental identity dE = 4 sigma_r^T J sigma_c + 2 h^T sigma_c.
+  double delta_energy(std::span<const Spin> spins,
+                      std::span<const std::uint32_t> flips) const;
+
+  /// Pure quadratic part sigma_r^T J sigma_c for a proposed flip set -- the
+  /// quantity the CiM crossbar computes (paper Eq. 9 without the factor 4).
+  double incremental_vmv(std::span<const Spin> spins,
+                         std::span<const std::uint32_t> flips) const;
+
+  /// Fold fields into couplings by adding one ancilla spin pinned to +1
+  /// (index n).  The returned model has no fields and satisfies
+  /// E'(sigma, +1) == E(sigma).
+  IsingModel with_ancilla() const;
+
+  /// Index of the pinned ancilla spin, or num_spins() when none exists.
+  std::size_t ancilla_index() const noexcept { return ancilla_; }
+  bool has_ancilla() const noexcept { return ancilla_ < n_; }
+
+  /// Number of spins a move generator may flip (excludes the ancilla).
+  std::size_t num_flippable() const noexcept { return has_ancilla() ? n_ - 1 : n_; }
+
+  /// Exhaustive ground-state search; requires num_flippable() <= 24.
+  /// Returns the minimizing configuration (ancilla pinned to +1 if present).
+  std::pair<SpinVector, double> brute_force_ground_state() const;
+
+ private:
+  std::size_t n_;
+  linalg::CsrMatrix j_;
+  std::vector<double> h_;
+  double constant_;
+  std::size_t ancilla_;
+};
+
+}  // namespace fecim::ising

@@ -1,0 +1,106 @@
+#include "ising/qubo.hpp"
+
+#include "util/assert.hpp"
+
+namespace fecim::ising {
+
+QuboModel::QuboModel(linalg::CsrMatrix q, double constant)
+    : q_(std::move(q)), constant_(constant) {
+  FECIM_EXPECTS(q_.rows() == q_.cols());
+}
+
+double QuboModel::value(std::span<const std::uint8_t> x) const {
+  FECIM_EXPECTS(x.size() == num_variables());
+  double acc = constant_;
+  for (std::size_t i = 0; i < num_variables(); ++i) {
+    if (!x[i]) continue;
+    const auto cols = q_.row_cols(i);
+    const auto vals = q_.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      if (x[cols[k]]) acc += vals[k];
+  }
+  return acc;
+}
+
+IsingModel QuboModel::to_ising() const {
+  const std::size_t n = num_variables();
+  // Substitute x_i = (1 - sigma_i) / 2 into x^T Q x:
+  //   sum_ij Q_ij (1 - sigma_i)(1 - sigma_j) / 4
+  // i != j terms contribute quadratic, linear, and constant parts; diagonal
+  // terms are purely linear because x_i^2 = x_i.
+  linalg::CsrMatrix::Builder j_builder(n, n);
+  std::vector<double> h(n, 0.0);
+  double c = constant_;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cols = q_.row_cols(i);
+    const auto vals = q_.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const std::size_t j = cols[k];
+      const double q = vals[k];
+      if (i == j) {
+        h[i] += -q / 2.0;
+        c += q / 2.0;
+      } else {
+        // sigma^T J sigma counts (i,j) and (j,i), so store q/8 per triangle
+        // to realize the q/4 coefficient of sigma_i sigma_j.
+        j_builder.add_symmetric(i, j, q / 8.0);
+        h[i] += -q / 4.0;
+        h[j] += -q / 4.0;
+        c += q / 4.0;
+      }
+    }
+  }
+  return IsingModel(j_builder.build(), std::move(h), c);
+}
+
+SpinVector spins_from_binary(std::span<const std::uint8_t> x) {
+  SpinVector spins(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    FECIM_EXPECTS(x[i] == 0 || x[i] == 1);
+    spins[i] = x[i] ? Spin{-1} : Spin{1};  // sigma = 1 - 2x
+  }
+  return spins;
+}
+
+BinaryVector binary_from_spins(std::span<const Spin> spins) {
+  BinaryVector x(spins.size());
+  for (std::size_t i = 0; i < spins.size(); ++i) {
+    FECIM_EXPECTS(spins[i] == 1 || spins[i] == -1);
+    x[i] = spins[i] == -1 ? 1 : 0;  // x = (1 - sigma) / 2
+  }
+  return x;
+}
+
+QuboModel qubo_from_ising(const IsingModel& model) {
+  const std::size_t n = model.num_spins();
+  // sigma_i = 1 - 2 x_i:
+  //   sigma_i sigma_j = 1 - 2x_i - 2x_j + 4 x_i x_j
+  //   sigma_i         = 1 - 2 x_i
+  // Linear pieces live on the Q diagonal (x_i^2 == x_i).
+  linalg::CsrMatrix::Builder q_builder(n, n);
+  std::vector<double> diag(n, 0.0);
+  double c = model.constant();
+
+  const auto& j = model.couplings();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cols = j.row_cols(i);
+    const auto vals = j.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const std::size_t col = cols[k];
+      const double v = vals[k];
+      q_builder.add(i, col, 4.0 * v);
+      diag[i] += -2.0 * v;
+      diag[col] += -2.0 * v;
+      c += v;
+    }
+    const double h = model.fields()[i];
+    diag[i] += -2.0 * h;
+    c += h;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    if (diag[i] != 0.0) q_builder.add(i, i, diag[i]);
+  return QuboModel(q_builder.build(), c);
+}
+
+}  // namespace fecim::ising

@@ -1,0 +1,45 @@
+// Quadratic Unconstrained Binary Optimization: H(x) = x^T Q x + c,
+// x_i in {0,1}, with exact conversion to/from the Ising form via
+// sigma_i = 1 - 2 x_i (paper Sec. 2.1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ising/ising_model.hpp"
+#include "linalg/csr_matrix.hpp"
+
+namespace fecim::ising {
+
+using BinaryVector = std::vector<std::uint8_t>;
+
+class QuboModel {
+ public:
+  /// Q may be any square matrix (not necessarily symmetric); x^T Q x is
+  /// evaluated as written.  Diagonal entries act linearly since x_i^2 = x_i.
+  explicit QuboModel(linalg::CsrMatrix q, double constant = 0.0);
+
+  std::size_t num_variables() const noexcept { return q_.rows(); }
+  const linalg::CsrMatrix& q() const noexcept { return q_; }
+  double constant() const noexcept { return constant_; }
+
+  double value(std::span<const std::uint8_t> x) const;
+
+  /// Equivalent Ising model; energies match exactly:
+  /// value(x) == to_ising().energy(spins_from_binary(x)).
+  IsingModel to_ising() const;
+
+ private:
+  linalg::CsrMatrix q_;
+  double constant_;
+};
+
+/// sigma = 1 - 2x mapping helpers.
+SpinVector spins_from_binary(std::span<const std::uint8_t> x);
+BinaryVector binary_from_spins(std::span<const Spin> spins);
+
+/// Inverse conversion: an Ising model as a QUBO with the same objective:
+/// ising.energy(sigma(x)) == qubo.value(x).
+QuboModel qubo_from_ising(const IsingModel& model);
+
+}  // namespace fecim::ising

@@ -1,0 +1,126 @@
+#include "linalg/csr_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace fecim::linalg {
+
+std::span<const std::uint32_t> CsrMatrix::row_cols(std::size_t r) const {
+  FECIM_EXPECTS(r < rows());
+  return {col_idx_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+std::span<const double> CsrMatrix::row_values(std::size_t r) const {
+  FECIM_EXPECTS(r < rows());
+  return {values_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+double CsrMatrix::at(std::size_t r, std::size_t c) const {
+  FECIM_EXPECTS(r < rows() && c < cols_);
+  const auto cols = row_cols(r);
+  const auto vals = row_values(r);
+  const auto it = std::lower_bound(cols.begin(), cols.end(),
+                                   static_cast<std::uint32_t>(c));
+  if (it == cols.end() || *it != c) return 0.0;
+  return vals[static_cast<std::size_t>(it - cols.begin())];
+}
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  FECIM_EXPECTS(x.size() == cols_ && y.size() == rows());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      acc += values_[k] * x[col_idx_[k]];
+    y[r] = acc;
+  }
+}
+
+double CsrMatrix::vmv(std::span<const double> x, std::span<const double> y) const {
+  FECIM_EXPECTS(x.size() == rows() && y.size() == cols_);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < rows(); ++r) {
+    if (x[r] == 0.0) continue;
+    double inner = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      inner += values_[k] * y[col_idx_[k]];
+    acc += x[r] * inner;
+  }
+  return acc;
+}
+
+bool CsrMatrix::is_symmetric(double tol) const {
+  if (rows() != cols_) return false;
+  for (std::size_t r = 0; r < rows(); ++r) {
+    const auto cols = row_cols(r);
+    const auto vals = row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const double mirror = at(cols[k], r);
+      if (std::fabs(mirror - vals[k]) > tol) return false;
+    }
+  }
+  return true;
+}
+
+double CsrMatrix::max_abs_value() const noexcept {
+  double best = 0.0;
+  for (const double v : values_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+DenseMatrix<double> CsrMatrix::to_dense() const {
+  DenseMatrix<double> dense(rows(), cols_);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    const auto cols = row_cols(r);
+    const auto vals = row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) dense(r, cols[k]) = vals[k];
+  }
+  return dense;
+}
+
+void CsrMatrix::Builder::add(std::size_t r, std::size_t c, double value) {
+  FECIM_EXPECTS(r < rows_ && c < cols_);
+  triplets_.push_back({static_cast<std::uint32_t>(r),
+                       static_cast<std::uint32_t>(c), value});
+}
+
+void CsrMatrix::Builder::add_symmetric(std::size_t r, std::size_t c,
+                                       double value) {
+  add(r, c, value);
+  if (r != c) add(c, r, value);
+}
+
+CsrMatrix CsrMatrix::Builder::build() {
+  std::sort(triplets_.begin(), triplets_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.cols_ = cols_;
+  m.row_ptr_.assign(rows_ + 1, 0);
+
+  // Merge duplicate coordinates by summation while copying out.
+  std::size_t i = 0;
+  while (i < triplets_.size()) {
+    const std::uint32_t row = triplets_[i].row;
+    const std::uint32_t col = triplets_[i].col;
+    double sum = 0.0;
+    while (i < triplets_.size() && triplets_[i].row == row &&
+           triplets_[i].col == col) {
+      sum += triplets_[i].value;
+      ++i;
+    }
+    if (sum != 0.0) {
+      m.col_idx_.push_back(col);
+      m.values_.push_back(sum);
+      ++m.row_ptr_[row + 1];
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  FECIM_ENSURES(m.row_ptr_.back() == m.values_.size());
+  return m;
+}
+
+}  // namespace fecim::linalg

@@ -1,0 +1,92 @@
+// Dense row-major matrix.  Used for small reference computations (tests,
+// brute-force energies) and as the dense fallback of the MNA solver.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fecim::linalg {
+
+template <typename T>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static DenseMatrix identity(std::size_t n) {
+    DenseMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    FECIM_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    FECIM_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<T> row(std::size_t r) {
+    FECIM_EXPECTS(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const T> row(std::size_t r) const {
+    FECIM_EXPECTS(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<const T> data() const noexcept { return data_; }
+  std::span<T> data() noexcept { return data_; }
+
+  bool is_symmetric(T tolerance = T{}) const {
+    if (rows_ != cols_) return false;
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = i + 1; j < cols_; ++j) {
+        const T diff = (*this)(i, j) - (*this)(j, i);
+        if (diff > tolerance || diff < -tolerance) return false;
+      }
+    return true;
+  }
+
+  /// y = A x
+  void multiply(std::span<const T> x, std::span<T> y) const {
+    FECIM_EXPECTS(x.size() == cols_ && y.size() == rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      T acc{};
+      const T* row_ptr = data_.data() + r * cols_;
+      for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+      y[r] = acc;
+    }
+  }
+
+  /// xᵀ A y — the vector-matrix-vector product at the heart of the Ising
+  /// energy (direct-E form).
+  T vmv(std::span<const T> x, std::span<const T> y) const {
+    FECIM_EXPECTS(x.size() == rows_ && y.size() == cols_);
+    T acc{};
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (x[r] == T{}) continue;
+      T inner{};
+      const T* row_ptr = data_.data() + r * cols_;
+      for (std::size_t c = 0; c < cols_; ++c) inner += row_ptr[c] * y[c];
+      acc += x[r] * inner;
+    }
+    return acc;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace fecim::linalg

@@ -1,0 +1,89 @@
+#include "linalg/linear_solver.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/vec_ops.hpp"
+#include "util/assert.hpp"
+
+namespace fecim::linalg {
+
+SolveReport conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                               std::span<double> x,
+                               const SolveOptions& options) {
+  const std::size_t n = a.rows();
+  FECIM_EXPECTS(a.cols() == n);
+  FECIM_EXPECTS(b.size() == n && x.size() == n);
+
+  std::vector<double> r(n), p(n), ap(n);
+  a.multiply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  p.assign(r.begin(), r.end());
+
+  const double b_norm = norm2(b);
+  const double b_scale = b_norm > 0.0 ? b_norm : 1.0;
+  double rr = dot(r, r);
+
+  SolveReport report;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    report.iterations = it;
+    report.residual_norm = std::sqrt(rr);
+    if (report.residual_norm / b_scale <= options.tolerance) {
+      report.converged = true;
+      return report;
+    }
+    a.multiply(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // not SPD (or exact solution); bail out
+    const double alpha = rr / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    const double rr_next = dot(r, r);
+    const double beta = rr_next / rr;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rr = rr_next;
+  }
+  report.residual_norm = std::sqrt(rr);
+  report.converged = report.residual_norm / b_scale <= options.tolerance;
+  return report;
+}
+
+SolveReport gauss_seidel(const CsrMatrix& a, std::span<const double> b,
+                         std::span<double> x, const SolveOptions& options) {
+  const std::size_t n = a.rows();
+  FECIM_EXPECTS(a.cols() == n);
+  FECIM_EXPECTS(b.size() == n && x.size() == n);
+
+  const double b_norm = norm2(b);
+  const double b_scale = b_norm > 0.0 ? b_norm : 1.0;
+  std::vector<double> residual(n);
+
+  SolveReport report;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    report.iterations = it;
+    for (std::size_t r = 0; r < n; ++r) {
+      double sum = b[r];
+      double diag = 0.0;
+      const auto cols = a.row_cols(r);
+      const auto vals = a.row_values(r);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] == r)
+          diag = vals[k];
+        else
+          sum -= vals[k] * x[cols[k]];
+      }
+      FECIM_ASSERT(diag != 0.0);
+      x[r] = sum / diag;
+    }
+    a.multiply(x, residual);
+    for (std::size_t i = 0; i < n; ++i) residual[i] -= b[i];
+    report.residual_norm = norm2(residual);
+    if (report.residual_norm / b_scale <= options.tolerance) {
+      report.converged = true;
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace fecim::linalg

@@ -1,0 +1,36 @@
+// Iterative solvers for the crossbar MNA system G·v = i.
+//
+// The MNA conductance matrix is symmetric positive definite (resistive
+// network with at least one path to a driven terminal), so conjugate
+// gradient is the workhorse; Gauss-Seidel is kept as a robust fallback and
+// as an independent cross-check in tests.
+#pragma once
+
+#include <span>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace fecim::linalg {
+
+struct SolveReport {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;
+};
+
+struct SolveOptions {
+  std::size_t max_iterations = 10000;
+  double tolerance = 1e-10;  ///< on ||Ax-b|| / ||b|| (relative)
+};
+
+/// Conjugate gradient for SPD systems.  `x` carries the initial guess in and
+/// the solution out.
+SolveReport conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                               std::span<double> x,
+                               const SolveOptions& options = {});
+
+/// Gauss-Seidel sweep iteration; requires nonzero diagonal.
+SolveReport gauss_seidel(const CsrMatrix& a, std::span<const double> b,
+                         std::span<double> x, const SolveOptions& options = {});
+
+}  // namespace fecim::linalg

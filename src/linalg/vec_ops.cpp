@@ -1,0 +1,37 @@
+#include "linalg/vec_ops.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace fecim::linalg {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  FECIM_EXPECTS(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  FECIM_EXPECTS(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double max_abs(std::span<const double> x) {
+  double best = 0.0;
+  for (const double v : x) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+std::vector<double> hadamard(std::span<const double> a,
+                             std::span<const double> b) {
+  FECIM_EXPECTS(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+}  // namespace fecim::linalg

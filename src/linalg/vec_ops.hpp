@@ -1,0 +1,23 @@
+// Span-based vector kernels shared across modules.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fecim::linalg {
+
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+double norm2(std::span<const double> x);
+
+/// Largest absolute element; 0 for empty input.
+double max_abs(std::span<const double> x);
+
+/// Element-wise (Hadamard) product into a new vector.
+std::vector<double> hadamard(std::span<const double> a,
+                             std::span<const double> b);
+
+}  // namespace fecim::linalg

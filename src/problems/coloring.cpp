@@ -1,0 +1,95 @@
+#include "problems/coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace fecim::problems {
+
+ColoringEncoding coloring_to_qubo(const Graph& graph, std::size_t num_colors,
+                                  double penalty) {
+  FECIM_EXPECTS(num_colors >= 1);
+  FECIM_EXPECTS(penalty > 0.0);
+  const std::size_t n = graph.num_vertices();
+  const std::size_t k = num_colors;
+  const std::size_t vars = n * k;
+  linalg::CsrMatrix::Builder q(vars, vars);
+  double constant = 0.0;
+
+  auto var = [k](std::size_t v, std::size_t c) { return v * k + c; };
+
+  // One-hot penalty: A (1 - sum_c x)^2 = A (1 - 2 sum_c x + sum_c x
+  //                  + 2 sum_{c<c'} x_c x_c')   [x^2 = x]
+  for (std::size_t v = 0; v < n; ++v) {
+    constant += penalty;
+    for (std::size_t c = 0; c < k; ++c) {
+      q.add(var(v, c), var(v, c), -penalty);  // -2A + A on the diagonal
+      for (std::size_t c2 = c + 1; c2 < k; ++c2)
+        q.add(var(v, c), var(v, c2), 2.0 * penalty);
+    }
+  }
+
+  // Edge penalty: A x_{u,c} x_{v,c} per color.
+  for (const auto& e : graph.edges())
+    for (std::size_t c = 0; c < k; ++c)
+      q.add(var(e.u, c), var(e.v, c), penalty);
+
+  return ColoringEncoding{ising::QuboModel(q.build(), constant), n, k};
+}
+
+std::vector<std::uint32_t> decode_coloring(const ColoringEncoding& encoding,
+                                           std::span<const std::uint8_t> x) {
+  FECIM_EXPECTS(x.size() == encoding.num_vertices * encoding.num_colors);
+  std::vector<std::uint32_t> colors(encoding.num_vertices);
+  for (std::size_t v = 0; v < encoding.num_vertices; ++v) {
+    std::size_t count = 0;
+    std::uint32_t chosen = 0;
+    for (std::size_t c = 0; c < encoding.num_colors; ++c) {
+      if (x[v * encoding.num_colors + c]) {
+        ++count;
+        chosen = static_cast<std::uint32_t>(c);
+      }
+    }
+    colors[v] = count == 1 ? chosen
+                           : static_cast<std::uint32_t>(encoding.num_colors);
+  }
+  return colors;
+}
+
+std::size_t coloring_violations(const Graph& graph,
+                                const ColoringEncoding& encoding,
+                                std::span<const std::uint8_t> x) {
+  const auto colors = decode_coloring(encoding, x);
+  std::size_t violations = 0;
+  for (const auto c : colors)
+    if (c >= encoding.num_colors) ++violations;
+  for (const auto& e : graph.edges())
+    if (colors[e.u] < encoding.num_colors && colors[e.u] == colors[e.v])
+      ++violations;
+  return violations;
+}
+
+std::vector<std::uint32_t> greedy_coloring(const Graph& graph) {
+  const std::size_t n = graph.num_vertices();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return graph.degree(a) > graph.degree(b);
+  });
+
+  constexpr std::uint32_t kUncolored = ~std::uint32_t{0};
+  std::vector<std::uint32_t> colors(n, kUncolored);
+  std::vector<std::uint8_t> neighbor_has;
+  for (const auto v : order) {
+    neighbor_has.assign(n + 1, 0);
+    for (const auto u : graph.neighbors(v))
+      if (colors[u] != kUncolored) neighbor_has[colors[u]] = 1;
+    std::uint32_t c = 0;
+    while (neighbor_has[c]) ++c;
+    colors[v] = c;
+  }
+  return colors;
+}
+
+}  // namespace fecim::problems

@@ -1,0 +1,42 @@
+// Graph k-coloring as a QUBO (one-hot encoding), the COP class ref. [7]
+// solves on FeFET CiM hardware.
+//
+//   H = A * sum_v (1 - sum_c x_{v,c})^2  +  A * sum_{(u,v) in E} sum_c x_{u,c} x_{v,c}
+//
+// H == 0 iff x encodes a valid k-coloring.  Variable layout: x_{v,c} at
+// index v * k + c.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ising/qubo.hpp"
+#include "problems/graph.hpp"
+
+namespace fecim::problems {
+
+struct ColoringEncoding {
+  ising::QuboModel qubo;
+  std::size_t num_vertices;
+  std::size_t num_colors;
+};
+
+ColoringEncoding coloring_to_qubo(const Graph& graph, std::size_t num_colors,
+                                  double penalty = 1.0);
+
+/// Decode one-hot variables into a color per vertex.  Vertices whose one-hot
+/// group is not exactly single-hot get color = num_colors (invalid marker).
+std::vector<std::uint32_t> decode_coloring(const ColoringEncoding& encoding,
+                                           std::span<const std::uint8_t> x);
+
+/// Number of constraint violations (non-single-hot vertices + monochromatic
+/// edges); 0 iff the assignment is a valid coloring.
+std::size_t coloring_violations(const Graph& graph,
+                                const ColoringEncoding& encoding,
+                                std::span<const std::uint8_t> x);
+
+/// Greedy (largest-degree-first) coloring; upper bound on the chromatic
+/// number, used to pick feasible k in tests and examples.
+std::vector<std::uint32_t> greedy_coloring(const Graph& graph);
+
+}  // namespace fecim::problems

@@ -1,0 +1,52 @@
+#include "problems/gset_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace fecim::problems {
+
+Graph read_gset(std::istream& in) {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  if (!(in >> n >> m))
+    throw contract_error("gset: malformed header (expected '<n> <m>')");
+  FECIM_EXPECTS(n > 0);
+
+  Graph graph(n);
+  for (std::size_t k = 0; k < m; ++k) {
+    std::size_t u = 0;
+    std::size_t v = 0;
+    double w = 0.0;
+    if (!(in >> u >> v >> w))
+      throw contract_error("gset: truncated edge list at edge " +
+                           std::to_string(k));
+    if (u < 1 || u > n || v < 1 || v > n)
+      throw contract_error("gset: vertex index out of range at edge " +
+                           std::to_string(k));
+    graph.add_edge(static_cast<std::uint32_t>(u - 1),
+                   static_cast<std::uint32_t>(v - 1), w);
+  }
+  return graph;
+}
+
+Graph read_gset_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw contract_error("gset: cannot open " + path);
+  return read_gset(in);
+}
+
+void write_gset(const Graph& graph, std::ostream& out) {
+  out << graph.num_vertices() << ' ' << graph.num_edges() << '\n';
+  for (const auto& e : graph.edges())
+    out << (e.u + 1) << ' ' << (e.v + 1) << ' ' << e.weight << '\n';
+}
+
+void write_gset_file(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw contract_error("gset: cannot open " + path + " for write");
+  write_gset(graph, out);
+}
+
+}  // namespace fecim::problems

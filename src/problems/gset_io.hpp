@@ -1,0 +1,19 @@
+// Reader/writer for the Stanford Gset Max-Cut file format [38]:
+//   line 1:  <num_vertices> <num_edges>
+//   line k:  <u> <v> <weight>      (1-indexed vertices)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "problems/graph.hpp"
+
+namespace fecim::problems {
+
+Graph read_gset(std::istream& in);
+Graph read_gset_file(const std::string& path);
+
+void write_gset(const Graph& graph, std::ostream& out);
+void write_gset_file(const Graph& graph, const std::string& path);
+
+}  // namespace fecim::problems

@@ -1,0 +1,94 @@
+#include "problems/knapsack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace fecim::problems {
+
+KnapsackEncoding knapsack_to_qubo(const KnapsackInstance& instance,
+                                  double penalty) {
+  const std::size_t n = instance.items.size();
+  FECIM_EXPECTS(n > 0);
+  FECIM_EXPECTS(instance.capacity > 0.0);
+  for (const auto& item : instance.items) {
+    FECIM_EXPECTS(item.weight > 0.0);
+    FECIM_EXPECTS(item.value >= 0.0);
+  }
+
+  if (penalty <= 0.0) {
+    double max_value = 0.0;
+    for (const auto& item : instance.items)
+      max_value = std::max(max_value, item.value);
+    penalty = max_value + 1.0;
+  }
+
+  // Slack coefficients 1, 2, 4, ..., residual so that sum c_j covers
+  // exactly [0, capacity].
+  std::vector<double> slack;
+  double remaining = instance.capacity;
+  double next_bit = 1.0;
+  while (remaining > 0.0) {
+    const double coeff = std::min(next_bit, remaining);
+    slack.push_back(coeff);
+    remaining -= coeff;
+    next_bit *= 2.0;
+  }
+
+  const std::size_t vars = n + slack.size();
+  // Linear coefficient vector a: item weights then slack coefficients.
+  std::vector<double> a(vars);
+  for (std::size_t i = 0; i < n; ++i) a[i] = instance.items[i].weight;
+  for (std::size_t j = 0; j < slack.size(); ++j) a[n + j] = slack[j];
+
+  // H = -sum v_i x_i + A (a.x - W)^2
+  //   = -sum v_i x_i + A (sum_i a_i^2 x_i + 2 sum_{i<j} a_i a_j x_i x_j
+  //                       - 2W a.x + W^2)
+  linalg::CsrMatrix::Builder q(vars, vars);
+  double constant = penalty * instance.capacity * instance.capacity;
+  for (std::size_t i = 0; i < vars; ++i) {
+    double diag = penalty * a[i] * (a[i] - 2.0 * instance.capacity);
+    if (i < n) diag -= instance.items[i].value;
+    q.add(i, i, diag);
+    for (std::size_t j = i + 1; j < vars; ++j)
+      q.add(i, j, 2.0 * penalty * a[i] * a[j]);
+  }
+
+  return KnapsackEncoding{ising::QuboModel(q.build(), constant), n,
+                          slack.size(), std::move(slack), penalty};
+}
+
+KnapsackSolution decode_knapsack(const KnapsackInstance& instance,
+                                 const KnapsackEncoding& encoding,
+                                 std::span<const std::uint8_t> x) {
+  FECIM_EXPECTS(x.size() == encoding.num_items + encoding.num_slack_bits);
+  KnapsackSolution solution;
+  solution.selection.assign(x.begin(),
+                            x.begin() + static_cast<std::ptrdiff_t>(
+                                            encoding.num_items));
+  for (std::size_t i = 0; i < encoding.num_items; ++i) {
+    if (!solution.selection[i]) continue;
+    solution.value += instance.items[i].value;
+    solution.weight += instance.items[i].weight;
+  }
+  solution.feasible = solution.weight <= instance.capacity + 1e-9;
+  return solution;
+}
+
+double knapsack_optimal_value(const KnapsackInstance& instance) {
+  // Classic DP over integer capacities; weights must be integral.
+  const auto capacity = static_cast<std::size_t>(instance.capacity);
+  FECIM_EXPECTS(std::fabs(instance.capacity -
+                          static_cast<double>(capacity)) < 1e-9);
+  std::vector<double> best(capacity + 1, 0.0);
+  for (const auto& item : instance.items) {
+    const auto w = static_cast<std::size_t>(item.weight);
+    FECIM_EXPECTS(std::fabs(item.weight - static_cast<double>(w)) < 1e-9);
+    for (std::size_t c = capacity; c >= w; --c)
+      best[c] = std::max(best[c], best[c - w] + item.value);
+  }
+  return best[capacity];
+}
+
+}  // namespace fecim::problems

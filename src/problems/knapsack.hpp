@@ -1,0 +1,57 @@
+// 0/1 knapsack as a QUBO with logarithmic slack encoding -- the COP class
+// HyCiM [15] targets (inequality-constrained problems).
+//
+//   maximize  sum v_i x_i   s.t.  sum w_i x_i <= W
+//
+//   H = -sum v_i x_i + A * (sum w_i x_i + sum_j c_j s_j - W)^2
+//
+// with slack coefficients c_j = 1,2,4,...,residual so the slack can express
+// every value in [0, W].  For feasible x with the matching slack, H equals
+// -value; infeasible x cannot reach the penalty minimum when A > max v_i.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ising/qubo.hpp"
+
+namespace fecim::problems {
+
+struct KnapsackItem {
+  double value;
+  double weight;
+};
+
+struct KnapsackInstance {
+  std::vector<KnapsackItem> items;
+  double capacity;
+};
+
+struct KnapsackEncoding {
+  ising::QuboModel qubo;
+  std::size_t num_items;
+  std::size_t num_slack_bits;
+  std::vector<double> slack_coefficients;
+  double penalty;
+};
+
+KnapsackEncoding knapsack_to_qubo(const KnapsackInstance& instance,
+                                  double penalty = 0.0 /* 0 = auto */);
+
+struct KnapsackSolution {
+  std::vector<std::uint8_t> selection;  ///< item bits only (slack stripped)
+  double value = 0.0;
+  double weight = 0.0;
+  bool feasible = false;
+};
+
+/// Decode the item bits from a full variable assignment (items first, then
+/// slack bits) and evaluate value/weight/feasibility.
+KnapsackSolution decode_knapsack(const KnapsackInstance& instance,
+                                 const KnapsackEncoding& encoding,
+                                 std::span<const std::uint8_t> x);
+
+/// Exact DP optimum for integer weights (reference for tests/examples).
+double knapsack_optimal_value(const KnapsackInstance& instance);
+
+}  // namespace fecim::problems

@@ -1,0 +1,43 @@
+#include "problems/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace fecim::problems {
+
+ising::IsingModel partition_to_ising(std::span<const double> numbers) {
+  const std::size_t n = numbers.size();
+  FECIM_EXPECTS(n >= 2);
+  linalg::CsrMatrix::Builder builder(n, n);
+  double constant = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    constant += numbers[i] * numbers[i];
+    for (std::size_t j = i + 1; j < n; ++j)
+      builder.add_symmetric(i, j, numbers[i] * numbers[j]);
+  }
+  // (sum s_i sigma_i)^2 = sum s_i^2 + 2 sum_{i<j} s_i s_j sigma_i sigma_j,
+  // and sigma^T J sigma with both triangles realizes exactly that doubled sum.
+  return ising::IsingModel(builder.build(), {}, constant);
+}
+
+double partition_imbalance(std::span<const double> numbers,
+                           std::span<const ising::Spin> spins) {
+  FECIM_EXPECTS(numbers.size() == spins.size());
+  double signed_sum = 0.0;
+  for (std::size_t i = 0; i < numbers.size(); ++i)
+    signed_sum += numbers[i] * static_cast<double>(spins[i]);
+  return std::fabs(signed_sum);
+}
+
+double greedy_partition_imbalance(std::span<const double> numbers) {
+  std::vector<double> sorted(numbers.begin(), numbers.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double a = 0.0;
+  double b = 0.0;
+  for (const double s : sorted) (a <= b ? a : b) += s;
+  return std::fabs(a - b);
+}
+
+}  // namespace fecim::problems

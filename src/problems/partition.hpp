@@ -1,0 +1,25 @@
+// Number partitioning: split numbers s_i into two sets with minimal sum
+// difference.  H(sigma) = (sum s_i sigma_i)^2 maps directly onto the Ising
+// form with J_ij = s_i s_j and constant sum s_i^2 -- a fully dense coupling
+// matrix, which stresses the crossbar mapping differently from sparse
+// Max-Cut instances.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ising/ising_model.hpp"
+
+namespace fecim::problems {
+
+ising::IsingModel partition_to_ising(std::span<const double> numbers);
+
+/// |sum of side A - sum of side B| for a configuration.
+double partition_imbalance(std::span<const double> numbers,
+                           std::span<const ising::Spin> spins);
+
+/// Greedy differencing-style reference: largest-first assignment to the
+/// lighter side.  Not optimal, but a sound upper bound for tests.
+double greedy_partition_imbalance(std::span<const double> numbers);
+
+}  // namespace fecim::problems

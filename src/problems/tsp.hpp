@@ -1,0 +1,61 @@
+// Travelling salesman as a QUBO (one-hot position encoding):
+//
+//   x_{v,p} = 1  iff city v occupies tour position p,
+//   H = A * sum_v (1 - sum_p x_{v,p})^2          every city placed once
+//     + A * sum_p (1 - sum_v x_{v,p})^2          every position filled once
+//     + sum_{u != v} d(u,v) sum_p x_{u,p} x_{v,p+1}   tour length (cyclic)
+//
+// The classic Lucas (2014) formulation; with A > max distance * n the
+// minimum of H is the optimal tour length plus zero penalty.  Variable
+// layout: x_{v,p} at index v * n + p.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ising/qubo.hpp"
+
+namespace fecim::problems {
+
+struct TspInstance {
+  /// Symmetric distance matrix; d[u][v] with zero diagonal.
+  std::vector<std::vector<double>> distances;
+
+  std::size_t num_cities() const noexcept { return distances.size(); }
+};
+
+/// Random Euclidean instance: cities uniform in the unit square.
+TspInstance random_tsp(std::size_t cities, std::uint64_t seed);
+
+struct TspEncoding {
+  ising::QuboModel qubo;
+  std::size_t num_cities;
+  double penalty;
+};
+
+TspEncoding tsp_to_qubo(const TspInstance& instance,
+                        double penalty = 0.0 /* 0 = auto */);
+
+struct TspTour {
+  std::vector<std::uint32_t> order;  ///< city at each position
+  double length = 0.0;
+  bool valid = false;  ///< exactly one city per position and vice versa
+};
+
+/// Decode a variable assignment into a tour (valid == both one-hot
+/// constraint families satisfied).
+TspTour decode_tsp(const TspInstance& instance, const TspEncoding& encoding,
+                   std::span<const std::uint8_t> x);
+
+/// Tour length of an explicit city order (cyclic).
+double tour_length(const TspInstance& instance,
+                   std::span<const std::uint32_t> order);
+
+/// Exact optimum by permutation enumeration (cities <= 10).
+double tsp_optimal_length(const TspInstance& instance);
+
+/// Nearest-neighbour construction + 2-opt improvement: the reference
+/// heuristic used to sanity-bound annealer output on larger instances.
+TspTour tsp_heuristic(const TspInstance& instance);
+
+}  // namespace fecim::problems

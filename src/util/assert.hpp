@@ -1,0 +1,52 @@
+// Contract-checking helpers in the spirit of the GSL Expects/Ensures macros.
+//
+// FECIM_EXPECTS  — precondition on the arguments of a function
+// FECIM_ENSURES  — postcondition on the result of a function
+// FECIM_ASSERT   — internal invariant
+//
+// All three throw fecim::contract_error so tests can assert on violations;
+// they stay active in release builds because every check here guards a
+// numerical-model invariant whose silent violation would corrupt results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fecim {
+
+/// Thrown when a contract (pre/postcondition or invariant) is violated.
+class contract_error : public std::logic_error {
+ public:
+  explicit contract_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw contract_error(std::string(kind) + " failed: " + expr + " at " + file +
+                       ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace fecim
+
+#define FECIM_EXPECTS(cond)                                                 \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::fecim::detail::contract_fail("precondition", #cond, __FILE__,       \
+                                     __LINE__);                             \
+  } while (false)
+
+#define FECIM_ENSURES(cond)                                                 \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::fecim::detail::contract_fail("postcondition", #cond, __FILE__,      \
+                                     __LINE__);                             \
+  } while (false)
+
+#define FECIM_ASSERT(cond)                                                  \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::fecim::detail::contract_fail("invariant", #cond, __FILE__,          \
+                                     __LINE__);                             \
+  } while (false)

@@ -1,0 +1,37 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <thread>
+
+namespace fecim::util {
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return value;
+}
+
+bool env_flag(const std::string& name, bool fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::string text(raw);
+  std::transform(text.begin(), text.end(), text.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return text == "1" || text == "true" || text == "yes" || text == "on";
+}
+
+bool full_reproduction_mode() { return env_flag("FECIM_FULL"); }
+
+std::size_t worker_threads() {
+  const auto requested = env_int("FECIM_THREADS", 0);
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  const auto hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace fecim::util

@@ -1,0 +1,26 @@
+// Environment-variable configuration knobs for the bench harness.
+//
+// Benches run a scaled-down campaign by default so `for b in build/bench/*`
+// stays fast; setting FECIM_FULL=1 restores the paper's full run counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fecim::util {
+
+/// Read an integer env var; returns `fallback` when unset or unparsable.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Read a boolean env var (1/true/yes/on, case-insensitive).
+bool env_flag(const std::string& name, bool fallback = false);
+
+/// True when FECIM_FULL=1 — benches then use the paper's full instance
+/// counts, iteration budgets, and Monte-Carlo run counts.
+bool full_reproduction_mode();
+
+/// Number of worker threads for campaign runners (FECIM_THREADS, default:
+/// hardware concurrency).
+std::size_t worker_threads();
+
+}  // namespace fecim::util

@@ -1,0 +1,18 @@
+// Minimal fork-join helper for embarrassingly parallel experiment campaigns.
+//
+// Each task index gets its own RNG stream derived outside the loop, so the
+// result of a campaign is independent of the thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace fecim::util {
+
+/// Run body(i) for i in [0, count) across `threads` workers (0 = use
+/// worker_threads()).  Exceptions from tasks are captured and the first one
+/// is rethrown after all workers join.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace fecim::util

@@ -1,0 +1,115 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace fecim::util {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const noexcept { return count_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::min() const noexcept { return count_ ? min_ : 0.0; }
+
+double RunningStats::max() const noexcept { return count_ ? max_ : 0.0; }
+
+double percentile(std::vector<double> values, double p) {
+  FECIM_EXPECTS(!values.empty());
+  FECIM_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double median(std::vector<double> values) {
+  return percentile(std::move(values), 50.0);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  FECIM_EXPECTS(hi > lo);
+  FECIM_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  FECIM_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  FECIM_EXPECTS(bin < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1 - 1) +
+      (hi_ - lo_) / static_cast<double>(counts_.size()); }
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[b]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    out << "[" << bin_lo(b) << ", " << bin_hi(b) << ") ";
+    for (std::size_t i = 0; i < bar; ++i) out << '#';
+    out << ' ' << counts_[b] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace fecim::util

@@ -1,0 +1,65 @@
+// Streaming and batch statistics used by the experiment runner and benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fecim::util {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm) with
+/// min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  double sum() const noexcept { return mean() * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set with linear interpolation; p in [0, 100].
+/// The input is copied and sorted internally.
+double percentile(std::vector<double> values, double p);
+
+/// Median convenience wrapper.
+double median(std::vector<double> values);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Compact ASCII rendering (one line per bin), used by example binaries.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fecim::util

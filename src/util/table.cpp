@@ -1,0 +1,103 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace fecim::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  FECIM_EXPECTS(!header_.empty());
+}
+
+Table& Table::row() {
+  FECIM_EXPECTS(cells_.empty() || cells_.back().size() == header_.size());
+  cells_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  FECIM_EXPECTS(!cells_.empty());
+  FECIM_EXPECTS(cells_.back().size() < header_.size());
+  cells_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+
+Table& Table::add(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return add(out.str());
+}
+
+Table& Table::add(std::size_t value) { return add(std::to_string(value)); }
+Table& Table::add(long long value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : cells_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cell;
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : cells_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : cells_) emit_row(row);
+  return out.str();
+}
+
+std::string si_format(double value, const std::string& unit, int precision) {
+  struct Scale {
+    double factor;
+    const char* prefix;
+  };
+  static constexpr Scale scales[] = {
+      {1e9, "G"}, {1e6, "M"}, {1e3, "k"},  {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+  };
+  const double magnitude = std::fabs(value);
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision);
+  if (magnitude == 0.0) {
+    out << 0.0 << ' ' << unit;
+    return out.str();
+  }
+  for (const auto& s : scales) {
+    if (magnitude >= s.factor) {
+      out << value / s.factor << ' ' << s.prefix << unit;
+      return out.str();
+    }
+  }
+  out << value / 1e-12 << " p" << unit;
+  return out.str();
+}
+
+}  // namespace fecim::util

@@ -1,0 +1,42 @@
+// Console table / CSV emitter used by every bench binary so the reproduced
+// rows print in a uniform, paper-comparable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fecim::util {
+
+/// A simple column-aligned table.  Cells are strings; helpers format numbers
+/// with a fixed precision so bench output stays diff-friendly.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Start a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(double value, int precision = 3);
+  Table& add(std::size_t value);
+  Table& add(long long value);
+  Table& add(int value);
+
+  /// Aligned fixed-width rendering for the console.
+  std::string str() const;
+  /// Comma-separated rendering (no alignment padding).
+  std::string csv() const;
+
+  std::size_t rows() const noexcept { return cells_.size(); }
+  std::size_t columns() const noexcept { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format a double in engineering style with an SI suffix (n, u, m, k, M, G)
+/// relative to `unit`, e.g. si_format(2.5e-9, "J") -> "2.500 nJ".
+std::string si_format(double value, const std::string& unit, int precision = 3);
+
+}  // namespace fecim::util

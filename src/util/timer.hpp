@@ -1,0 +1,26 @@
+// Wall-clock timer for bench harness bookkeeping (host time, not the modeled
+// hardware latency — that lives in fecim::cost).
+#pragma once
+
+#include <chrono>
+
+namespace fecim::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fecim::util

@@ -1,0 +1,116 @@
+// k-bit sign-magnitude quantization of J.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "crossbar/bit_slicing.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fecim::crossbar::QuantizedCouplings;
+using fecim::linalg::CsrMatrix;
+
+CsrMatrix random_symmetric(std::size_t n, bool negatives,
+                           fecim::util::Rng& rng) {
+  CsrMatrix::Builder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(0.4)) {
+        const double lo = negatives ? -1.0 : 0.1;
+        builder.add_symmetric(i, j, rng.uniform(lo, 1.0));
+      }
+  return builder.build();
+}
+
+TEST(BitSlicing, ExactForUniformMagnitudes) {
+  // Unit-weight Max-Cut J (all entries +-0.5): one level, zero error.
+  CsrMatrix::Builder builder(4, 4);
+  builder.add_symmetric(0, 1, 0.5);
+  builder.add_symmetric(2, 3, -0.5);
+  const auto j = builder.build();
+  const QuantizedCouplings quantized(j, 8);
+  EXPECT_DOUBLE_EQ(quantized.max_abs_error(j), 0.0);
+  EXPECT_TRUE(quantized.has_negative());
+  EXPECT_EQ(quantized.nonzeros(), 4u);  // both triangles stored
+}
+
+class QuantizationErrorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizationErrorTest, ErrorBoundedByHalfScale) {
+  const int bits = GetParam();
+  fecim::util::Rng rng(bits);
+  const auto j = random_symmetric(30, true, rng);
+  const QuantizedCouplings quantized(j, bits);
+  // Rounding to the nearest level: error <= scale / 2.
+  EXPECT_LE(quantized.max_abs_error(j), quantized.scale() / 2.0 + 1e-12);
+  // And the scale halves (roughly) per extra bit.
+  EXPECT_NEAR(quantized.scale(),
+              j.max_abs_value() / ((1u << bits) - 1), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantizationErrorTest,
+                         ::testing::Values(2, 4, 6, 8, 10, 12));
+
+TEST(BitSlicing, DequantizeRoundTripsSymmetry) {
+  fecim::util::Rng rng(9);
+  const auto j = random_symmetric(20, true, rng);
+  const QuantizedCouplings quantized(j, 8);
+  const auto back = quantized.dequantize();
+  EXPECT_TRUE(back.is_symmetric(1e-12));
+  EXPECT_EQ(back.rows(), 20u);
+}
+
+TEST(BitSlicing, PositiveOnlyMatrixHasNoNegativePlane) {
+  fecim::util::Rng rng(10);
+  const auto j = random_symmetric(15, false, rng);
+  const QuantizedCouplings quantized(j, 8);
+  EXPECT_FALSE(quantized.has_negative());
+}
+
+TEST(BitSlicing, MagnitudesWithinRange) {
+  fecim::util::Rng rng(11);
+  const auto j = random_symmetric(25, true, rng);
+  const QuantizedCouplings quantized(j, 6);
+  for (std::size_t c = 0; c < 25; ++c) {
+    for (const auto v : quantized.column_values(c)) {
+      EXPECT_LE(static_cast<std::uint32_t>(std::abs(v)),
+                quantized.max_magnitude());
+      EXPECT_NE(v, 0);  // zero-rounded entries must be dropped
+    }
+  }
+}
+
+TEST(BitSlicing, TinyValuesRoundToZeroAndAreDropped) {
+  CsrMatrix::Builder builder(3, 3);
+  builder.add_symmetric(0, 1, 1.0);
+  builder.add_symmetric(1, 2, 1e-4);  // far below 1 LSB at 4 bits
+  const auto j = builder.build();
+  const QuantizedCouplings quantized(j, 4);
+  EXPECT_EQ(quantized.nonzeros(), 2u);  // only the (0,1)/(1,0) pair survives
+}
+
+TEST(BitSlicing, ColumnViewMatchesMatrix) {
+  fecim::util::Rng rng(13);
+  const auto j = random_symmetric(12, true, rng);
+  const QuantizedCouplings quantized(j, 8);
+  const auto dequantized = quantized.dequantize();
+  for (std::size_t c = 0; c < 12; ++c) {
+    const auto rows = quantized.column_rows(c);
+    const auto values = quantized.column_values(c);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      EXPECT_NEAR(static_cast<double>(values[k]) * quantized.scale(),
+                  dequantized.at(c, rows[k]), 1e-12);
+    }
+  }
+}
+
+TEST(BitSlicing, RejectsAsymmetricInput) {
+  CsrMatrix::Builder builder(2, 2);
+  builder.add(0, 1, 1.0);
+  EXPECT_THROW(QuantizedCouplings(builder.build(), 8),
+               fecim::contract_error);
+}
+
+}  // namespace

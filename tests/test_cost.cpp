@@ -1,0 +1,141 @@
+// Cost ledger and energy/latency translation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/cost_model.hpp"
+
+namespace {
+
+using fecim::cost::ComponentCosts;
+using fecim::cost::compute_cost;
+using fecim::cost::ExpUnit;
+using fecim::crossbar::CostLedger;
+using fecim::crossbar::EngineTrace;
+
+TEST(Ledger, MergeSumsAllCounters) {
+  CostLedger a;
+  a.iterations = 10;
+  a.adc_conversions = 100;
+  a.exp_evaluations = 5;
+  CostLedger b;
+  b.iterations = 3;
+  b.adc_conversions = 7;
+  b.spin_updates = 2;
+  a.merge(b);
+  EXPECT_EQ(a.iterations, 13u);
+  EXPECT_EQ(a.adc_conversions, 107u);
+  EXPECT_EQ(a.exp_evaluations, 5u);
+  EXPECT_EQ(a.spin_updates, 2u);
+}
+
+TEST(Ledger, MergeTrace) {
+  CostLedger ledger;
+  EngineTrace trace;
+  trace.adc_conversions = 32;
+  trace.mux_slot_cycles = 2;
+  trace.row_drives = 100;
+  trace.column_drives = 16;
+  trace.crossbar_passes = 4;
+  merge_trace(ledger, trace);
+  merge_trace(ledger, trace);
+  EXPECT_EQ(ledger.adc_conversions, 64u);
+  EXPECT_EQ(ledger.mux_slot_cycles, 4u);
+  EXPECT_EQ(ledger.crossbar_passes, 8u);
+}
+
+TEST(CostModel, AdcDominatedEnergy) {
+  ComponentCosts costs;
+  CostLedger ledger;
+  ledger.adc_conversions = 1000;
+  const auto breakdown = compute_cost(ledger, costs, ExpUnit::kNone);
+  EXPECT_DOUBLE_EQ(breakdown.adc_energy,
+                   1000 * costs.adc_energy_per_conversion);
+  EXPECT_DOUBLE_EQ(breakdown.total_energy, breakdown.adc_energy);
+}
+
+TEST(CostModel, ExpUnitSelection) {
+  ComponentCosts costs;
+  CostLedger ledger;
+  ledger.exp_evaluations = 10;
+  const auto none = compute_cost(ledger, costs, ExpUnit::kNone);
+  const auto fpga = compute_cost(ledger, costs, ExpUnit::kFpga);
+  const auto asic = compute_cost(ledger, costs, ExpUnit::kAsic);
+  EXPECT_DOUBLE_EQ(none.exp_energy, 0.0);
+  EXPECT_DOUBLE_EQ(fpga.exp_energy, 10 * costs.exp_energy_fpga);
+  EXPECT_DOUBLE_EQ(asic.exp_energy, 10 * costs.exp_energy_asic);
+  // The FPGA unit costs more energy; the ASIC unit is faster than FPGA.
+  EXPECT_GT(fpga.exp_energy, asic.exp_energy);
+  EXPECT_GT(fpga.exp_time, asic.exp_time);
+}
+
+TEST(CostModel, TimeIsSlotSerialized) {
+  ComponentCosts costs;
+  CostLedger ledger;
+  ledger.mux_slot_cycles = 16;
+  ledger.iterations = 1;
+  const auto breakdown = compute_cost(ledger, costs, ExpUnit::kNone);
+  EXPECT_DOUBLE_EQ(breakdown.adc_time, 16 * costs.adc_time_per_slot);
+  EXPECT_DOUBLE_EQ(breakdown.total_time,
+                   breakdown.adc_time + costs.digital_time_per_iteration);
+}
+
+TEST(CostModel, PaperRatioShape) {
+  // One in-situ iteration (t=2, k=8): 32 conversions, 2 slots.
+  // One direct-E iteration at n=3000: 48000 conversions, 16 slots, 1 e^x.
+  ComponentCosts costs;
+  CostLedger ours;
+  ours.iterations = 1;
+  ours.adc_conversions = 32;
+  ours.mux_slot_cycles = 2;
+  ours.row_drives = 2 * 2998;
+  ours.bg_dac_updates = 1;
+  CostLedger baseline;
+  baseline.iterations = 1;
+  baseline.adc_conversions = 48000;
+  baseline.mux_slot_cycles = 16;
+  baseline.row_drives = 2 * 3000;
+  baseline.exp_evaluations = 1;
+
+  const auto ours_cost = compute_cost(ours, costs, ExpUnit::kNone);
+  const auto fpga = compute_cost(baseline, costs, ExpUnit::kFpga);
+  const auto asic = compute_cost(baseline, costs, ExpUnit::kAsic);
+
+  // Fig. 8(a) at 3000 nodes: ~1716x / ~1503x; we accept the band 1300-2000.
+  const double fpga_ratio = fpga.total_energy / ours_cost.total_energy;
+  const double asic_ratio = asic.total_energy / ours_cost.total_energy;
+  EXPECT_GT(fpga_ratio, 1300.0);
+  EXPECT_LT(fpga_ratio, 2000.0);
+  EXPECT_GT(asic_ratio, 1300.0);
+  EXPECT_LT(asic_ratio, 1600.0);
+  EXPECT_GT(fpga_ratio, asic_ratio);
+
+  // Fig. 9(a): ~8x latency.
+  const double time_ratio = fpga.total_time / ours_cost.total_time;
+  EXPECT_NEAR(time_ratio, 8.1, 0.5);
+}
+
+TEST(CostModel, EnergyScalesLinearlyWithIterations) {
+  ComponentCosts costs;
+  CostLedger one;
+  one.iterations = 1;
+  one.adc_conversions = 32;
+  one.mux_slot_cycles = 2;
+  CostLedger thousand;
+  thousand.iterations = 1000;
+  thousand.adc_conversions = 32000;
+  thousand.mux_slot_cycles = 2000;
+  const auto a = compute_cost(one, costs, ExpUnit::kNone);
+  const auto b = compute_cost(thousand, costs, ExpUnit::kNone);
+  EXPECT_NEAR(b.total_energy / a.total_energy, 1000.0, 1e-6);
+  EXPECT_NEAR(b.total_time / a.total_time, 1000.0, 1e-6);
+}
+
+TEST(CostModel, EmptyLedgerCostsNothing) {
+  const auto breakdown =
+      compute_cost(CostLedger{}, ComponentCosts{}, ExpUnit::kFpga);
+  EXPECT_DOUBLE_EQ(breakdown.total_energy, 0.0);
+  EXPECT_DOUBLE_EQ(breakdown.total_time, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// DG FeFET compact model: four-input product semantics, back-gate V_TH
+// tuning, on/off behaviour, variation model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "device/dg_fefet.hpp"
+#include "device/ekv.hpp"
+#include "device/variation.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace fecim::device;
+
+TEST(Ekv, SubthresholdSlopeMatchesParameters) {
+  const EkvParams params;
+  // Two points one decade apart in the deep subthreshold region.
+  const double ss = ekv_subthreshold_swing(params);
+  const double i1 = ekv_drain_current(params, 0.2, 1.0, 1.0);
+  const double i2 = ekv_drain_current(params, 0.2 + ss, 1.0, 1.0);
+  EXPECT_NEAR(i2 / i1, 10.0, 0.5);
+}
+
+TEST(Ekv, ZeroVdsGivesZeroCurrent) {
+  EXPECT_DOUBLE_EQ(ekv_drain_current(EkvParams{}, 1.0, 0.3, 0.0), 0.0);
+}
+
+TEST(Ekv, MonotoneInGateVoltage) {
+  const EkvParams params;
+  double previous = 0.0;
+  for (double vg = -0.5; vg <= 1.5; vg += 0.05) {
+    const double i = ekv_drain_current(params, vg, 0.5, 1.0);
+    EXPECT_GE(i, previous);
+    previous = i;
+  }
+}
+
+TEST(Ekv, LargeOverdriveDoesNotOverflow) {
+  const double i = ekv_drain_current(EkvParams{}, 10.0, 0.0, 1.0);
+  EXPECT_TRUE(std::isfinite(i));
+  EXPECT_GT(i, 0.0);
+}
+
+TEST(DgFefet, FourInputProductZeroCases) {
+  // I_SL = x * G * y * z (Fig. 6(a)): any binary zero input or stored '0'
+  // kills the current.
+  const DgFefetParams params;
+  DgFefet stored_one(params, true);
+  DgFefet stored_zero(params, false);
+  const double vbg = params.vbg_max;
+
+  EXPECT_DOUBLE_EQ(stored_one.isl_current(false, true, vbg), 0.0);   // x = 0
+  EXPECT_DOUBLE_EQ(stored_one.isl_current(true, false, vbg), 0.0);   // y = 0
+  EXPECT_GT(stored_one.isl_current(true, true, vbg), 0.0);
+  // Stored '0': current negligible vs stored '1' (>= 5 decades of margin).
+  const double on = stored_one.isl_current(true, true, vbg);
+  const double off = stored_zero.isl_current(true, true, vbg);
+  EXPECT_LT(off, on * 1e-5);
+}
+
+TEST(DgFefet, BackGateIncreasesCurrent) {
+  const DgFefetParams params;
+  const DgFefet cell(params, true);
+  double previous = 0.0;
+  for (double vbg = 0.0; vbg <= params.vbg_max + 1e-9; vbg += 0.01) {
+    const double i = cell.isl_current(true, true, vbg);
+    EXPECT_GT(i, previous);  // strictly increasing (z acts as analog input)
+    previous = i;
+  }
+}
+
+TEST(DgFefet, BackGateCouplingShiftsVth) {
+  const DgFefetParams params;
+  const DgFefet cell(params, true);
+  const double shift = cell.effective_vth(0.0) - cell.effective_vth(1.0);
+  EXPECT_NEAR(shift, params.back_gate_coupling, 1e-12);
+}
+
+TEST(DgFefet, VthTuningDoesNotDisturbStoredState) {
+  // Applying any back-gate bias must not change the stored bit (the BG
+  // dielectric is non-ferroelectric).
+  DgFefet cell(DgFefetParams{}, true);
+  (void)cell.isl_current(true, true, 0.7);
+  (void)cell.isl_current(true, true, 0.0);
+  EXPECT_TRUE(cell.stored_one());
+}
+
+TEST(DgFefet, MemoryWindowPreserved) {
+  const DgFefetParams params;
+  EXPECT_NEAR(params.vth_high - params.vth_low, 1.0, 1e-9);
+}
+
+TEST(DgFefet, OnCurrentMatchesInstanceCurrent) {
+  const DgFefetParams params;
+  const DgFefet cell(params, true);
+  EXPECT_DOUBLE_EQ(DgFefet::on_current(params, 0.5),
+                   cell.isl_current(true, true, 0.5));
+}
+
+TEST(DgFefet, IdVgCurvesShiftWithBackGate) {
+  // Fig. 2(d): the I_D-V_G curve translates along V_G as V_BG moves.
+  const DgFefetParams params;
+  const DgFefet cell(params, true);
+  // Find V_G where current crosses 1 uA for two back-gate biases.
+  auto crossing = [&](double vbg) {
+    for (double vg = 0.0; vg < 3.0; vg += 0.001)
+      if (cell.drain_current(vg, vbg, 1.0) > 1e-6) return vg;
+    return 3.0;
+  };
+  const double shift = crossing(-1.0) - crossing(1.0);
+  EXPECT_NEAR(shift, 2.0 * params.back_gate_coupling, 0.01);
+}
+
+TEST(Variation, IdealFlagsDetectNoise) {
+  VariationParams ideal;
+  EXPECT_TRUE(ideal.ideal());
+  VariationParams noisy{0.01, 0.0, 0.0, 0.0};
+  EXPECT_FALSE(noisy.ideal());
+}
+
+TEST(Variation, OffsetsHaveRequestedSpread) {
+  fecim::util::Rng rng(5);
+  const VariationParams params{0.05, 0.0, 0.0, 0.0};
+  const CellVariation cells(20000, params, rng);
+  fecim::util::RunningStats stats;
+  for (std::size_t c = 0; c < cells.size(); ++c) stats.add(cells.vth_offset(c));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.002);
+  EXPECT_NEAR(stats.stddev(), 0.05, 0.003);
+}
+
+TEST(Variation, StuckFaultRatesRespected) {
+  fecim::util::Rng rng(6);
+  const VariationParams params{0.0, 0.0, 0.02, 0.01};
+  const CellVariation cells(50000, params, rng);
+  std::size_t off = 0;
+  std::size_t on = 0;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    off += cells.fault(c) == CellFault::kStuckOff;
+    on += cells.fault(c) == CellFault::kStuckOn;
+  }
+  EXPECT_NEAR(off / 50000.0, 0.02, 0.004);
+  EXPECT_NEAR(on / 50000.0, 0.01, 0.003);
+  EXPECT_EQ(cells.count_faults(), off + on);
+}
+
+TEST(Variation, ReadNoiseIsUnbiasedAndClampsAtZero) {
+  fecim::util::Rng rng(7);
+  const VariationParams params{0.0, 0.1, 0.0, 0.0};
+  fecim::util::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    const double noisy = apply_read_noise(1e-6, params, rng);
+    EXPECT_GE(noisy, 0.0);
+    stats.add(noisy);
+  }
+  EXPECT_NEAR(stats.mean(), 1e-6, 2e-8);
+  EXPECT_NEAR(stats.stddev(), 1e-7, 5e-9);
+}
+
+TEST(Variation, RejectsInvalidRates) {
+  fecim::util::Rng rng(8);
+  const VariationParams bad{0.0, 0.0, 0.7, 0.5};  // rates sum > 1
+  EXPECT_THROW(CellVariation(10, bad, rng), fecim::contract_error);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Parameterized cross-engine property sweeps: the analog engine must agree
+// with exact arithmetic within its quantization budget for every weight
+// width, and the annealer must behave sanely across budget scales.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "circuit/drivers.hpp"
+#include "core/insitu_annealer.hpp"
+#include "crossbar/analog_engine.hpp"
+#include "problems/generators.hpp"
+#include "problems/maxcut.hpp"
+
+namespace {
+
+using namespace fecim;
+
+class BitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitsSweep, AnalogMatchesQuantizedArithmetic) {
+  const int bits = GetParam();
+  const auto graph = problems::random_graph(
+      48, 6.0, problems::WeightScheme::kPlusMinusOne, 7);
+  const auto model = problems::maxcut_to_ising(graph);
+  const crossbar::QuantizedCouplings quantized(model.couplings(), bits);
+  const crossbar::CrossbarMapping mapping(
+      48, quantized.has_negative() ? 2 : 1,
+      crossbar::MappingConfig{bits, 8, true});
+  const auto array = std::make_shared<const crossbar::ProgrammedArray>(
+      quantized, mapping, device::DgFefetParams{}, device::VariationParams{},
+      7);
+  crossbar::AnalogEngineConfig config;
+  config.adc.noise_lsb_rms = 0.0;
+  config.model_ir_drop = false;
+  crossbar::AnalogCrossbarEngine engine(array, config);
+
+  // Reference: exact arithmetic on the *dequantized* couplings.
+  const ising::IsingModel quantized_model(quantized.dequantize());
+  util::Rng rng(9);
+  const double lsb_in_vmv =
+      quantized.scale() * engine.adc().lsb_current() /
+      array->on_current(0.7);
+  const double max_level = static_cast<double>((1u << bits) - 1);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto spins = ising::random_spins(48, rng);
+    const auto flips = ising::random_flip_set(48, 2, rng);
+    const auto result = engine.evaluate(spins, flips, {1.0, 0.7}, rng);
+    const double expected =
+        quantized_model.incremental_vmv(spins, flips);
+    // Mid-tread ADC: <= 0.5 LSB per sensed column, amplified by shift-add.
+    const double budget = 2.0 * 2.0 * max_level * lsb_in_vmv;
+    EXPECT_NEAR(result.raw_vmv, expected, budget) << "bits=" << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WeightWidths, BitsSweep,
+                         ::testing::Values(2, 4, 6, 8, 10));
+
+class BudgetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BudgetSweep, QualityIsMonotoneEnoughInBudget) {
+  // Not strict monotonicity (stochastic), but the mean best energy over a
+  // seed batch must not get *worse* when the budget grows 8x.
+  const std::size_t iterations = GetParam();
+  const auto graph =
+      problems::random_graph(96, 8.0, problems::WeightScheme::kUnit, 13);
+  const auto model = std::make_shared<const ising::IsingModel>(
+      problems::maxcut_to_ising(graph));
+
+  auto mean_best = [&](std::size_t iters) {
+    core::InSituConfig config;
+    config.iterations = iters;
+    const core::InSituCimAnnealer annealer(model, config);
+    double sum = 0.0;
+    for (std::uint64_t seed = 0; seed < 8; ++seed)
+      sum += annealer.run(seed).best_energy;
+    return sum / 8.0;
+  };
+  EXPECT_LE(mean_best(iterations * 8), mean_best(iterations) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweep,
+                         ::testing::Values(50, 100, 250));
+
+class MuxRatioSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MuxRatioSweep, SlotRatioTracksMuxRatio) {
+  // The full-array/in-situ latency gap equals the MUX ratio when flips
+  // land in distinct groups, for any ratio.
+  const std::size_t ratio = GetParam();
+  const crossbar::CrossbarMapping mapping(
+      256, 1, crossbar::MappingConfig{8, ratio, true});
+  const std::vector<std::uint32_t> flips{0, 1};  // interleaved: distinct
+  if (ratio == 1) {
+    EXPECT_EQ(mapping.slots_full_array(), 1u);
+    return;
+  }
+  EXPECT_EQ(mapping.slots_for_flips(flips), 1u);
+  EXPECT_EQ(mapping.slots_full_array() / mapping.slots_for_flips(flips),
+            ratio);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, MuxRatioSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+class DacStepSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DacStepSweep, ScheduleStaysOnGridAndMonotone) {
+  const double step = GetParam();
+  core::BgAnnealingSchedule::Config config;
+  config.dac.step = step;
+  config.total_iterations = 500;
+  const core::BgAnnealingSchedule schedule(config);
+  double previous = -1.0;
+  for (std::size_t it = 0; it < 500; ++it) {
+    const auto point = schedule.at(it);
+    EXPECT_GE(point.vbg, previous - 1e-12);
+    const double levels = point.vbg / step;
+    EXPECT_NEAR(levels, std::round(levels), 1e-9);
+    EXPECT_GE(point.factor, -1e-12);
+    EXPECT_LE(point.factor, 1.0 + 1e-12);
+    previous = point.vbg;
+  }
+  EXPECT_NEAR(schedule.at(499).vbg, 0.7, step + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, DacStepSweep,
+                         ::testing::Values(0.01, 0.02, 0.05, 0.07));
+
+}  // namespace

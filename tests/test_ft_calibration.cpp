@@ -1,0 +1,75 @@
+// f(T) <-> device current calibration (paper Fig. 6(c)).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ft_calibration.hpp"
+
+namespace {
+
+using namespace fecim;
+using core::evaluate_ft_approximation;
+using core::fit_dg_fefet_to_factor;
+
+TEST(FtCalibration, DefaultDeviceApproximatesFactor) {
+  const ising::FractionalFactor factor;
+  const circuit::BgDac dac;
+  const auto report =
+      evaluate_ft_approximation(device::DgFefetParams{}, factor, dac);
+  // The shipped defaults are the fit result: a few percent RMS error.
+  EXPECT_LT(report.rms_error, 0.05);
+  EXPECT_LT(report.max_error, 0.12);
+  EXPECT_TRUE(report.monotone);
+}
+
+TEST(FtCalibration, SamplesCoverDacGrid) {
+  const ising::FractionalFactor factor;
+  const circuit::BgDac dac;
+  const auto report =
+      evaluate_ft_approximation(device::DgFefetParams{}, factor, dac);
+  ASSERT_EQ(report.samples.size(), dac.num_levels());
+  EXPECT_DOUBLE_EQ(report.samples.front().vbg, 0.0);
+  EXPECT_NEAR(report.samples.back().vbg, 0.7, 1e-12);
+  // Endpoints: f(T_min)=0 vs small device floor; f(T_max)=1 exactly (both
+  // curves normalized to the V_BG-max current).
+  EXPECT_NEAR(report.samples.back().device, 1.0, 1e-12);
+  EXPECT_NEAR(report.samples.back().target, 1.0, 1e-9);
+  EXPECT_LT(report.samples.front().device, 0.05);
+}
+
+TEST(FtCalibration, TargetsMatchFractionalFactor) {
+  const ising::FractionalFactor factor;
+  const circuit::BgDac dac;
+  const auto report =
+      evaluate_ft_approximation(device::DgFefetParams{}, factor, dac);
+  for (const auto& sample : report.samples) {
+    EXPECT_NEAR(sample.target, factor(sample.temperature), 1e-12);
+  }
+}
+
+TEST(FtCalibration, FitDoesNotWorsenDefaults) {
+  const ising::FractionalFactor factor;
+  const circuit::BgDac dac;
+  const device::DgFefetParams base;
+  const auto before = evaluate_ft_approximation(base, factor, dac);
+  core::FtFitOptions options;
+  options.step = 0.01;  // coarse grid keeps the test fast
+  const auto fitted = fit_dg_fefet_to_factor(factor, dac, base, options);
+  const auto after = evaluate_ft_approximation(fitted, factor, dac);
+  EXPECT_LE(after.rms_error, before.rms_error + 1e-9);
+  EXPECT_TRUE(after.monotone);
+  // Memory window preserved by the fit.
+  EXPECT_NEAR(fitted.vth_high - fitted.vth_low,
+              base.vth_high - base.vth_low, 1e-12);
+}
+
+TEST(FtCalibration, DetectsBadDevice) {
+  // A device with no back-gate coupling cannot track f(T).
+  device::DgFefetParams flat;
+  flat.back_gate_coupling = 0.0;
+  const auto report = evaluate_ft_approximation(
+      flat, ising::FractionalFactor{}, circuit::BgDac{});
+  EXPECT_GT(report.rms_error, 0.2);
+}
+
+}  // namespace

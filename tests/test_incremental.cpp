@@ -1,0 +1,161 @@
+// Property tests of the incremental-E transformation (paper Sec. 3.2):
+// sigma_f/sigma_c/sigma_r construction, the dE = 4 sigma_r^T J sigma_c
+// identity, term counting, and the fractional factor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "ising/fractional_factor.hpp"
+#include "ising/incremental.hpp"
+#include "ising/ising_model.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fecim::ising::FractionalFactor;
+using fecim::ising::IsingModel;
+using fecim::linalg::CsrMatrix;
+
+CsrMatrix random_couplings(std::size_t n, fecim::util::Rng& rng) {
+  CsrMatrix::Builder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(0.35))
+        builder.add_symmetric(i, j, rng.uniform(-2.0, 2.0));
+  return builder.build();
+}
+
+TEST(IncrementalVectors, StructureInvariants) {
+  fecim::util::Rng rng(3);
+  const auto spins = fecim::ising::random_spins(20, rng);
+  const fecim::ising::FlipSet flips{2, 7, 13};
+  const auto vectors = fecim::ising::make_incremental_vectors(spins, flips);
+
+  std::size_t c_nonzero = 0;
+  std::size_t r_nonzero = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    // Supports of sigma_c and sigma_r are disjoint and complementary.
+    EXPECT_FALSE(vectors.sigma_c[i] != 0 && vectors.sigma_r[i] != 0);
+    c_nonzero += vectors.sigma_c[i] != 0;
+    r_nonzero += vectors.sigma_r[i] != 0;
+    if (vectors.sigma_f[i]) {
+      // sigma_c carries the *flipped* value: -sigma_i.
+      EXPECT_EQ(vectors.sigma_c[i], -spins[i]);
+    } else {
+      // sigma_r carries the unflipped value.
+      EXPECT_EQ(vectors.sigma_r[i], spins[i]);
+    }
+  }
+  EXPECT_EQ(c_nonzero, flips.size());
+  EXPECT_EQ(r_nonzero, 20 - flips.size());
+}
+
+class IncrementalIdentityTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(IncrementalIdentityTest, DeltaEquals4SigmaRJSigmaC) {
+  const auto [n, t_param] = GetParam();
+  const std::size_t t = std::min(n, t_param);  // cannot flip more than n
+  fecim::util::Rng rng(n * 17 + t);
+  const auto j = random_couplings(n, rng);
+  const IsingModel model(j);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto spins = fecim::ising::random_spins(n, rng);
+    const auto flips = fecim::ising::random_flip_set(n, t, rng);
+    const auto vectors = fecim::ising::make_incremental_vectors(spins, flips);
+
+    // Paper Eq. (9): dE = 4 sigma_r^T J sigma_c -- checked against the
+    // dense reference evaluation and the direct energy difference.
+    const double vmv = fecim::ising::incremental_vmv_reference(j, vectors);
+    const double delta_direct =
+        model.energy(fecim::ising::flipped_copy(spins, flips)) -
+        model.energy(spins);
+    EXPECT_NEAR(4.0 * vmv, delta_direct, 1e-9);
+    EXPECT_NEAR(vmv, model.incremental_vmv(spins, flips), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndFlips, IncrementalIdentityTest,
+    ::testing::Combine(::testing::Values<std::size_t>(5, 12, 30, 64),
+                       ::testing::Values<std::size_t>(1, 2, 4, 8)));
+
+TEST(IncrementalIdentity, WholeVectorFlipIsZeroDelta) {
+  // Flipping every spin leaves sigma^T J sigma unchanged; sigma_r is all
+  // zeros so the identity gives exactly zero.
+  fecim::util::Rng rng(55);
+  const auto j = random_couplings(16, rng);
+  const auto spins = fecim::ising::random_spins(16, rng);
+  fecim::ising::FlipSet all(16);
+  for (std::uint32_t i = 0; i < 16; ++i) all[i] = i;
+  const auto vectors = fecim::ising::make_incremental_vectors(spins, all);
+  EXPECT_DOUBLE_EQ(fecim::ising::incremental_vmv_reference(j, vectors), 0.0);
+}
+
+TEST(ComplexityCount, MatchesFigure5) {
+  const auto count = fecim::ising::count_product_terms(3000, 2);
+  EXPECT_EQ(count.direct_terms, 9'000'000u);
+  EXPECT_EQ(count.incremental_terms, 2998u * 2u);
+  // O(n^2) vs O(n): the ratio grows linearly in n for fixed |F|.
+  const auto small = fecim::ising::count_product_terms(800, 2);
+  const double ratio_small = static_cast<double>(small.direct_terms) /
+                             static_cast<double>(small.incremental_terms);
+  const double ratio_large = static_cast<double>(count.direct_terms) /
+                             static_cast<double>(count.incremental_terms);
+  EXPECT_GT(ratio_large, ratio_small * 3.0);
+}
+
+TEST(FractionalFactor, PaperConstants) {
+  const FractionalFactor factor;
+  // f(T) = 1/(-0.006 T + 5) - 0.2 -> zero at T = 0, one at T = 694.44.
+  EXPECT_NEAR(factor.t_min(), 0.0, 1e-9);
+  EXPECT_NEAR(factor.t_max(), 694.4444, 1e-3);
+  EXPECT_NEAR(factor(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(factor(factor.t_max()), 1.0, 1e-12);
+}
+
+TEST(FractionalFactor, StrictlyIncreasing) {
+  const FractionalFactor factor;
+  double previous = -1.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double t = factor.t_max() * i / 100.0;
+    const double f = factor(t);
+    EXPECT_GT(f, previous);
+    previous = f;
+  }
+}
+
+TEST(FractionalFactor, InverseRoundTrip) {
+  const FractionalFactor factor;
+  for (const double f : {0.0, 0.1, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_NEAR(factor(factor.temperature_for(f)), f, 1e-9);
+  }
+}
+
+TEST(FractionalFactor, EquivalentRationalForm) {
+  // f(T) = 0.2 T / (833.33 - T) is the same function; a sanity anchor for
+  // the convexity the device must reproduce.
+  const FractionalFactor factor;
+  for (const double t : {50.0, 200.0, 400.0, 600.0}) {
+    EXPECT_NEAR(factor(t), 0.2 * t / (5.0 / 0.006 - t), 1e-9);
+  }
+}
+
+TEST(FractionalFactor, RejectsDegenerateCoefficients) {
+  FractionalFactor::Coefficients bad;
+  bad.b = 0.0;
+  EXPECT_THROW(FractionalFactor{bad}, fecim::contract_error);
+}
+
+TEST(FractionalFactor, ApproximatesExponentialNearUnityArgument) {
+  // The design intent (Eq. 10): 1 - dE * beta ~ exp(-dE * beta) for small
+  // arguments.  Check the linearized acceptance is within 10 % of the
+  // exponential for arguments up to 0.4.
+  for (double x = 0.0; x <= 0.4; x += 0.05) {
+    EXPECT_NEAR(1.0 - x, std::exp(-x), 0.1);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Tests for fecim::linalg -- dense/CSR matrices, vector kernels, solvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/csr_matrix.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "linalg/linear_solver.hpp"
+#include "linalg/vec_ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fecim::linalg::CsrMatrix;
+using fecim::linalg::DenseMatrix;
+
+CsrMatrix random_spd(std::size_t n, fecim::util::Rng& rng) {
+  // Diagonally dominant symmetric matrix => SPD.
+  CsrMatrix::Builder builder(n, n);
+  std::vector<double> diag(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(0.3)) {
+        const double v = rng.uniform(-1.0, 1.0);
+        builder.add_symmetric(i, j, v);
+        diag[i] += std::fabs(v);
+        diag[j] += std::fabs(v);
+      }
+  for (std::size_t i = 0; i < n; ++i) builder.add(i, i, diag[i]);
+  return builder.build();
+}
+
+TEST(DenseMatrix, IdentityMultiply) {
+  const auto eye = DenseMatrix<double>::identity(4);
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y(4);
+  eye.multiply(x, y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(DenseMatrix, VmvMatchesManual) {
+  DenseMatrix<double> m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  const std::vector<double> x{1, -1};
+  const std::vector<double> y{2, 1};
+  // x^T M y = 1*(1*2+2*1) - 1*(3*2+4*1) = 4 - 10 = -6
+  EXPECT_DOUBLE_EQ(m.vmv(x, y), -6.0);
+}
+
+TEST(DenseMatrix, SymmetryCheck) {
+  DenseMatrix<double> m(2, 2);
+  m(0, 1) = 1.0;
+  EXPECT_FALSE(m.is_symmetric());
+  m(1, 0) = 1.0;
+  EXPECT_TRUE(m.is_symmetric());
+}
+
+TEST(CsrBuilder, MergesDuplicatesAndDropsZeros) {
+  CsrMatrix::Builder builder(3, 3);
+  builder.add(0, 1, 2.0);
+  builder.add(0, 1, 3.0);
+  builder.add(1, 2, 5.0);
+  builder.add(1, 2, -5.0);  // cancels to zero -> dropped
+  const auto m = builder.build();
+  EXPECT_EQ(m.nonzeros(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+}
+
+TEST(CsrMatrix, AtReturnsZeroForMissing) {
+  CsrMatrix::Builder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  const auto m = builder.build();
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+}
+
+TEST(CsrMatrix, MultiplyMatchesDense) {
+  fecim::util::Rng rng(5);
+  const auto sparse = random_spd(20, rng);
+  const auto dense = sparse.to_dense();
+  std::vector<double> x(20);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> ys(20), yd(20);
+  sparse.multiply(x, ys);
+  dense.multiply(x, yd);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(CsrMatrix, VmvMatchesDense) {
+  fecim::util::Rng rng(6);
+  const auto sparse = random_spd(15, rng);
+  const auto dense = sparse.to_dense();
+  std::vector<double> x(15), y(15);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto& v : y) v = rng.uniform(-1, 1);
+  EXPECT_NEAR(sparse.vmv(x, y), dense.vmv(x, y), 1e-12);
+}
+
+TEST(CsrMatrix, SymmetryDetection) {
+  CsrMatrix::Builder sym(3, 3);
+  sym.add_symmetric(0, 2, 1.5);
+  EXPECT_TRUE(sym.build().is_symmetric());
+
+  CsrMatrix::Builder asym(3, 3);
+  asym.add(0, 2, 1.5);
+  EXPECT_FALSE(asym.build().is_symmetric());
+}
+
+TEST(CsrMatrix, MaxAbsValue) {
+  CsrMatrix::Builder builder(2, 2);
+  builder.add(0, 1, -7.0);
+  builder.add(1, 0, 2.0);
+  EXPECT_DOUBLE_EQ(builder.build().max_abs_value(), 7.0);
+}
+
+TEST(VecOps, DotAxpyNorm) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(fecim::linalg::dot(a, b), 32.0);
+  fecim::linalg::axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[0], 6.0);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+  EXPECT_DOUBLE_EQ(fecim::linalg::norm2(std::vector<double>{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(fecim::linalg::max_abs(std::vector<double>{-9, 2}), 9.0);
+}
+
+TEST(VecOps, Hadamard) {
+  const auto h = fecim::linalg::hadamard(std::vector<double>{1, 2},
+                                         std::vector<double>{3, -4});
+  EXPECT_DOUBLE_EQ(h[0], 3.0);
+  EXPECT_DOUBLE_EQ(h[1], -8.0);
+}
+
+class SolverTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SolverTest, ConjugateGradientSolvesSpd) {
+  fecim::util::Rng rng(GetParam());
+  const std::size_t n = 10 + GetParam() * 7;
+  const auto a = random_spd(n, rng);
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-2, 2);
+  std::vector<double> b(n);
+  a.multiply(x_true, b);
+
+  std::vector<double> x(n, 0.0);
+  const auto report = fecim::linalg::conjugate_gradient(a, b, x);
+  EXPECT_TRUE(report.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-6);
+}
+
+TEST_P(SolverTest, GaussSeidelAgreesWithCg) {
+  fecim::util::Rng rng(GetParam() + 100);
+  const std::size_t n = 8 + GetParam() * 5;
+  const auto a = random_spd(n, rng);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+
+  std::vector<double> x_cg(n, 0.0), x_gs(n, 0.0);
+  EXPECT_TRUE(fecim::linalg::conjugate_gradient(a, b, x_cg).converged);
+  EXPECT_TRUE(fecim::linalg::gauss_seidel(a, b, x_gs).converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x_cg[i], x_gs[i], 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolverTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Solver, TinySystemsWithTinyScale) {
+  // Regression: nano-ampere-scale systems must still converge to relative
+  // tolerance (the MNA ladder operates at 1e-8-level conductances).
+  CsrMatrix::Builder builder(2, 2);
+  builder.add(0, 0, 2e-8);
+  builder.add_symmetric(0, 1, -1e-8);
+  builder.add(1, 1, 2e-8);
+  const auto a = builder.build();
+  const std::vector<double> b{1e-8, 0.0};
+  std::vector<double> x(2, 0.0);
+  const auto report = fecim::linalg::conjugate_gradient(a, b, x);
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(x[0], 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(x[1], 1.0 / 3.0, 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Crossbar physical mapping and MUX-slot accounting -- the mechanism behind
+// the paper's ~8x latency reduction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "crossbar/mapping.hpp"
+
+namespace {
+
+using fecim::crossbar::CrossbarMapping;
+using fecim::crossbar::MappingConfig;
+
+TEST(Mapping, Dimensions) {
+  const CrossbarMapping mapping(1000, 1, {8, 8, true});
+  EXPECT_EQ(mapping.physical_rows(), 1000u);
+  EXPECT_EQ(mapping.physical_columns(), 8000u);  // n * k
+  EXPECT_EQ(mapping.num_cells(), 8'000'000u);
+  const CrossbarMapping two_planes(1000, 2, {8, 8, true});
+  EXPECT_EQ(two_planes.physical_columns(), 16000u);
+}
+
+TEST(Mapping, PhysicalColumnLayoutIsBitPlaneMajor) {
+  const CrossbarMapping mapping(100, 2, {4, 8, false});
+  EXPECT_EQ(mapping.physical_column(0, 0, 5), 5u);
+  EXPECT_EQ(mapping.physical_column(0, 1, 5), 105u);
+  EXPECT_EQ(mapping.physical_column(1, 0, 5), 405u);
+  EXPECT_EQ(mapping.mux_group(15), 1u);
+}
+
+TEST(Mapping, BlockedGroupingCollidesAdjacentColumns) {
+  const CrossbarMapping mapping(64, 1, {8, 8, false});
+  EXPECT_EQ(mapping.group_of_logical(0), mapping.group_of_logical(7));
+  EXPECT_NE(mapping.group_of_logical(7), mapping.group_of_logical(8));
+  const std::vector<std::uint32_t> adjacent{3, 4};
+  EXPECT_EQ(mapping.slots_for_flips(adjacent), 2u);
+}
+
+TEST(Mapping, InterleavedGroupingSeparatesAdjacentColumns) {
+  const CrossbarMapping mapping(64, 1, {8, 8, true});
+  EXPECT_NE(mapping.group_of_logical(3), mapping.group_of_logical(4));
+  const std::vector<std::uint32_t> adjacent{3, 4};
+  EXPECT_EQ(mapping.slots_for_flips(adjacent), 1u);
+  // Collision happens at stride #groups = 8.
+  const std::vector<std::uint32_t> stride{3, 11};
+  EXPECT_EQ(mapping.slots_for_flips(stride), 2u);
+}
+
+TEST(Mapping, SlotsNeverExceedFlipCountOrMuxRatio) {
+  const CrossbarMapping mapping(128, 1, {8, 8, true});
+  const std::vector<std::uint32_t> flips{0, 16, 32, 48};  // all group 0
+  EXPECT_EQ(mapping.slots_for_flips(flips), 4u);
+  EXPECT_EQ(mapping.slots_full_array(), 8u);
+}
+
+TEST(Mapping, EmptyFlipsNeedNoSlots) {
+  const CrossbarMapping mapping(16, 1, {8, 8, true});
+  EXPECT_EQ(mapping.slots_for_flips({}), 0u);
+}
+
+TEST(Mapping, EightXLatencyStory) {
+  // The paper's Fig. 9 mechanism: a direct-E pass senses 8 slots per group;
+  // an incremental pass with well-spread flips senses 1.
+  const CrossbarMapping mapping(3000, 1, {8, 8, true});
+  const std::vector<std::uint32_t> spread{100, 2075};
+  EXPECT_EQ(mapping.slots_for_flips(spread), 1u);
+  EXPECT_EQ(mapping.slots_full_array() / mapping.slots_for_flips(spread), 8u);
+}
+
+TEST(Mapping, RaggedSizesStillGroupWithinMuxRatio) {
+  // n not divisible by the MUX ratio: group sizes stay <= ratio.
+  const CrossbarMapping mapping(13, 1, {8, 8, true});
+  std::array<std::size_t, 13> group_count{};
+  for (std::uint32_t j = 0; j < 13; ++j)
+    ++group_count[mapping.group_of_logical(j)];
+  for (const auto count : group_count) EXPECT_LE(count, 8u);
+}
+
+TEST(Mapping, ValidatesConfig) {
+  EXPECT_THROW(CrossbarMapping(0, 1, {8, 8, true}), fecim::contract_error);
+  EXPECT_THROW(CrossbarMapping(10, 3, {8, 8, true}), fecim::contract_error);
+  EXPECT_THROW(CrossbarMapping(10, 1, {0, 8, true}), fecim::contract_error);
+  EXPECT_THROW(CrossbarMapping(10, 1, {8, 0, true}), fecim::contract_error);
+}
+
+}  // namespace

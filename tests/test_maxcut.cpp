@@ -1,0 +1,121 @@
+// Max-Cut mapping identities, brute force, local search, reference cuts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "problems/generators.hpp"
+#include "problems/maxcut.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fecim::problems;
+
+TEST(MaxCut, CutValueCountsCrossingWeights) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  const fecim::ising::SpinVector spins{1, -1, -1, 1};
+  // crossing: (0,1) and (2,3) -> 1 + 3
+  EXPECT_DOUBLE_EQ(cut_value(g, spins), 4.0);
+}
+
+class CutEnergyIdentity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CutEnergyIdentity, CutEqualsWMinusEnergyOverTwo) {
+  fecim::util::Rng rng(GetParam());
+  const auto g = random_graph(40, 6.0, WeightScheme::kPlusMinusOne, GetParam());
+  const auto model = maxcut_to_ising(g);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto spins = fecim::ising::random_spins(40, rng);
+    EXPECT_NEAR(cut_value(g, spins),
+                cut_from_energy(g, model.energy(spins)), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutEnergyIdentity,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(MaxCut, GroundStateIsMaximumCut) {
+  fecim::util::Rng rng(9);
+  const auto g = random_graph(14, 4.0, WeightScheme::kUnit, 9);
+  const auto model = maxcut_to_ising(g);
+  const auto exact = brute_force_max_cut(g);
+  const auto [spins, energy] = model.brute_force_ground_state();
+  EXPECT_NEAR(cut_from_energy(g, energy), exact.cut, 1e-9);
+}
+
+TEST(MaxCut, BruteForceKnownGraphs) {
+  // Even cycle: perfect cut of all edges.
+  Graph cycle(6);
+  for (std::uint32_t i = 0; i < 6; ++i) cycle.add_edge(i, (i + 1) % 6);
+  EXPECT_DOUBLE_EQ(brute_force_max_cut(cycle).cut, 6.0);
+
+  // Triangle: best cut is 2 of 3 edges.
+  Graph triangle(3);
+  triangle.add_edge(0, 1);
+  triangle.add_edge(1, 2);
+  triangle.add_edge(0, 2);
+  EXPECT_DOUBLE_EQ(brute_force_max_cut(triangle).cut, 2.0);
+
+  // Complete bipartite K_{2,3}: all 6 edges cut.
+  Graph k23(5);
+  for (std::uint32_t a = 0; a < 2; ++a)
+    for (std::uint32_t b = 2; b < 5; ++b) k23.add_edge(a, b);
+  EXPECT_DOUBLE_EQ(brute_force_max_cut(k23).cut, 6.0);
+}
+
+TEST(MaxCut, LocalSearchImprovesAndTerminatesAt1Opt) {
+  fecim::util::Rng rng(11);
+  const auto g = random_graph(120, 8.0, WeightScheme::kUnit, 11);
+  auto spins = fecim::ising::random_spins(120, rng);
+  const double before = cut_value(g, spins);
+  const double after = local_search_1opt(g, spins);
+  EXPECT_GE(after, before);
+  EXPECT_DOUBLE_EQ(after, cut_value(g, spins));
+  // 1-opt local optimality: no single flip improves.
+  for (std::uint32_t v = 0; v < 120; ++v) {
+    auto flipped = spins;
+    flipped[v] = static_cast<fecim::ising::Spin>(-flipped[v]);
+    EXPECT_LE(cut_value(g, flipped), after + 1e-9);
+  }
+}
+
+TEST(MaxCut, LocalSearchReachesOptimumOnSmallGraphs) {
+  fecim::util::Rng rng(13);
+  const auto g = random_graph(12, 3.0, WeightScheme::kUnit, 13);
+  const auto exact = brute_force_max_cut(g);
+  double best = 0.0;
+  for (int restart = 0; restart < 30; ++restart) {
+    auto spins = fecim::ising::random_spins(12, rng);
+    best = std::max(best, local_search_1opt(g, spins));
+  }
+  EXPECT_DOUBLE_EQ(best, exact.cut);
+}
+
+TEST(MaxCut, ReferenceCutCertifiedForBipartiteUnitGraphs) {
+  const auto g = toroidal_grid(10, 12, WeightScheme::kUnit, 3);
+  // Bipartite with non-negative weights: optimum cuts every edge, no
+  // restarts needed.
+  EXPECT_DOUBLE_EQ(reference_cut(g, 1, 1), g.total_weight());
+}
+
+TEST(MaxCut, ReferenceCutBoundsBruteForce) {
+  const auto g = random_graph(14, 4.0, WeightScheme::kUnit, 21);
+  const auto exact = brute_force_max_cut(g);
+  const double reference = reference_cut(g, 40, 21);
+  EXPECT_LE(reference, exact.cut + 1e-9);
+  EXPECT_GE(reference, 0.9 * exact.cut);  // 40 restarts on 14 nodes: tight
+}
+
+TEST(MaxCut, IsingModelHasHalfWeightCouplings) {
+  Graph g(3);
+  g.add_edge(0, 1, 3.0);
+  const auto model = maxcut_to_ising(g);
+  EXPECT_DOUBLE_EQ(model.couplings().at(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(model.couplings().at(1, 0), 1.5);
+  EXPECT_FALSE(model.has_fields());
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+// MNA ladder solver for the crossbar source line: conservation, limits,
+// agreement with closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/mna.hpp"
+
+namespace {
+
+using fecim::circuit::column_node_voltages;
+using fecim::circuit::sense_column_current;
+
+TEST(Mna, ZeroResistanceReturnsExactSum) {
+  const std::vector<double> currents{1e-6, 2e-6, 3e-6};
+  EXPECT_DOUBLE_EQ(sense_column_current(currents, 1.0, 0.0), 6e-6);
+}
+
+TEST(Mna, SingleCellClosedForm) {
+  // One cell with conductance g through one wire segment r to ground:
+  // sensed = g*V / (1 + g*r).
+  const double g = 1e-5;
+  const double r = 100.0;
+  const std::vector<double> currents{g * 1.0};
+  const double sensed = sense_column_current(currents, 1.0, r);
+  EXPECT_NEAR(sensed, g / (1.0 + g * r), 1e-12);
+}
+
+TEST(Mna, SensedBoundedByIdealSum) {
+  const std::vector<double> currents(64, 1e-6);
+  const double sensed = sense_column_current(currents, 1.0, 2.0);
+  EXPECT_LT(sensed, 64e-6);
+  EXPECT_GT(sensed, 0.0);
+}
+
+TEST(Mna, MonotoneInWireResistance) {
+  const std::vector<double> currents(32, 1e-6);
+  double previous = 1.0;
+  for (const double r : {0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    const double sensed = sense_column_current(currents, 1.0, r);
+    EXPECT_LT(sensed, previous);
+    previous = sensed;
+  }
+}
+
+TEST(Mna, FarCellsAttenuateMore) {
+  // Node voltages rise toward the far end: the far cell sees more IR drop.
+  const std::vector<double> currents(16, 1e-5);
+  const auto voltages = column_node_voltages(currents, 1.0, 50.0);
+  for (std::size_t k = 1; k < voltages.size(); ++k)
+    EXPECT_LT(voltages[k], voltages[k - 1]);  // node 0 = far end, highest V
+}
+
+TEST(Mna, CurrentConservation) {
+  // Sensed current equals the sum of effective per-cell currents
+  // g_k (V - v_k).
+  const std::vector<double> currents{2e-6, 5e-6, 1e-6, 4e-6};
+  const double v_drive = 1.0;
+  const double r = 200.0;
+  const auto voltages = column_node_voltages(currents, v_drive, r);
+  double injected = 0.0;
+  for (std::size_t k = 0; k < currents.size(); ++k) {
+    const double g = currents[k] / v_drive;
+    injected += g * (v_drive - voltages[k]);
+  }
+  EXPECT_NEAR(injected, sense_column_current(currents, v_drive, r), 1e-12);
+}
+
+TEST(Mna, InactiveCellsContributeNothing) {
+  const std::vector<double> with_zeros{0.0, 1e-6, 0.0, 1e-6};
+  const std::vector<double> compact{1e-6, 1e-6};
+  // Same active cells in the same relative positions toward the sense end.
+  const double a = sense_column_current(with_zeros, 1.0, 1e-3);
+  const double b = sense_column_current(compact, 1.0, 1e-3);
+  EXPECT_NEAR(a, b, 1e-12);  // negligible wire resistance: both ~ 2e-6
+}
+
+TEST(Mna, TinyCurrentsStayAccurate) {
+  // Regression for the relative-tolerance fix: nA-scale columns.
+  const std::vector<double> currents(8, 1e-9);
+  const double sensed = sense_column_current(currents, 1.0, 1.0);
+  EXPECT_NEAR(sensed, 8e-9, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Preisach hysteresis model: saturation, program/erase states, classical
+// Preisach properties (return-point memory / wiping-out), V_TH mapping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/preisach.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using fecim::device::PreisachFefet;
+using fecim::device::PreisachParams;
+
+TEST(Preisach, StartsErased) {
+  const PreisachFefet fefet;
+  EXPECT_LT(fefet.polarization(), 0.0);
+}
+
+TEST(Preisach, SaturatesBothDirections) {
+  PreisachFefet fefet;
+  fefet.apply_gate_voltage(5.0);
+  EXPECT_NEAR(fefet.polarization(), 1.0, 1e-9);
+  fefet.apply_gate_voltage(-5.0);
+  EXPECT_NEAR(fefet.polarization(), -1.0, 1e-9);
+}
+
+TEST(Preisach, ProgramEraseSetLowHighVth) {
+  PreisachFefet fefet;
+  fefet.program();
+  const double vth_low = fefet.threshold_voltage();
+  fefet.erase();
+  const double vth_high = fefet.threshold_voltage();
+  // Fig. 2(b): program (+pulse) -> low V_TH; memory window ~ 1 V.
+  EXPECT_LT(vth_low, vth_high);
+  EXPECT_NEAR(vth_high - vth_low, fefet.params().memory_window, 0.05);
+}
+
+TEST(Preisach, RemanenceAfterPulseRemoval) {
+  PreisachFefet fefet;
+  fefet.program(4.0);
+  const double p_after = fefet.polarization();
+  EXPECT_GT(p_after, 0.5);  // remanent, not volatile
+  fefet.apply_gate_voltage(0.0);
+  EXPECT_DOUBLE_EQ(fefet.polarization(), p_after);
+}
+
+TEST(Preisach, MinorLoopHysteresis) {
+  PreisachFefet fefet;
+  fefet.erase(5.0);
+  fefet.apply_gate_voltage(2.0);  // partial switching
+  const double p_up = fefet.polarization();
+  fefet.apply_gate_voltage(0.0);
+  fefet.apply_gate_voltage(2.0);
+  // Returning to the same field gives the same state (congruency).
+  EXPECT_NEAR(fefet.polarization(), p_up, 1e-12);
+}
+
+TEST(Preisach, WipingOutProperty) {
+  // Return-point memory: a smaller excursion nested inside a larger one is
+  // erased when the input exceeds the previous maximum again.
+  PreisachFefet a;
+  PreisachFefet b;
+  a.erase(5.0);
+  b.erase(5.0);
+  // a: straight to 3 V. b: detour 2 V -> -1 V -> 3 V.
+  a.apply_gate_voltage(3.0);
+  b.apply_gate_voltage(2.0);
+  b.apply_gate_voltage(-1.0);
+  b.apply_gate_voltage(3.0);
+  EXPECT_NEAR(a.polarization(), b.polarization(), 1e-12);
+}
+
+TEST(Preisach, MonotoneResponseAlongSweep) {
+  PreisachFefet fefet;
+  fefet.apply_gate_voltage(-5.0);
+  double previous = fefet.polarization();
+  for (double v = -5.0; v <= 5.0; v += 0.25) {
+    fefet.apply_gate_voltage(v);
+    EXPECT_GE(fefet.polarization(), previous - 1e-12);
+    previous = fefet.polarization();
+  }
+}
+
+TEST(Preisach, HysteresisLoopHasWidth) {
+  // Ascending and descending branches must differ near the coercive voltage.
+  PreisachFefet up;
+  up.apply_gate_voltage(-5.0);
+  up.apply_gate_voltage(0.0);
+  const double p_ascending = up.polarization();
+
+  PreisachFefet down;
+  down.apply_gate_voltage(5.0);
+  down.apply_gate_voltage(0.0);
+  const double p_descending = down.polarization();
+  EXPECT_GT(p_descending - p_ascending, 0.5);
+}
+
+TEST(Preisach, DrainCurrentReflectsState) {
+  PreisachFefet fefet;
+  fefet.program();
+  // Read at V_G between the two threshold states (low ~ -0.2 V, high
+  // ~ +0.8 V): the programmed device is on, the erased one far subthreshold.
+  const double on = fefet.drain_current(0.5, 0.5);
+  fefet.erase();
+  const double off = fefet.drain_current(0.5, 0.5);
+  EXPECT_GT(on, off * 100.0);  // >= 2 decades of read window
+}
+
+TEST(Preisach, IdVgCurveShapesMatchFig2b) {
+  // Programmed and erased I_D-V_G curves are translated copies ~MW apart.
+  PreisachFefet fefet;
+  fefet.program();
+  auto crossing = [&fefet](double level) {
+    for (double vg = -1.0; vg < 3.0; vg += 0.001)
+      if (fefet.drain_current(vg, 1.0) > level) return vg;
+    return 3.0;
+  };
+  const double vg_low = crossing(1e-6);
+  fefet.erase();
+  const double vg_high = crossing(1e-6);
+  EXPECT_NEAR(vg_high - vg_low, fefet.params().memory_window, 0.1);
+}
+
+TEST(Preisach, CustomParamsValidated) {
+  PreisachParams bad;
+  bad.grid_size = 1;
+  EXPECT_THROW(PreisachFefet{bad}, fecim::contract_error);
+}
+
+}  // namespace

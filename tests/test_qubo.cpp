@@ -1,0 +1,115 @@
+// QUBO model tests: evaluation, exact Ising<->QUBO equivalence both ways.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ising/qubo.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fecim::ising::BinaryVector;
+using fecim::ising::QuboModel;
+using fecim::linalg::CsrMatrix;
+
+QuboModel random_qubo(std::size_t n, fecim::util::Rng& rng) {
+  CsrMatrix::Builder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i == j || rng.bernoulli(0.3))
+        builder.add(i, j, rng.uniform(-2.0, 2.0));
+  return QuboModel(builder.build(), rng.uniform(-1.0, 1.0));
+}
+
+BinaryVector random_binary(std::size_t n, fecim::util::Rng& rng) {
+  BinaryVector x(n);
+  for (auto& v : x) v = rng.bernoulli(0.5) ? 1 : 0;
+  return x;
+}
+
+TEST(Qubo, ValueMatchesManual) {
+  CsrMatrix::Builder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(0, 1, 2.0);
+  builder.add(1, 1, -3.0);
+  const QuboModel qubo(builder.build(), 0.5);
+  EXPECT_DOUBLE_EQ(qubo.value(BinaryVector{1, 1}), 1.0 + 2.0 - 3.0 + 0.5);
+  EXPECT_DOUBLE_EQ(qubo.value(BinaryVector{1, 0}), 1.5);
+  EXPECT_DOUBLE_EQ(qubo.value(BinaryVector{0, 0}), 0.5);
+}
+
+TEST(Qubo, SpinBinaryMappingIsInverse) {
+  fecim::util::Rng rng(1);
+  const auto x = random_binary(32, rng);
+  const auto spins = fecim::ising::spins_from_binary(x);
+  EXPECT_EQ(fecim::ising::binary_from_spins(spins), x);
+}
+
+TEST(Qubo, MappingConvention) {
+  // sigma = 1 - 2x: x=0 -> +1, x=1 -> -1.
+  const auto spins = fecim::ising::spins_from_binary(BinaryVector{0, 1});
+  EXPECT_EQ(spins[0], 1);
+  EXPECT_EQ(spins[1], -1);
+}
+
+class QuboIsingEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuboIsingEquivalence, ToIsingPreservesObjective) {
+  fecim::util::Rng rng(GetParam());
+  const std::size_t n = 3 + GetParam() * 4;
+  const auto qubo = random_qubo(n, rng);
+  const auto ising = qubo.to_ising();
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto x = random_binary(n, rng);
+    const auto spins = fecim::ising::spins_from_binary(x);
+    EXPECT_NEAR(qubo.value(x), ising.energy(spins), 1e-9);
+  }
+}
+
+TEST_P(QuboIsingEquivalence, FromIsingPreservesObjective) {
+  fecim::util::Rng rng(GetParam() + 50);
+  const std::size_t n = 3 + GetParam() * 4;
+  const auto qubo = random_qubo(n, rng);
+  const auto ising = qubo.to_ising();
+  const auto qubo_back = fecim::ising::qubo_from_ising(ising);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto x = random_binary(n, rng);
+    EXPECT_NEAR(qubo.value(x), qubo_back.value(x), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QuboIsingEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST(Qubo, GroundStatesAgree) {
+  fecim::util::Rng rng(99);
+  const auto qubo = random_qubo(10, rng);
+  const auto ising = qubo.to_ising();
+
+  double best_qubo = 1e100;
+  for (std::uint32_t bits = 0; bits < (1u << 10); ++bits) {
+    BinaryVector x(10);
+    for (std::size_t i = 0; i < 10; ++i) x[i] = (bits >> i) & 1;
+    best_qubo = std::min(best_qubo, qubo.value(x));
+  }
+  const auto [spins, best_ising] = ising.brute_force_ground_state();
+  EXPECT_NEAR(best_qubo, best_ising, 1e-9);
+}
+
+TEST(Qubo, DiagonalOnlyActsLinearly) {
+  // x_i^2 == x_i: a diagonal QUBO is a sum of independent choices.
+  CsrMatrix::Builder builder(3, 3);
+  builder.add(0, 0, -1.0);
+  builder.add(1, 1, 2.0);
+  builder.add(2, 2, -3.0);
+  const QuboModel qubo(builder.build());
+  const auto ising = qubo.to_ising();
+  const auto [spins, energy] = ising.brute_force_ground_state();
+  EXPECT_NEAR(energy, -4.0, 1e-12);  // pick items 0 and 2
+  const auto x = fecim::ising::binary_from_spins(spins);
+  EXPECT_EQ(x[0], 1);
+  EXPECT_EQ(x[1], 0);
+  EXPECT_EQ(x[2], 1);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// FeFET retention / read-disturb model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/retention.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using fecim::device::RetentionModel;
+using fecim::device::RetentionParams;
+
+TEST(Retention, FreshCellIsFullyPolarized) {
+  const RetentionModel model;
+  EXPECT_DOUBLE_EQ(model.polarization_fraction(0.0, 0), 1.0);
+}
+
+TEST(Retention, LogarithmicDecayShape) {
+  const RetentionModel model({0.02, 1.0, 0.0, 0.5});
+  // One decade of time costs one decay_per_decade step.
+  const double after_10s = model.polarization_fraction(10.0);
+  const double after_100s = model.polarization_fraction(100.0);
+  EXPECT_NEAR(after_10s - after_100s, 0.02, 2e-3);
+  EXPECT_LT(after_100s, after_10s);
+}
+
+TEST(Retention, MonotoneInTimeAndReads) {
+  const RetentionModel model({0.02, 1.0, 1e-7, 0.5});
+  double previous = 1.1;
+  for (const double t : {0.0, 1.0, 1e2, 1e4, 1e6}) {
+    const double f = model.polarization_fraction(t, 0);
+    EXPECT_LT(f, previous);
+    previous = f;
+  }
+  EXPECT_LT(model.polarization_fraction(1.0, 1000000),
+            model.polarization_fraction(1.0, 0));
+}
+
+TEST(Retention, ClampsAtZero) {
+  const RetentionModel model({0.5, 1.0, 0.0, 0.5});
+  EXPECT_DOUBLE_EQ(model.polarization_fraction(1e30), 0.0);
+}
+
+TEST(Retention, RefreshIntervalHitsThreshold) {
+  const RetentionParams params{0.05, 1.0, 0.0, 0.8};
+  const RetentionModel model(params);
+  const double interval = model.seconds_until_refresh(0.0);
+  ASSERT_TRUE(std::isfinite(interval));
+  EXPECT_NEAR(model.polarization_fraction(interval), 0.8, 1e-6);
+}
+
+TEST(Retention, ReadRateShortensRefreshInterval) {
+  const RetentionModel model({0.02, 1.0, 1e-8, 0.9});
+  const double idle = model.seconds_until_refresh(0.0);
+  const double busy = model.seconds_until_refresh(1e6);
+  EXPECT_LT(busy, idle);
+}
+
+TEST(Retention, PerfectDeviceNeverRefreshes) {
+  const RetentionModel model({0.0, 1.0, 0.0, 0.5});
+  EXPECT_EQ(model.refreshes_needed(1e12, 1e9), 0u);
+}
+
+TEST(Retention, RefreshCountOverCampaign) {
+  const RetentionParams params{0.05, 1.0, 0.0, 0.8};
+  const RetentionModel model(params);
+  const double interval = model.seconds_until_refresh(0.0);
+  EXPECT_EQ(model.refreshes_needed(interval * 3.5, 0.0), 3u);
+  EXPECT_EQ(model.refreshes_needed(interval * 0.5, 0.0), 0u);
+}
+
+TEST(Retention, AnnealingRunOutlivesRetention) {
+  // A 3000-node run (5.5 ms, ~3.2M reads/s per active column group) must
+  // not need a mid-run refresh with default retention.
+  const RetentionModel model;
+  EXPECT_EQ(model.refreshes_needed(5.5e-3, 3.2e6), 0u);
+}
+
+TEST(Retention, ValidatesParams) {
+  EXPECT_THROW(RetentionModel({-0.1, 1.0, 0.0, 0.5}), fecim::contract_error);
+  EXPECT_THROW(RetentionModel({0.02, 0.0, 0.0, 0.5}), fecim::contract_error);
+  EXPECT_THROW(RetentionModel({0.02, 1.0, 0.0, 1.5}), fecim::contract_error);
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+// Multi-tile crossbar planning.
+#include <gtest/gtest.h>
+
+#include "crossbar/tiling.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using fecim::crossbar::CrossbarMapping;
+using fecim::crossbar::plan_tiles;
+using fecim::crossbar::TileConstraints;
+
+TEST(Tiling, SmallArrayFitsOneTile) {
+  const CrossbarMapping mapping(100, 1, {8, 8, true});  // 100 x 800
+  const auto plan = plan_tiles(mapping, {}, 1e-5, 1.0);
+  EXPECT_EQ(plan.num_tiles, 1u);
+  EXPECT_EQ(plan.partial_sums_per_column(), 1u);
+  EXPECT_DOUBLE_EQ(plan.tile_ir_attenuation, plan.monolithic_ir_attenuation);
+}
+
+TEST(Tiling, PaperScaleInstanceTiles) {
+  // 3000 spins x 8 bits = 3000 x 24000 bit-cells -> 3 x 24 grid of
+  // 1024-bounded tiles.
+  const CrossbarMapping mapping(3000, 1, {8, 8, true});
+  const auto plan = plan_tiles(mapping, {}, 1e-5, 1.0);
+  EXPECT_EQ(plan.grid_rows, 3u);
+  EXPECT_EQ(plan.grid_columns, 24u);
+  EXPECT_EQ(plan.num_tiles, 72u);
+  EXPECT_LE(plan.tile_rows, 1024u);
+  EXPECT_LE(plan.tile_columns, 1024u);
+  // Balanced split: 3000 rows over 3 tiles -> 1000 each.
+  EXPECT_EQ(plan.tile_rows, 1000u);
+  EXPECT_EQ(plan.partial_sums_per_column(), 3u);
+}
+
+TEST(Tiling, CoverageIsComplete) {
+  const CrossbarMapping mapping(777, 2, {6, 8, true});
+  const auto plan = plan_tiles(mapping, {}, 1e-5, 1.0);
+  EXPECT_GE(plan.tile_rows * plan.grid_rows, plan.logical_rows);
+  EXPECT_GE(plan.tile_columns * plan.grid_columns, plan.logical_columns);
+}
+
+TEST(Tiling, TilingImprovesIrDrop) {
+  const CrossbarMapping mapping(3000, 1, {8, 8, true});
+  const auto plan = plan_tiles(mapping, {}, 1e-5, 1.0);
+  EXPECT_GT(plan.tile_ir_attenuation, plan.monolithic_ir_attenuation);
+  EXPECT_LE(plan.tile_ir_attenuation, 1.0);
+}
+
+TEST(Tiling, TighterConstraintsMakeMoreTiles) {
+  const CrossbarMapping mapping(2000, 1, {8, 8, true});
+  TileConstraints loose;
+  TileConstraints tight;
+  tight.max_rows = 256;
+  tight.max_columns = 256;
+  const auto plan_loose = plan_tiles(mapping, loose, 1e-5, 1.0);
+  const auto plan_tight = plan_tiles(mapping, tight, 1e-5, 1.0);
+  EXPECT_GT(plan_tight.num_tiles, plan_loose.num_tiles);
+  // Smaller tiles -> shorter lines -> better per-tile attenuation.
+  EXPECT_GE(plan_tight.tile_ir_attenuation, plan_loose.tile_ir_attenuation);
+}
+
+TEST(Tiling, ValidatesConstraints) {
+  const CrossbarMapping mapping(64, 1, {8, 8, true});
+  TileConstraints bad;
+  bad.max_rows = 0;
+  EXPECT_THROW(plan_tiles(mapping, bad, 1e-5, 1.0), fecim::contract_error);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// fecim_solve -- command-line Max-Cut solver on the ferroelectric CiM
+// in-situ annealer.
+//
+// usage:
+//   fecim_solve [options] [gset-file]
+//
+// With no file, a Gset-style instance is generated (--nodes, --seed).
+//
+// options:
+//   --annealer this-work|this-work-ideal|cim-fpga|cim-asic|mesa
+//   --iterations N       annealing iterations per run        [auto by size]
+//   --runs N             independent Monte-Carlo runs        [10]
+//   --flips N            spins flipped per iteration (|F|)   [2]
+//   --gain X             acceptance comparator gain          [16]
+//   --bits N             weight quantization bits            [8]
+//   --nodes N            generated-instance size             [800]
+//   --seed N             instance/run base seed              [1]
+//   --csv                emit a CSV row instead of the report
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/annealer_factory.hpp"
+#include "core/runner.hpp"
+#include "problems/generators.hpp"
+#include "problems/gset_io.hpp"
+#include "util/table.hpp"
+
+using namespace fecim;
+
+namespace {
+
+struct Options {
+  std::string file;
+  std::string annealer = "this-work";
+  std::size_t iterations = 0;  // 0 = auto
+  std::size_t runs = 10;
+  std::size_t flips = 2;
+  double gain = 16.0;
+  int bits = 8;
+  std::size_t nodes = 800;
+  std::uint64_t seed = 1;
+  bool csv = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--annealer KIND] [--iterations N] [--runs N] "
+               "[--flips N]\n"
+               "          [--gain X] [--bits N] [--nodes N] [--seed N] "
+               "[--csv] [gset-file]\n"
+               "KIND: this-work | this-work-ideal | cim-fpga | cim-asic | "
+               "mesa\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--annealer") options.annealer = next();
+    else if (arg == "--iterations") options.iterations = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--runs") options.runs = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--flips") options.flips = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--gain") options.gain = std::strtod(next(), nullptr);
+    else if (arg == "--bits") options.bits = static_cast<int>(std::strtol(next(), nullptr, 10));
+    else if (arg == "--nodes") options.nodes = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--seed") options.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--csv") options.csv = true;
+    else if (arg == "--help" || arg == "-h") usage(argv[0]);
+    else if (!arg.empty() && arg[0] == '-') usage(argv[0]);
+    else options.file = arg;
+  }
+  return options;
+}
+
+core::AnnealerKind kind_from_name(const std::string& name) {
+  if (name == "this-work") return core::AnnealerKind::kThisWork;
+  if (name == "this-work-ideal") return core::AnnealerKind::kThisWorkIdeal;
+  if (name == "cim-fpga") return core::AnnealerKind::kCimFpga;
+  if (name == "cim-asic") return core::AnnealerKind::kCimAsic;
+  if (name == "mesa") return core::AnnealerKind::kMesa;
+  std::fprintf(stderr, "unknown annealer '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+std::size_t auto_iterations(std::size_t nodes) {
+  // The paper's budgets by size class.
+  if (nodes <= 800) return 700;
+  if (nodes <= 1000) return 1000;
+  if (nodes <= 2000) return 10000;
+  return 100000;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse(argc, argv);
+
+  problems::Graph graph =
+      options.file.empty()
+          ? problems::gset_like_instance(options.nodes, options.seed)
+          : problems::read_gset_file(options.file);
+  const std::string name =
+      options.file.empty() ? "generated-" + std::to_string(options.nodes)
+                           : options.file;
+
+  auto instance = core::make_maxcut_instance(name, std::move(graph), 48,
+                                             options.seed);
+  core::StandardSetup setup;
+  setup.iterations = options.iterations > 0
+                         ? options.iterations
+                         : auto_iterations(instance.model->num_spins());
+  setup.flips_per_iteration = options.flips;
+  setup.acceptance_gain = options.gain;
+  setup.bits = options.bits;
+
+  const auto kind = kind_from_name(options.annealer);
+  const auto annealer = core::make_annealer(kind, instance.model, setup);
+
+  core::CampaignConfig campaign;
+  campaign.runs = options.runs;
+  campaign.base_seed = options.seed;
+  const auto result = core::run_maxcut_campaign(*annealer, instance, campaign);
+
+  if (options.csv) {
+    std::printf("instance,annealer,runs,iterations,best_cut,mean_cut,"
+                "reference,success_rate,energy_j,time_s\n");
+    std::printf("%s,%s,%zu,%zu,%.0f,%.1f,%.0f,%.3f,%.6g,%.6g\n",
+                instance.name.c_str(), options.annealer.c_str(), options.runs,
+                setup.iterations, result.cut.max(), result.cut.mean(),
+                instance.reference_cut, result.success_rate,
+                result.energy.mean(), result.time.mean());
+    return 0;
+  }
+
+  std::printf("instance   : %s (%zu vertices, %zu edges)\n",
+              instance.name.c_str(), instance.graph->num_vertices(),
+              instance.graph->num_edges());
+  std::printf("annealer   : %s, %zu iterations x %zu runs, |F|=%zu, "
+              "gain=%.1f, k=%d bits\n",
+              core::annealer_kind_name(kind), setup.iterations, options.runs,
+              options.flips, options.gain, options.bits);
+  std::printf("cut        : best %.0f / mean %.1f / reference %.0f "
+              "(normalized %.3f)\n",
+              result.cut.max(), result.cut.mean(), instance.reference_cut,
+              result.normalized_cut.mean());
+  std::printf("success    : %.0f %% of runs reached 90 %% of reference\n",
+              result.success_rate * 100.0);
+  std::printf("hw cost    : %s, %s per run (mean)\n",
+              util::si_format(result.energy.mean(), "J").c_str(),
+              util::si_format(result.time.mean(), "s").c_str());
+  std::printf("adc events : %llu conversions total across runs\n",
+              static_cast<unsigned long long>(
+                  result.total_ledger.adc_conversions));
+  return 0;
+}
