@@ -1,0 +1,442 @@
+// Hot-path throughput benchmark: optimized simulation kernels vs the seed
+// algorithms preserved in crossbar/reference_kernels.hpp.
+//
+//   1. Analog engine evaluations/sec at N in {256, 1024, 4096}, in two
+//      regimes: "analog" (deterministic device: ideal cells, noiseless ADC)
+//      isolates the restructured arithmetic -- bit-plane column cache,
+//      segment-class dedup, flip bitmask, V_BG memoization -- while
+//      "analog-noisy" (Vth spread + read noise + ADC noise) shows the
+//      stochastic-model-bound regime where both variants pay the same
+//      mandatory RNG draws (draw order is part of the equivalence
+//      contract, so the optimized engine cannot elide them).
+//   2. In-situ annealer iterations/sec on the ideal engine (local-field
+//      cache + zero-allocation loop vs seed loop with per-call n-byte
+//      bitmap zero-fills and per-iteration allocations).
+//   3. Campaign wall-clock at N = 1024 (deterministic device):
+//      run_maxcut_campaign (persistent pool, zero-allocation inner loops,
+//      mutex-free reduction) vs a faithful legacy campaign (reference
+//      kernels, per-iteration allocations, thread spawn per call, merge
+//      mutex).
+//
+// Emits machine-readable JSON (default BENCH_hotpath.json; FECIM_BENCH_OUT
+// overrides) so the perf trajectory is tracked across PRs.
+// FECIM_BENCH_SMOKE=1 runs a seconds-scale subset without rewriting the
+// JSON (used by tools/check.sh).
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/acceptance.hpp"
+#include "core/insitu_annealer.hpp"
+#include "core/runner.hpp"
+#include "core/schedule.hpp"
+#include "crossbar/analog_engine.hpp"
+#include "crossbar/ideal_engine.hpp"
+#include "crossbar/reference_kernels.hpp"
+#include "problems/generators.hpp"
+#include "problems/maxcut.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace fecim;
+
+struct EngineRow {
+  std::size_t n = 0;
+  std::string engine;
+  double optimized_per_sec = 0.0;
+  double reference_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+struct CampaignRow {
+  std::size_t n = 0;
+  std::size_t runs = 0;
+  std::size_t iterations = 0;
+  std::size_t threads = 0;
+  double optimized_seconds = 0.0;
+  double legacy_seconds = 0.0;
+  double speedup = 0.0;
+};
+
+ising::IsingModel bench_model(std::size_t n, std::uint64_t seed) {
+  // Average degree 24: Gset-like density, so per-cell decoding work is
+  // representative of the paper's Max-Cut groups.
+  return problems::maxcut_to_ising(problems::random_graph(
+      n, 24.0, problems::WeightScheme::kPlusMinusOne, seed));
+}
+
+core::InSituConfig analog_config(bool noisy) {
+  core::InSituConfig config;  // defaults: 8-bit weights, IR drop modeled
+  if (noisy) {
+    config.variation.vth_sigma = 0.03;
+    config.variation.read_noise_rel = 0.02;
+  } else {
+    config.analog.adc.noise_lsb_rms = 0.0;  // deterministic readout
+  }
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Analog engine evaluations/sec.
+// ---------------------------------------------------------------------------
+
+struct AnalogWorkload {
+  core::InSituConfig config;
+  std::shared_ptr<const crossbar::ProgrammedArray> array;
+  core::BgAnnealingSchedule schedule;
+  ising::SpinVector spins;
+  std::size_t flips_per_iteration = 2;
+};
+
+AnalogWorkload make_analog_workload(const ising::IsingModel& model,
+                                    std::size_t iterations, bool noisy) {
+  auto config = analog_config(noisy);
+  const crossbar::QuantizedCouplings quantized(model.couplings(),
+                                               config.mapping.bits);
+  const crossbar::CrossbarMapping mapping(
+      model.num_spins(), quantized.has_negative() ? 2 : 1, config.mapping);
+  AnalogWorkload workload{
+      config,
+      std::make_shared<const crossbar::ProgrammedArray>(
+          quantized, mapping, config.device, config.variation, 0x5eed),
+      core::BgAnnealingSchedule([&] {
+        auto schedule_config = config.schedule;
+        schedule_config.total_iterations = iterations;
+        return schedule_config;
+      }()),
+      {},
+      2};
+  util::Rng spin_rng(7);
+  workload.spins = ising::random_spins(model.num_spins(), spin_rng);
+  return workload;
+}
+
+template <typename Evaluate>
+double measure_analog(const AnalogWorkload& workload, std::size_t iterations,
+                      const Evaluate& evaluate) {
+  util::Rng rng(42);
+  const std::size_t n = workload.spins.size();
+  const std::size_t t = workload.flips_per_iteration;
+
+  // Pre-generate the proposal/signal stream so the timed region contains
+  // engine evaluations only (both variants get the identical workload).
+  std::vector<std::uint32_t> flip_stream(iterations * t);
+  std::vector<crossbar::AnnealSignal> signals(iterations);
+  {
+    ising::FlipSet scratch;
+    for (std::size_t it = 0; it < iterations; ++it) {
+      ising::random_flip_set_into(scratch, n, t, rng);
+      std::copy(scratch.begin(), scratch.end(),
+                flip_stream.begin() + static_cast<std::ptrdiff_t>(it * t));
+      const auto point = workload.schedule.at(it);
+      signals[it] = {point.factor, point.vbg};
+    }
+  }
+
+  ising::FlipSet flips(t);
+  double checksum = 0.0;
+  util::WallTimer timer;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    for (std::size_t k = 0; k < t; ++k) flips[k] = flip_stream[it * t + k];
+    checksum += evaluate(flips, signals[it], rng);
+  }
+  const double elapsed = timer.seconds();
+  if (checksum == 0.12345) std::printf("(unreachable checksum)\n");
+  return static_cast<double>(iterations) / elapsed;
+}
+
+EngineRow bench_analog_engine(std::size_t n, std::size_t iterations,
+                              bool noisy) {
+  const auto model = bench_model(n, 1000 + n);
+  auto workload = make_analog_workload(model, iterations, noisy);
+
+  crossbar::AnalogCrossbarEngine engine(workload.array,
+                                        workload.config.analog);
+  const double i_on_max =
+      workload.array->on_current(workload.array->device_params().vbg_max);
+
+  EngineRow row{n, noisy ? "analog-noisy" : "analog", 0.0, 0.0, 0.0};
+  row.optimized_per_sec = measure_analog(
+      workload, iterations,
+      [&](const ising::FlipSet& flips, const crossbar::AnnealSignal& signal,
+          util::Rng& rng) {
+        return engine.evaluate(workload.spins, flips, signal, rng).e_inc;
+      });
+  row.reference_per_sec = measure_analog(
+      workload, iterations,
+      [&](const ising::FlipSet& flips, const crossbar::AnnealSignal& signal,
+          util::Rng& rng) {
+        return crossbar::reference::analog_evaluate(
+                   *workload.array, engine.adc(), engine.ir_attenuation(),
+                   i_on_max, workload.spins, flips, signal, rng)
+            .e_inc;
+      });
+  row.speedup = row.optimized_per_sec / row.reference_per_sec;
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// 2. In-situ annealer iterations/sec on the ideal engine.
+// ---------------------------------------------------------------------------
+
+EngineRow bench_ideal_annealer(std::size_t n, std::size_t iterations) {
+  const auto model =
+      std::make_shared<const ising::IsingModel>(bench_model(n, 2000 + n));
+  core::InSituConfig config;
+  config.iterations = iterations;
+  config.flips_per_iteration = 2;
+  config.flip_selection = core::InSituConfig::FlipSelection::kRandom;
+  config.engine = core::InSituConfig::EngineKind::kIdeal;
+  const core::InSituCimAnnealer annealer(model, config);
+
+  EngineRow row{n, "ideal-annealer", 0.0, 0.0, 0.0};
+  {
+    util::WallTimer timer;
+    const auto result = annealer.run(99);
+    row.optimized_per_sec =
+        static_cast<double>(iterations) / timer.seconds();
+    if (result.ledger.iterations != iterations)
+      std::printf("(iteration mismatch)\n");
+  }
+  {
+    // Seed loop: cache-less engine (stateless CSR row walks with an n-byte
+    // bitmap zero-fill per call), freshly-allocated flip sets, delta_energy
+    // row walk on every accept.
+    util::Rng rng(99);
+    crossbar::IdealCrossbarEngine engine(*model, annealer.mapping(),
+                                         crossbar::Accounting::kInSitu);
+    auto spins = ising::random_spins(model->num_spins(), rng);
+    double energy = model->energy(spins);
+    double best = energy;
+    const core::FractionalAcceptance acceptance;
+    util::WallTimer timer;
+    for (std::size_t it = 0; it < iterations; ++it) {
+      const auto point = annealer.schedule().at(it);
+      const auto flips = ising::random_flip_set(model->num_flippable(),
+                                                config.flips_per_iteration,
+                                                rng);
+      // The seed engine evaluated through the reference VMV (fresh bitmap
+      // allocation + zero-fill per call).
+      crossbar::EincResult evaluation;
+      evaluation.raw_vmv =
+          crossbar::reference::incremental_vmv(*model, spins, flips);
+      evaluation.e_inc = evaluation.raw_vmv * point.factor;
+      if (acceptance.accept(config.acceptance_gain * evaluation.e_inc, rng)) {
+        energy += model->delta_energy(spins, flips);
+        ising::flip_in_place(spins, flips);
+        if (energy < best) best = energy;
+      }
+    }
+    row.reference_per_sec =
+        static_cast<double>(iterations) / timer.seconds();
+    if (best > energy) std::printf("(unreachable)\n");
+  }
+  row.speedup = row.optimized_per_sec / row.reference_per_sec;
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// 3. Campaign wall-clock: optimized runner vs faithful legacy campaign.
+// ---------------------------------------------------------------------------
+
+/// The seed fork-join helper: spawn `threads` std::threads per call, shared
+/// atomic claim counter (no pool, no early-stop).
+void legacy_parallel_for(std::size_t count,
+                         const std::function<void(std::size_t)>& body,
+                         std::size_t threads) {
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      body(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+}
+
+/// The seed in-situ analog run loop: reference engine kernel, freshly
+/// allocated flip sets, delta_energy CSR row walks.
+double legacy_insitu_run(const ising::IsingModel& model,
+                         const AnalogWorkload& workload,
+                         const crossbar::AnalogCrossbarEngine& probe,
+                         double i_on_max, std::size_t iterations,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto spins = ising::random_spins(model.num_spins(), rng);
+  double energy = model.energy(spins);
+  double best = energy;
+  const core::FractionalAcceptance acceptance;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    const auto point = workload.schedule.at(it);
+    const auto flips = ising::random_flip_set(model.num_flippable(), 2, rng);
+    const auto evaluation = crossbar::reference::analog_evaluate(
+        *workload.array, probe.adc(), probe.ir_attenuation(), i_on_max, spins,
+        flips, {point.factor, point.vbg}, rng);
+    if (acceptance.accept(4.0 * evaluation.e_inc, rng)) {
+      energy += model.delta_energy(spins, flips);
+      ising::flip_in_place(spins, flips);
+      if (energy < best) best = energy;
+    }
+  }
+  return best;
+}
+
+CampaignRow bench_campaign(std::size_t n, std::size_t runs,
+                           std::size_t iterations) {
+  auto instance = core::make_maxcut_instance(
+      "hotpath-n" + std::to_string(n),
+      problems::random_graph(n, 24.0, problems::WeightScheme::kPlusMinusOne,
+                             3000 + n),
+      8, 3000 + n);
+
+  CampaignRow row;
+  row.n = n;
+  row.runs = runs;
+  row.iterations = iterations;
+  row.threads = util::worker_threads();
+
+  auto config = analog_config(/*noisy=*/false);
+  config.iterations = iterations;
+  config.flips_per_iteration = 2;
+  config.flip_selection = core::InSituConfig::FlipSelection::kRandom;
+  const core::InSituCimAnnealer annealer(instance.model, config);
+  core::CampaignConfig campaign;
+  campaign.runs = runs;
+
+  {
+    util::WallTimer timer;
+    const auto result = core::run_maxcut_campaign(annealer, instance, campaign);
+    row.optimized_seconds = timer.seconds();
+    if (result.runs != runs) std::printf("(campaign run mismatch)\n");
+  }
+
+  {
+    auto workload =
+        make_analog_workload(*instance.model, iterations, /*noisy=*/false);
+    workload.array = annealer.array();  // identical programmed weights
+    const crossbar::AnalogCrossbarEngine probe(workload.array, config.analog);
+    const double i_on_max =
+        workload.array->on_current(workload.array->device_params().vbg_max);
+    util::Rng seeder(campaign.base_seed);
+    std::vector<std::uint64_t> seeds(runs);
+    for (auto& s : seeds) s = seeder();
+
+    util::WallTimer timer;
+    util::RunningStats best;
+    std::mutex merge_mutex;  // the seed runner's serialization point
+    legacy_parallel_for(
+        runs,
+        [&](std::size_t run) {
+          const double b = legacy_insitu_run(*instance.model, workload, probe,
+                                             i_on_max, iterations, seeds[run]);
+          const std::lock_guard<std::mutex> lock(merge_mutex);
+          best.add(b);
+        },
+        std::min<std::size_t>(row.threads, runs));
+    row.legacy_seconds = timer.seconds();
+    if (best.count() != runs) std::printf("(legacy run mismatch)\n");
+  }
+
+  row.speedup = row.legacy_seconds / row.optimized_seconds;
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+
+void write_json(const std::string& path, const std::string& mode,
+                const std::vector<EngineRow>& engines,
+                const std::vector<CampaignRow>& campaigns) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"fecim-bench-hotpath-v1\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", mode.c_str());
+  std::fprintf(f, "  \"hardware_threads\": %zu,\n", util::worker_threads());
+  std::fprintf(f, "  \"engine_eval\": [\n");
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    const auto& row = engines[i];
+    std::fprintf(f,
+                 "    {\"n\": %zu, \"engine\": \"%s\", "
+                 "\"evals_per_sec_optimized\": %.1f, "
+                 "\"evals_per_sec_reference\": %.1f, \"speedup\": %.2f}%s\n",
+                 row.n, row.engine.c_str(), row.optimized_per_sec,
+                 row.reference_per_sec, row.speedup,
+                 i + 1 < engines.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"campaign\": [\n");
+  for (std::size_t i = 0; i < campaigns.size(); ++i) {
+    const auto& row = campaigns[i];
+    std::fprintf(f,
+                 "    {\"n\": %zu, \"runs\": %zu, \"iterations\": %zu, "
+                 "\"threads\": %zu, \"wall_seconds_optimized\": %.3f, "
+                 "\"wall_seconds_legacy\": %.3f, \"speedup\": %.2f}%s\n",
+                 row.n, row.runs, row.iterations, row.threads,
+                 row.optimized_seconds, row.legacy_seconds, row.speedup,
+                 i + 1 < campaigns.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = util::env_flag("FECIM_BENCH_SMOKE", false);
+  const bool full = util::full_reproduction_mode();
+  bench::print_header("hot-path throughput: optimized kernels vs seed reference");
+
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{256}
+            : std::vector<std::size_t>{256, 1024, 4096};
+  const std::size_t engine_iterations = smoke ? 2000 : (full ? 200000 : 50000);
+
+  util::Table table({"n", "engine", "opt evals/s", "ref evals/s", "speedup"});
+  std::vector<EngineRow> engines;
+  for (const auto n : sizes) {
+    engines.push_back(bench_analog_engine(n, engine_iterations, false));
+    engines.push_back(bench_analog_engine(n, engine_iterations / 4, true));
+    engines.push_back(bench_ideal_annealer(n, engine_iterations));
+    for (auto it = engines.end() - 3; it != engines.end(); ++it)
+      table.row()
+          .add(it->n)
+          .add(it->engine)
+          .add(it->optimized_per_sec, 0)
+          .add(it->reference_per_sec, 0)
+          .add(it->speedup, 2);
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  std::vector<CampaignRow> campaigns;
+  {
+    const std::size_t n = smoke ? 256 : 1024;
+    const std::size_t runs = smoke ? 4 : (full ? 64 : 16);
+    const std::size_t iterations = smoke ? 1000 : (full ? 20000 : 5000);
+    const CampaignRow row = bench_campaign(n, runs, iterations);
+    campaigns.push_back(row);
+    std::printf(
+        "campaign n=%zu runs=%zu iters=%zu threads=%zu: optimized %.3fs, "
+        "legacy %.3fs, speedup %.2fx\n",
+        row.n, row.runs, row.iterations, row.threads, row.optimized_seconds,
+        row.legacy_seconds, row.speedup);
+  }
+
+  if (!smoke) {
+    const char* out = std::getenv("FECIM_BENCH_OUT");
+    write_json(out != nullptr ? out : "BENCH_hotpath.json",
+               full ? "full" : "reduced", engines, campaigns);
+  }
+  return 0;
+}

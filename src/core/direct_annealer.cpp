@@ -59,6 +59,10 @@ AnnealResult DirectEAnnealer::run(std::uint64_t seed) const {
 
   crossbar::IdealCrossbarEngine engine(*model_, mapping_,
                                        crossbar::Accounting::kDirectFullArray);
+  // Every applied flip set is reported back via on_flips_applied(), so the
+  // engine serves each evaluation from its local-field cache instead of
+  // re-walking CSR rows.
+  engine.enable_local_field_cache();
   const ClassicSchedule schedule({t_start_, t_start_ * config_.t_end_fraction,
                                   config_.iterations, config_.schedule_kind,
                                   config_.decay_per_iteration});
@@ -72,10 +76,20 @@ AnnealResult DirectEAnnealer::run(std::uint64_t seed) const {
 
   const MetropolisAcceptance acceptance;
 
+  // Reused proposal buffer: the loop below performs no heap allocations
+  // after this point (plus the engine's lazy first-call cache build).
+  ising::FlipSet flips;
+  flips.reserve(config_.flips_per_iteration);
+  if (config_.trace.enabled) {
+    const auto stride = config_.trace.stride > 0 ? config_.trace.stride : 1;
+    result.trajectory.reserve(config_.iterations / stride + 1);
+    result.ledger_trajectory.reserve(config_.iterations / stride + 1);
+  }
+
   for (std::size_t it = 0; it < config_.iterations; ++it) {
     const double temperature = schedule.temperature(it);
-    const auto flips = ising::random_flip_set(
-        model_->num_flippable(), config_.flips_per_iteration, rng);
+    ising::random_flip_set_into(flips, model_->num_flippable(),
+                                config_.flips_per_iteration, rng);
 
     // The hardware computes E_new via the full-array VMV; dE follows
     // digitally.  Numerically dE = 4 sigma_r^T J sigma_c (+ field terms).
@@ -93,6 +107,7 @@ AnnealResult DirectEAnnealer::run(std::uint64_t seed) const {
     if (decision.accepted) {
       energy += delta_e;
       ising::flip_in_place(spins, flips);
+      engine.on_flips_applied(spins, flips);
       result.ledger.spin_updates += flips.size();
       ++result.accepted_moves;
       if (delta_e > 0.0) ++result.uphill_accepted;

@@ -44,19 +44,33 @@ InSituCimAnnealer::InSituCimAnnealer(
     array_ = std::make_shared<const crossbar::ProgrammedArray>(
         quantized, mapping_, config_.device, config_.variation,
         config_.array_seed);
+    // Solve the IR-drop ladder once here: the array is immutable, so every
+    // per-run engine instance reuses the same attenuation instead of
+    // re-running the MNA solve (which scales with physical rows).
+    if (config_.analog.model_ir_drop &&
+        config_.analog.cached_ir_attenuation <= 0.0) {
+      const crossbar::AnalogCrossbarEngine probe(array_, config_.analog);
+      config_.analog.cached_ir_attenuation = probe.ir_attenuation();
+    }
   }
 }
 
-ising::FlipSet InSituCimAnnealer::cluster_flip_set(util::Rng& rng) const {
+void InSituCimAnnealer::cluster_flip_set(util::Rng& rng,
+                                         RunWorkspace& ws) const {
   const std::size_t flippable = model_->num_flippable();
   double parity_mix = config_.parity_mix;
   if (parity_mix < 0.0) parity_mix = model_->has_ancilla() ? 0.25 : 0.0;
   std::size_t t = config_.flips_per_iteration;
   if (t > 1 && parity_mix > 0.0 && rng.bernoulli(parity_mix)) --t;
-  ising::FlipSet flips;
-  flips.reserve(t);
-  flips.push_back(
-      static_cast<std::uint32_t>(rng.uniform_index(flippable)));
+
+  auto& flips = ws.flips;
+  auto& member = ws.member_mask;  // all-zero on entry, restored on exit
+  flips.clear();
+  auto take = [&](std::uint32_t spin) {
+    flips.push_back(spin);
+    member[spin] = 1;
+  };
+  take(static_cast<std::uint32_t>(rng.uniform_index(flippable)));
 
   const auto& j = model_->couplings();
   while (flips.size() < t) {
@@ -73,9 +87,7 @@ ising::FlipSet InSituCimAnnealer::cluster_flip_set(util::Rng& rng) const {
         const auto candidate =
             neighbors[rng.uniform_index(neighbors.size())];
         if (candidate >= flippable) continue;  // never flip the ancilla
-        bool duplicate = false;
-        for (const auto f : flips) duplicate |= (f == candidate);
-        if (!duplicate) {
+        if (!member[candidate]) {
           next = candidate;
           found = true;
           break;
@@ -83,31 +95,58 @@ ising::FlipSet InSituCimAnnealer::cluster_flip_set(util::Rng& rng) const {
       }
     }
     if (!found) {
-      do {
-        next = static_cast<std::uint32_t>(rng.uniform_index(flippable));
-        bool duplicate = false;
-        for (const auto f : flips) duplicate |= (f == next);
-        if (!duplicate) break;
-      } while (true);
+      // Bounded rejection sampling: when the set is sparse relative to the
+      // flippable range (the standard regime), a non-member lands within a
+      // couple of draws.  Dense sets (t approaching `flippable`) previously
+      // degenerated into an unbounded coupon-collector loop; after the
+      // bound trips, one draw picks uniformly among the remaining
+      // non-members by rank, which is the same distribution.
+      constexpr int kMaxRejects = 64;
+      for (int attempt = 0; attempt < kMaxRejects && !found; ++attempt) {
+        const auto candidate =
+            static_cast<std::uint32_t>(rng.uniform_index(flippable));
+        if (!member[candidate]) {
+          next = candidate;
+          found = true;
+        }
+      }
+      if (!found) {
+        std::size_t rank = rng.uniform_index(flippable - flips.size());
+        for (std::uint32_t spin = 0; spin < flippable; ++spin) {
+          if (member[spin]) continue;
+          if (rank == 0) {
+            next = spin;
+            break;
+          }
+          --rank;
+        }
+      }
     }
-    flips.push_back(next);
+    take(next);
   }
-  return flips;
+
+  for (const auto f : flips) member[f] = 0;
 }
 
 AnnealResult InSituCimAnnealer::run(std::uint64_t seed) const {
   util::Rng rng(seed);
   const std::size_t n = model_->num_spins();
+  const bool analog = config_.engine == InSituConfig::EngineKind::kAnalog;
 
   // Per-run engine instances: cheap wrappers over the shared immutable
   // model/array, so parallel campaigns need no locking.
   std::unique_ptr<crossbar::EincEngine> engine;
-  if (config_.engine == InSituConfig::EngineKind::kAnalog) {
+  if (analog) {
     engine = std::make_unique<crossbar::AnalogCrossbarEngine>(array_,
                                                               config_.analog);
   } else {
-    engine = std::make_unique<crossbar::IdealCrossbarEngine>(
+    auto ideal = std::make_unique<crossbar::IdealCrossbarEngine>(
         *model_, mapping_, crossbar::Accounting::kInSitu);
+    // This loop reports every applied flip set back through
+    // on_flips_applied(), so the engine may serve evaluations from its
+    // incrementally-maintained local-field cache.
+    ideal->enable_local_field_cache();
+    engine = std::move(ideal);
   }
 
   AnnealResult result;
@@ -116,6 +155,21 @@ AnnealResult InSituCimAnnealer::run(std::uint64_t seed) const {
   double energy = model_->energy(spins);
   result.best_spins = spins;
   result.best_energy = energy;
+
+  // Everything the inner loop touches is allocated here; the loop itself is
+  // heap-allocation-free (see PERF.md and the counting-allocator test).
+  RunWorkspace ws;
+  ws.flips.reserve(config_.flips_per_iteration);
+  ws.member_mask.assign(n, 0);
+  // The analog engine's E_inc is a noisy hardware estimate, so exact energy
+  // bookkeeping needs its own field cache; the ideal engine's raw_vmv is
+  // already exact.
+  if (analog) ws.field_cache.build(*model_, spins);
+  if (config_.trace.enabled) {
+    const auto stride = config_.trace.stride > 0 ? config_.trace.stride : 1;
+    result.trajectory.reserve(config_.iterations / stride + 1);
+    result.ledger_trajectory.reserve(config_.iterations / stride + 1);
+  }
 
   const FractionalAcceptance acceptance;
   double previous_vbg = -1.0;
@@ -129,30 +183,37 @@ AnnealResult InSituCimAnnealer::run(std::uint64_t seed) const {
       previous_vbg = point.vbg;
     }
 
-    ising::FlipSet flips;
     switch (config_.flip_selection) {
       case InSituConfig::FlipSelection::kCluster:
-        flips = cluster_flip_set(rng);
+        cluster_flip_set(rng, ws);
         break;
       case InSituConfig::FlipSelection::kRandom:
-        flips = ising::random_flip_set(model_->num_flippable(),
-                                       config_.flips_per_iteration, rng);
+        ising::random_flip_set_into(ws.flips, model_->num_flippable(),
+                                    config_.flips_per_iteration, rng);
         break;
       case InSituConfig::FlipSelection::kSweep:
-        flips = sweep.next();
+        sweep.next_into(ws.flips);
         break;
     }
     const auto evaluation = engine->evaluate(
-        spins, flips, {point.factor, point.vbg}, rng);
+        spins, ws.flips, {point.factor, point.vbg}, rng);
     crossbar::merge_trace(result.ledger, evaluation.trace);
     ++result.ledger.iterations;
 
     if (acceptance.accept(config_.acceptance_gain * evaluation.e_inc, rng)) {
       // Exact energy bookkeeping is simulation-side observability; the
-      // hardware only updates the spin registers.
-      energy += model_->delta_energy(spins, flips);
-      ising::flip_in_place(spins, flips);
-      result.ledger.spin_updates += flips.size();
+      // hardware only updates the spin registers.  dE = 4 sigma_r^T J
+      // sigma_c (the model is pure quadratic here); the cached local fields
+      // supply the VMV in O(|F|^2) instead of a CSR row walk.
+      energy += analog
+                    ? 4.0 * ws.field_cache.vmv(*model_, spins, ws.flips)
+                    : 4.0 * evaluation.raw_vmv;
+      ising::flip_in_place(spins, ws.flips);
+      if (analog)
+        ws.field_cache.apply_flips(*model_, spins, ws.flips);
+      else
+        engine->on_flips_applied(spins, ws.flips);
+      result.ledger.spin_updates += ws.flips.size();
       ++result.accepted_moves;
       if (evaluation.e_inc > 0.0) ++result.uphill_accepted;
       if (energy < result.best_energy) {

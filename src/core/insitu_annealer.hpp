@@ -16,6 +16,8 @@
 #include "crossbar/mapping.hpp"
 #include "device/dg_fefet.hpp"
 #include "device/variation.hpp"
+#include "ising/flipset.hpp"
+#include "ising/local_field.hpp"
 
 namespace fecim::core {
 
@@ -92,8 +94,21 @@ class InSituCimAnnealer final : public Annealer {
   }
 
  private:
-  /// Connected flip set grown by a random walk on the coupling graph.
-  ising::FlipSet cluster_flip_set(util::Rng& rng) const;
+  /// Per-run scratch, allocated once at the top of run() so the annealing
+  /// inner loop performs zero heap allocations (pinned by the counting
+  /// allocator test in tests/test_perf_equivalence.cpp).
+  struct RunWorkspace {
+    ising::FlipSet flips;                   ///< reused proposal buffer
+    std::vector<std::uint8_t> member_mask;  ///< O(1) flip-set membership
+    ising::LocalFieldCache field_cache;     ///< exact-energy bookkeeping
+  };
+
+  /// Connected flip set grown by a random walk on the coupling graph,
+  /// written into ws.flips.  ws.member_mask provides O(1) duplicate checks;
+  /// uniform re-draws are bounded, falling back to an exact uniform pick
+  /// over the not-yet-chosen spins so dense flip sets (t close to the
+  /// number of flippable spins) terminate deterministically.
+  void cluster_flip_set(util::Rng& rng, RunWorkspace& ws) const;
 
   std::shared_ptr<const ising::IsingModel> model_;
   InSituConfig config_;

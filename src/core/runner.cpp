@@ -1,7 +1,5 @@
 #include "core/runner.hpp"
 
-#include <mutex>
-
 #include "problems/maxcut.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -22,6 +20,21 @@ MaxcutInstance make_maxcut_instance(std::string name, problems::Graph graph,
   return instance;
 }
 
+namespace {
+
+/// Per-run aggregation inputs, written into a disjoint slot by whichever
+/// worker executes the run.  Keeping one slot per run (instead of per-thread
+/// partial statistics) makes the final reduction byte-identical to a serial
+/// campaign for every thread count: the reduce below always walks runs in
+/// index order, so Welford update order never depends on the schedule.
+struct RunOutcome {
+  double cut = 0.0;
+  cost::CostBreakdown breakdown{};
+  crossbar::CostLedger ledger{};
+};
+
+}  // namespace
+
 CampaignResult run_maxcut_campaign(const Annealer& annealer,
                                    const MaxcutInstance& instance,
                                    const CampaignConfig& config) {
@@ -31,8 +44,6 @@ CampaignResult run_maxcut_campaign(const Annealer& annealer,
 
   CampaignResult result;
   result.runs = config.runs;
-  std::mutex merge_mutex;
-  std::size_t successes = 0;
 
   // Derive per-run seeds up front so the outcome is independent of the
   // thread schedule.
@@ -40,28 +51,35 @@ CampaignResult run_maxcut_campaign(const Annealer& annealer,
   std::vector<std::uint64_t> seeds(config.runs);
   for (auto& s : seeds) s = seeder();
 
+  std::vector<RunOutcome> outcomes(config.runs);
+
   util::parallel_for(
       config.runs,
       [&](std::size_t run) {
         const auto outcome = annealer.run(seeds[run]);
-        const double cut = problems::cut_from_energy(*instance.graph,
-                                                     outcome.best_energy);
-        const auto breakdown =
-            cost::compute_cost(outcome.ledger, config.costs,
-                               annealer.exp_unit());
-
-        const std::lock_guard<std::mutex> lock(merge_mutex);
-        result.cut.add(cut);
-        result.normalized_cut.add(cut / instance.reference_cut);
-        result.energy.add(breakdown.total_energy);
-        result.time.add(breakdown.total_time);
-        result.adc_energy.add(breakdown.adc_energy);
-        result.exp_energy.add(breakdown.exp_energy);
-        result.total_ledger.merge(outcome.ledger);
-        if (cut >= config.success_threshold * instance.reference_cut)
-          ++successes;
+        auto& slot = outcomes[run];
+        slot.cut = problems::cut_from_energy(*instance.graph,
+                                             outcome.best_energy);
+        slot.breakdown = cost::compute_cost(outcome.ledger, config.costs,
+                                            annealer.exp_unit());
+        slot.ledger = outcome.ledger;
       },
       config.threads);
+
+  // Single-threaded reduction in run order -- no merge mutex on the hot
+  // path, and the aggregate statistics are schedule-independent.
+  std::size_t successes = 0;
+  for (const auto& slot : outcomes) {
+    result.cut.add(slot.cut);
+    result.normalized_cut.add(slot.cut / instance.reference_cut);
+    result.energy.add(slot.breakdown.total_energy);
+    result.time.add(slot.breakdown.total_time);
+    result.adc_energy.add(slot.breakdown.adc_energy);
+    result.exp_energy.add(slot.breakdown.exp_energy);
+    result.total_ledger.merge(slot.ledger);
+    if (slot.cut >= config.success_threshold * instance.reference_cut)
+      ++successes;
+  }
 
   result.success_rate =
       static_cast<double>(successes) / static_cast<double>(config.runs);

@@ -1,6 +1,5 @@
 #include "crossbar/analog_engine.hpp"
 
-#include <array>
 #include <cmath>
 
 #include "util/assert.hpp"
@@ -30,11 +29,16 @@ AnalogCrossbarEngine::AnalogCrossbarEngine(
   i_on_max_ = array_->on_current(array_->device_params().vbg_max);
   FECIM_EXPECTS(i_on_max_ > 0.0);
   if (config_.model_ir_drop) {
-    const auto est = circuit::estimate_line_parasitics(
-        array_->mapping().physical_rows(), i_on_max_,
-        array_->device_params().read_vdl, config_.wire);
-    attenuation_ = est.ir_attenuation;
+    if (config_.cached_ir_attenuation > 0.0) {
+      attenuation_ = config_.cached_ir_attenuation;
+    } else {
+      const auto est = circuit::estimate_line_parasitics(
+          array_->mapping().physical_rows(), i_on_max_,
+          array_->device_params().read_vdl, config_.wire);
+      attenuation_ = est.ir_attenuation;
+    }
   }
+  workspace_.flip_mask.assign(array_->mapping().num_spins(), 0);
 }
 
 EincResult AnalogCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
@@ -47,8 +51,18 @@ EincResult AnalogCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
   FECIM_EXPECTS(spins.size() == mapping.num_spins());
 
   const int bits = couplings.bits();
-  const double i_on = array_->on_current(signal.vbg);
+  if (signal.vbg != cached_vbg_) {
+    cached_i_on_ = array_->on_current(signal.vbg);
+    cached_vbg_ = signal.vbg;
+  }
+  const double i_on = cached_i_on_;
   const double read_noise_rel = array_->variation_params().read_noise_rel;
+  // Association mirrors the per-cell form: (i_on * att) * sum and
+  // ((rel * i_on) * att) * sqrt(sq_sum), keeping results bit-identical.
+  const double current_scale = i_on * attenuation_;
+  const double noise_scale = (read_noise_rel * i_on) * attenuation_;
+  const bool deterministic_readout =
+      read_noise_rel <= 0.0 && adc_.params().noise_lsb_rms <= 0.0;
 
   EincResult result;
   EngineTrace& trace = result.trace;
@@ -57,75 +71,99 @@ EincResult AnalogCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
   // Digital accumulator of signed, bit-weighted ADC codes.
   double accumulator = 0.0;
 
-  auto is_flipped = [&flips](std::uint32_t row) {
-    for (const auto f : flips)
-      if (f == row) return true;
-    return false;
-  };
+  auto& ws = workspace_;
+  // Validate before marking so a contract throw cannot leave stale bits in
+  // the reusable mask (contract_error is catchable; a dirty mask would
+  // silently corrupt every later evaluation).
+  for (const auto f : flips) FECIM_EXPECTS(f < ws.flip_mask.size());
+  for (const auto f : flips) ws.flip_mask[f] = 1;
 
-  // Per (bit, plane) current accumulation scratch: [bit][plane 0=pos,1=neg]
-  // holding the sum of cell multipliers and the sum of their squares (for
-  // aggregated per-cell read noise).
-  std::array<std::array<double, 2>, 16> mult_sum{};
-  std::array<std::array<double, 2>, 16> mult_sq_sum{};
-  std::array<std::array<bool, 2>, 16> column_present{};
+  const auto cache_rows = array_->cache_rows();
+  const auto cache_mults = array_->cache_multipliers();
 
   for (const auto j : flips) {
     // sigma_c_j = -sigma_j (the flipped value); its sign selects the
     // DL-polarity pass this column participates in.
     const int q = -static_cast<int>(spins[j]);
-    const auto view = array_->column(j);
 
-    // Which (bit, plane) physical columns exist for this logical column:
-    // the controller knows the programmed map and skips empty bit-columns.
-    for (auto& row : column_present) row = {false, false};
-    for (std::size_t k = 0; k < view.rows.size(); ++k) {
-      const std::int32_t mag = view.magnitudes[k];
-      const auto abs_mag = static_cast<std::uint32_t>(std::abs(mag));
-      const int plane = mag < 0 ? 1 : 0;
-      for (int b = 0; b < bits; ++b)
-        if (abs_mag & (1u << b))
-          column_present[static_cast<std::size_t>(b)]
-                        [static_cast<std::size_t>(plane)] = true;
+    // One sweep over each distinct cell list accumulates both row-polarity
+    // passes: an unflipped row contributes to exactly one polarity, and the
+    // per-polarity addition order stays the column's cell order.
+    const auto classes = array_->column_classes(j);
+    for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+      const auto& cls = classes[ci];
+      if (cls.all_unit) {
+        // Branchless: spins are random +-1, so per-cell branches mispredict
+        // half the time; counting live and positive cells with masks keeps
+        // the loop vectorizable.
+        std::uint32_t live = 0;
+        std::uint32_t count_pos = 0;
+        for (std::uint32_t k = cls.begin; k < cls.end; ++k) {
+          const auto row = cache_rows[k];
+          const std::uint32_t unflipped = ws.flip_mask[row] == 0 ? 1u : 0u;
+          live += unflipped;
+          count_pos += unflipped & (spins[row] > 0 ? 1u : 0u);
+        }
+        const std::uint32_t count_neg = live - count_pos;
+        ws.sum[0][ci] = static_cast<double>(count_pos);
+        ws.sum[1][ci] = static_cast<double>(count_neg);
+        ws.sq_sum[0][ci] = static_cast<double>(count_pos);
+        ws.sq_sum[1][ci] = static_cast<double>(count_neg);
+      } else {
+        double sum_pos = 0.0;
+        double sum_neg = 0.0;
+        double sq_pos = 0.0;
+        double sq_neg = 0.0;
+        for (std::uint32_t k = cls.begin; k < cls.end; ++k) {
+          const auto row = cache_rows[k];
+          if (ws.flip_mask[row]) continue;
+          const double m = cache_mults[k];
+          if (spins[row] > 0) {
+            sum_pos += m;
+            sq_pos += m * m;
+          } else {
+            sum_neg += m;
+            sq_neg += m * m;
+          }
+        }
+        ws.sum[0][ci] = sum_pos;
+        ws.sum[1][ci] = sum_neg;
+        ws.sq_sum[0][ci] = sq_pos;
+        ws.sq_sum[1][ci] = sq_neg;
+      }
     }
 
+    const auto segments = array_->column_segments(j);
     for (const int p : {+1, -1}) {  // row-polarity (FG) passes
-      for (auto& row : mult_sum) row = {0.0, 0.0};
-      for (auto& row : mult_sq_sum) row = {0.0, 0.0};
-
-      for (std::size_t k = 0; k < view.rows.size(); ++k) {
-        const auto i = view.rows[k];
-        // sigma_r is zero at flipped rows; the FG driver only raises rows
-        // whose unflipped spin matches the pass polarity.
-        if (static_cast<int>(spins[i]) != p || is_flipped(i)) continue;
-        const std::int32_t mag = view.magnitudes[k];
-        const auto abs_mag = static_cast<std::uint32_t>(std::abs(mag));
-        const int plane = mag < 0 ? 1 : 0;
-        const std::size_t entry = view.first_entry + k;
-        for (int b = 0; b < bits; ++b) {
-          if (!(abs_mag & (1u << b))) continue;
-          const double m = array_->bit_multiplier(entry, b);
-          mult_sum[static_cast<std::size_t>(b)]
-                  [static_cast<std::size_t>(plane)] += m;
-          mult_sq_sum[static_cast<std::size_t>(b)]
-                     [static_cast<std::size_t>(plane)] += m * m;
+      const int bank = p > 0 ? 0 : 1;
+      if (deterministic_readout) {
+        // No stochastic term anywhere in the sensing chain: segments
+        // sharing a class see the same current, hence the same code, so
+        // one conversion per class plus the precomputed per-class net
+        // weight replaces the per-segment shift-and-add.  Codes and
+        // weights are integers (< 2^53 in every partial sum), so this
+        // association is bit-identical to the per-segment order.  The
+        // ledger still counts one conversion per physical column sensed.
+        const auto weights = array_->column_class_weights(j);
+        double column_acc = 0.0;
+        for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+          const std::uint32_t code =
+              adc_.convert(current_scale * ws.sum[bank][ci], rng);
+          column_acc += weights[ci] * static_cast<double>(code);
         }
+        accumulator += static_cast<double>(p * q) * column_acc;
+        trace.adc_conversions += array_->column_present_segments(j);
+        continue;
       }
-
       for (int b = 0; b < bits; ++b) {
         for (int plane = 0; plane < 2; ++plane) {
-          if (!column_present[static_cast<std::size_t>(b)]
-                             [static_cast<std::size_t>(plane)])
-            continue;
-          double current = i_on * attenuation_ *
-                           mult_sum[static_cast<std::size_t>(b)]
-                                   [static_cast<std::size_t>(plane)];
+          const auto seg = segments[static_cast<std::size_t>(b * 2 + plane)];
+          if (!seg.present) continue;
+          double current = current_scale * ws.sum[bank][seg.cls];
           if (read_noise_rel > 0.0) {
             // Independent per-cell C2C noise aggregates in quadrature.
             const double sigma =
-                read_noise_rel * i_on * attenuation_ *
-                std::sqrt(mult_sq_sum[static_cast<std::size_t>(b)]
-                                     [static_cast<std::size_t>(plane)]);
+                noise_scale * std::sqrt(ws.sq_sum[bank][seg.cls]);
             if (sigma > 0.0) current += rng.normal(0.0, sigma);
           }
           const std::uint32_t code = adc_.convert(current, rng);
@@ -138,6 +176,8 @@ EincResult AnalogCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
       }
     }
   }
+
+  for (const auto f : flips) ws.flip_mask[f] = 0;
 
   // Fixed digital calibration: codes carry I_on(vbg) * attenuation / LSB;
   // dividing by I_on(vbg_max) * attenuation re-expresses the result as

@@ -11,9 +11,18 @@
 // current carries the factor I_on(V_BG), the product with the fractional
 // annealing factor f(T) happens *in situ*; the digital back end only scales
 // by the fixed calibration constant  scale * LSB / I_on(V_BG_max).
+//
+// Hot path: the engine walks the array's precomputed bit-plane column cache
+// (one pass over each distinct segment class accumulates both row
+// polarities) instead of decoding magnitudes per cell per call, and tracks
+// flip membership through a reusable per-engine workspace bitmask.  Both
+// restructurings are floating-point- and RNG-draw-order-identical to the
+// direct per-cell evaluation; tests/test_perf_equivalence.cpp pins that
+// equivalence against crossbar/reference_kernels.hpp.
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "circuit/parasitics.hpp"
 #include "circuit/sar_adc.hpp"
@@ -29,6 +38,11 @@ struct AnalogEngineConfig {
   double full_scale_cells = 64.0;
   bool model_ir_drop = true;
   circuit::WireTech wire{};
+  /// Precomputed IR-drop attenuation for this (array, wire) pair; <= 0
+  /// means solve the MNA ladder at construction.  Campaign annealers solve
+  /// it once and stamp it here so per-run engine instances are cheap -- the
+  /// array is immutable, so the factor cannot change between runs.
+  double cached_ir_attenuation = 0.0;
 };
 
 class AnalogCrossbarEngine final : public EincEngine {
@@ -49,11 +63,26 @@ class AnalogCrossbarEngine final : public EincEngine {
   double ir_attenuation() const noexcept { return attenuation_; }
 
  private:
+  /// Reusable per-engine scratch so evaluate() performs no heap allocation:
+  /// the flip-membership bitmask plus per-segment-class accumulator banks
+  /// (index 0 = +1 row-polarity pass, 1 = -1; a column has at most
+  /// bits * 2 <= 32 distinct classes).
+  struct EvalWorkspace {
+    std::vector<std::uint8_t> flip_mask;
+    double sum[2][32];
+    double sq_sum[2][32];
+  };
+
   std::shared_ptr<const ProgrammedArray> array_;
   AnalogEngineConfig config_;
   circuit::SarAdc adc_;
   double attenuation_ = 1.0;
   double i_on_max_ = 0.0;
+  // on_current() evaluates the EKV transistor model; the DAC-quantized V_BG
+  // schedule repeats levels for long stretches, so memoize the last level.
+  double cached_vbg_ = -1.0;
+  double cached_i_on_ = 0.0;
+  EvalWorkspace workspace_;
 };
 
 }  // namespace fecim::crossbar

@@ -42,6 +42,15 @@ class EincEngine {
                               const ising::FlipSet& flips,
                               const AnnealSignal& signal, util::Rng& rng) = 0;
 
+  /// Notification that the annealer accepted `flips` and already applied
+  /// them to `spins_after`.  Engines carrying spin-dependent caches (the
+  /// ideal engine's local-field cache) resynchronize here; default no-op.
+  virtual void on_flips_applied(std::span<const ising::Spin> spins_after,
+                                const ising::FlipSet& flips) {
+    (void)spins_after;
+    (void)flips;
+  }
+
   virtual std::size_t num_spins() const noexcept = 0;
 };
 

@@ -17,7 +17,12 @@ EincResult IdealCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
                                          util::Rng& /*rng*/) {
   FECIM_EXPECTS(!flips.empty());
   EincResult result;
-  result.raw_vmv = model_->incremental_vmv(spins, flips);
+  if (use_cache_) {
+    if (!cache_.ready()) cache_.build(*model_, spins);
+    result.raw_vmv = cache_.vmv(*model_, spins, flips);
+  } else {
+    result.raw_vmv = model_->incremental_vmv(spins, flips);
+  }
   result.e_inc = result.raw_vmv * signal.factor;
 
   const auto n = static_cast<std::uint64_t>(model_->num_spins());
@@ -41,6 +46,12 @@ EincResult IdealCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
     trace.column_drives = 2 * n * bits * planes;
   }
   return result;
+}
+
+void IdealCrossbarEngine::on_flips_applied(
+    std::span<const ising::Spin> spins_after, const ising::FlipSet& flips) {
+  if (use_cache_ && cache_.ready())
+    cache_.apply_flips(*model_, spins_after, flips);
 }
 
 }  // namespace fecim::crossbar

@@ -11,11 +11,22 @@
 // The baselines use this engine (their algorithmic behaviour is exact
 // digital arithmetic); the proposed annealer uses it for noise-free
 // ablations.
+//
+// Annealers opt into the local-field cache (enable_local_field_cache()):
+// evaluations then read cached h_eff values instead of walking CSR rows, at
+// the cost of a protocol -- the caller must report every applied flip set
+// through on_flips_applied() and invalidate_local_field_cache() whenever it
+// rewrites the configuration wholesale.  Callers that hand arbitrary spin
+// vectors to evaluate() (tests, benches) leave the cache off and get the
+// stateless row-walk path.
 #pragma once
+
+#include <vector>
 
 #include "crossbar/engine.hpp"
 #include "crossbar/mapping.hpp"
 #include "ising/ising_model.hpp"
+#include "ising/local_field.hpp"
 
 namespace fecim::crossbar {
 
@@ -31,6 +42,20 @@ class IdealCrossbarEngine final : public EincEngine {
                       const ising::FlipSet& flips, const AnnealSignal& signal,
                       util::Rng& rng) override;
 
+  void on_flips_applied(std::span<const ising::Spin> spins_after,
+                        const ising::FlipSet& flips) override;
+
+  /// Switch evaluations to the incrementally-maintained local-field cache
+  /// (built lazily from the spins of the next evaluate() call).
+  void enable_local_field_cache() {
+    use_cache_ = true;
+    cache_.reset();
+  }
+  /// Drop the cached fields (e.g. after resetting spins to an earlier
+  /// configuration); the next evaluate() rebuilds them.
+  void invalidate_local_field_cache() { cache_.reset(); }
+  bool local_field_cache_enabled() const noexcept { return use_cache_; }
+
   std::size_t num_spins() const noexcept override {
     return model_->num_spins();
   }
@@ -41,6 +66,8 @@ class IdealCrossbarEngine final : public EincEngine {
   const ising::IsingModel* model_;
   CrossbarMapping mapping_;
   Accounting accounting_;
+  bool use_cache_ = false;
+  ising::LocalFieldCache cache_;
 };
 
 }  // namespace fecim::crossbar

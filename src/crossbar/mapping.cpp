@@ -45,12 +45,25 @@ std::size_t CrossbarMapping::slots_for_flips(
   if (flips.empty()) return 0;
   // Two flipped columns serialize only when they share a MUX group within a
   // bit-plane segment; the segment-local group assignment is identical
-  // across segments, so one multiplicity count suffices.
+  // across segments, so one multiplicity count suffices.  Annealers call
+  // this every iteration with |F| of a handful, so the common path counts
+  // the maximum group multiplicity with an O(t^2) scan on the stack instead
+  // of allocating and sorting a scratch vector.
+  std::size_t worst = 1;
+  if (flips.size() <= 64) {
+    for (std::size_t i = 0; i < flips.size(); ++i) {
+      const std::size_t group = group_of_logical(flips[i]);
+      std::size_t multiplicity = 1;
+      for (std::size_t k = 0; k < i; ++k)
+        multiplicity += group_of_logical(flips[k]) == group ? 1 : 0;
+      worst = std::max(worst, multiplicity);
+    }
+    return worst;
+  }
   std::vector<std::size_t> groups;
   groups.reserve(flips.size());
   for (const auto j : flips) groups.push_back(group_of_logical(j));
   std::sort(groups.begin(), groups.end());
-  std::size_t worst = 1;
   std::size_t run = 1;
   for (std::size_t i = 1; i < groups.size(); ++i) {
     run = groups[i] == groups[i - 1] ? run + 1 : 1;

@@ -1,6 +1,7 @@
 #include "crossbar/programmed_array.hpp"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "util/assert.hpp"
 
@@ -21,30 +22,127 @@ ProgrammedArray::ProgrammedArray(const QuantizedCouplings& couplings,
   const auto bits = static_cast<std::size_t>(couplings_.bits());
   multipliers_.assign(couplings_.nonzeros() * bits, 1.0F);
 
-  if (variation_.ideal()) return;
-
-  util::Rng rng(seed);
-  // Subthreshold translation of a V_TH offset into a current factor:
-  // I ~ exp(-dVth / (n Vt)).
-  const double v_slope = device_params_.transistor.slope_factor *
-                         device_params_.transistor.thermal_voltage;
-  for (std::size_t cell = 0; cell < multipliers_.size(); ++cell) {
-    const double roll = rng.uniform01();
-    if (roll < variation_.stuck_off_rate) {
-      multipliers_[cell] = 0.0F;
-      ++faulted_;
-      continue;
-    }
-    if (roll < variation_.stuck_off_rate + variation_.stuck_on_rate) {
-      multipliers_[cell] = 1.0F;
-      ++faulted_;
-      continue;
-    }
-    if (variation_.vth_sigma > 0.0) {
-      const double dvth = rng.normal(0.0, variation_.vth_sigma);
-      multipliers_[cell] = static_cast<float>(std::exp(-dvth / v_slope));
+  if (!variation_.ideal()) {
+    util::Rng rng(seed);
+    // Subthreshold translation of a V_TH offset into a current factor:
+    // I ~ exp(-dVth / (n Vt)).
+    const double v_slope = device_params_.transistor.slope_factor *
+                           device_params_.transistor.thermal_voltage;
+    for (std::size_t cell = 0; cell < multipliers_.size(); ++cell) {
+      const double roll = rng.uniform01();
+      if (roll < variation_.stuck_off_rate) {
+        multipliers_[cell] = 0.0F;
+        ++faulted_;
+        continue;
+      }
+      if (roll < variation_.stuck_off_rate + variation_.stuck_on_rate) {
+        multipliers_[cell] = 1.0F;
+        ++faulted_;
+        continue;
+      }
+      if (variation_.vth_sigma > 0.0) {
+        const double dvth = rng.normal(0.0, variation_.vth_sigma);
+        multipliers_[cell] = static_cast<float>(std::exp(-dvth / v_slope));
+      }
     }
   }
+
+  build_column_cache();
+}
+
+void ProgrammedArray::build_column_cache() {
+  const auto bits = static_cast<std::size_t>(couplings_.bits());
+  const std::size_t n = couplings_.num_spins();
+  FECIM_EXPECTS(bits >= 1 && bits <= 16);
+
+  segments_.assign(n * bits * 2, SegmentRef{});
+  class_ptr_.assign(n + 1, 0);
+  classes_.clear();
+  class_weights_.clear();
+  present_count_.assign(n, 0);
+  cache_rows_.clear();
+  cache_mults_.clear();
+  // Heuristic reserve: with segment-class dedup the common cases (unit
+  // weights, coarse quantization) store each programmed entry about once;
+  // fully-distinct multipliers can grow this toward nonzeros * bits, which
+  // the vectors absorb geometrically during this one-time build and
+  // shrink_to_fit trims below.
+  cache_rows_.reserve(couplings_.nonzeros());
+  cache_mults_.reserve(couplings_.nonzeros());
+
+  std::vector<std::uint32_t> stage_rows;
+  std::vector<float> stage_mults;
+
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto view = column(j);
+    const std::size_t class_base = classes_.size();
+    for (std::size_t b = 0; b < bits; ++b) {
+      for (int plane = 0; plane < 2; ++plane) {
+        stage_rows.clear();
+        stage_mults.clear();
+        bool present = false;
+        bool all_unit = true;
+        for (std::size_t k = 0; k < view.rows.size(); ++k) {
+          const std::int32_t mag = view.magnitudes[k];
+          const auto abs_mag = static_cast<std::uint32_t>(std::abs(mag));
+          if (!(abs_mag & (1u << b))) continue;
+          if ((mag < 0 ? 1 : 0) != plane) continue;
+          present = true;
+          const float m = multipliers_[(view.first_entry + k) * bits + b];
+          if (m == 0.0F) continue;  // stuck-off: exact +0.0 contribution
+          stage_rows.push_back(view.rows[k]);
+          stage_mults.push_back(m);
+          all_unit &= m == 1.0F;
+        }
+        auto& seg = segments_[(j * bits + b) * 2 + static_cast<std::size_t>(plane)];
+        seg.present = present ? 1 : 0;
+        if (!present) continue;
+
+        // Dedupe against this column's existing classes: identical cell
+        // lists (common under coarse quantization, universal for unit
+        // weights) share one accumulation per evaluation.
+        std::size_t cls = classes_.size();
+        for (std::size_t ci = class_base; ci < classes_.size(); ++ci) {
+          const auto& cand = classes_[ci];
+          const std::size_t len = cand.end - cand.begin;
+          if (len != stage_rows.size()) continue;
+          bool match = true;
+          for (std::size_t e = 0; e < len && match; ++e) {
+            match = cache_rows_[cand.begin + e] == stage_rows[e] &&
+                    cache_mults_[cand.begin + e] == stage_mults[e];
+          }
+          if (match) {
+            cls = ci;
+            break;
+          }
+        }
+        if (cls == classes_.size()) {
+          SegmentClass fresh;
+          fresh.begin = static_cast<std::uint32_t>(cache_rows_.size());
+          cache_rows_.insert(cache_rows_.end(), stage_rows.begin(),
+                             stage_rows.end());
+          cache_mults_.insert(cache_mults_.end(), stage_mults.begin(),
+                              stage_mults.end());
+          fresh.end = static_cast<std::uint32_t>(cache_rows_.size());
+          fresh.all_unit = all_unit ? 1 : 0;
+          classes_.push_back(fresh);
+          class_weights_.push_back(0.0);
+        }
+        // A column has at most bits * 2 <= 32 segments, so at most 32
+        // distinct classes -- the engine's accumulator banks rely on this.
+        const std::size_t local = cls - class_base;
+        FECIM_ASSERT(local < 32);
+        seg.cls = static_cast<std::uint8_t>(local);
+        class_weights_[cls] +=
+            (plane == 0 ? 1.0 : -1.0) * static_cast<double>(1u << b);
+        ++present_count_[j];
+      }
+    }
+    class_ptr_[j + 1] = static_cast<std::uint32_t>(classes_.size());
+  }
+
+  cache_rows_.shrink_to_fit();
+  cache_mults_.shrink_to_fit();
 }
 
 double ProgrammedArray::on_current(double vbg) const noexcept {

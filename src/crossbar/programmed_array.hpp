@@ -9,9 +9,21 @@
 //     multiplier  = exp(-dVth / (n * Vt))   (stuck-off -> 0, stuck-on -> 1).
 // This first-order factorization keeps campaign-scale simulation tractable;
 // tests compare it against the exact EKV evaluation on small arrays.
+//
+// Because the array is immutable once programmed, programming time also
+// builds a bit-plane-sliced column cache: for every (logical column, bit,
+// plane) the conducting cells are laid out contiguously as (row, multiplier)
+// entries, and segments with identical content within a column are deduped
+// into shared "segment classes" so the engine accumulates each distinct cell
+// list once per evaluation instead of once per bit.  The cache is a pure
+// re-layout of column()/bit_multiplier(): the engine's sums over it are
+// bit-identical to decoding magnitudes on the fly (entries stay in ascending
+// intra-column order, and dropped zero-multiplier cells only ever
+// contributed exact +0.0 terms).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "crossbar/bit_slicing.hpp"
@@ -63,7 +75,68 @@ class ProgrammedArray {
   /// cells -- reported by robustness benches.
   std::size_t num_faulted_bit_cells() const noexcept { return faulted_; }
 
+  // -------------------------------------------------------------------------
+  // Bit-plane column cache (precomputed at program time; see file comment).
+  // -------------------------------------------------------------------------
+
+  /// One distinct conducting-cell list of a column.  Entries live in
+  /// cache_rows()/cache_multipliers()[begin, end), in ascending intra-column
+  /// order with zero-multiplier (stuck-off) cells dropped.
+  struct SegmentClass {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    /// Every multiplier is exactly 1.0f (ideal or stuck-on cells): sums of
+    /// k ones equal double(k) exactly, so the engine may count instead of
+    /// accumulate.
+    std::uint8_t all_unit = 0;
+  };
+
+  /// Physical (bit, plane) column of a logical column: whether any
+  /// programmed cell stores this bit (the controller senses the column even
+  /// when every such cell is stuck off), and which class holds its
+  /// conducting cells.  `cls` indexes column_classes(j).
+  struct SegmentRef {
+    std::uint8_t cls = 0;
+    std::uint8_t present = 0;
+  };
+
+  /// Segment refs of logical column j, indexed [bit * 2 + plane]
+  /// (plane 0 = positive weights, 1 = negative).
+  std::span<const SegmentRef> column_segments(std::size_t j) const {
+    const auto stride = static_cast<std::size_t>(couplings_.bits()) * 2;
+    return {segments_.data() + j * stride, stride};
+  }
+
+  /// Distinct segment classes of logical column j (at most bits * 2).
+  std::span<const SegmentClass> column_classes(std::size_t j) const {
+    return {classes_.data() + class_ptr_[j], class_ptr_[j + 1] - class_ptr_[j]};
+  }
+
+  /// Net digital weight of each class of column j, aligned with
+  /// column_classes(j):  sum over the present segments referencing the
+  /// class of  plane_sign * 2^bit.  Every term is an integer, so with a
+  /// deterministic readout (one shared code per class) accumulating
+  /// weight * code per class is bit-identical to the per-segment
+  /// shift-and-add in any association.
+  std::span<const double> column_class_weights(std::size_t j) const {
+    return {class_weights_.data() + class_ptr_[j],
+            class_ptr_[j + 1] - class_ptr_[j]};
+  }
+
+  /// Number of present (bit, plane) physical columns of logical column j --
+  /// the ADC conversions one polarity pass of this column costs.
+  std::uint32_t column_present_segments(std::size_t j) const {
+    return present_count_[j];
+  }
+
+  std::span<const std::uint32_t> cache_rows() const noexcept { return cache_rows_; }
+  std::span<const float> cache_multipliers() const noexcept {
+    return cache_mults_;
+  }
+
  private:
+  void build_column_cache();
+
   QuantizedCouplings couplings_;
   CrossbarMapping mapping_;
   device::DgFefetParams device_params_;
@@ -71,6 +144,15 @@ class ProgrammedArray {
   // multipliers_[entry * bits + bit]
   std::vector<float> multipliers_;
   std::size_t faulted_ = 0;
+
+  // Column cache storage (see accessors above).
+  std::vector<SegmentRef> segments_;     // [(j * bits + bit) * 2 + plane]
+  std::vector<SegmentClass> classes_;    // grouped per column
+  std::vector<std::uint32_t> class_ptr_;  // column -> range in classes_
+  std::vector<std::uint32_t> cache_rows_;
+  std::vector<float> cache_mults_;
+  std::vector<double> class_weights_;      // aligned with classes_
+  std::vector<std::uint32_t> present_count_;  // per column
 };
 
 }  // namespace fecim::crossbar

@@ -1,0 +1,165 @@
+// Golden reference implementations of the simulation hot paths, preserved
+// verbatim from the pre-cache direct algorithms.
+//
+// The optimized kernels (AnalogCrossbarEngine over the bit-plane column
+// cache, IsingModel::incremental_vmv over the persistent flip bitmap) are
+// required to be floating-point- and RNG-draw-order-identical to these;
+// tests/test_perf_equivalence.cpp asserts that contract and
+// bench/bench_hotpath.cpp measures the speedup against them.  They are
+// intentionally slow -- do not call them outside tests/benches.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "circuit/sar_adc.hpp"
+#include "crossbar/engine.hpp"
+#include "crossbar/programmed_array.hpp"
+#include "ising/ising_model.hpp"
+#include "util/assert.hpp"
+
+namespace fecim::crossbar::reference {
+
+/// Per-cell magnitude-decoding analog evaluation (the seed algorithm):
+/// re-derives bit-plane column structure per call and scans the flip set
+/// linearly per row.  `adc`, `attenuation` and `i_on_max` come from the
+/// engine under test so both paths share one calibration.
+inline EincResult analog_evaluate(const ProgrammedArray& array,
+                                  const circuit::SarAdc& adc,
+                                  double attenuation, double i_on_max,
+                                  std::span<const ising::Spin> spins,
+                                  const ising::FlipSet& flips,
+                                  const AnnealSignal& signal, util::Rng& rng) {
+  FECIM_EXPECTS(!flips.empty());
+  const auto& mapping = array.mapping();
+  const auto& couplings = array.couplings();
+  FECIM_EXPECTS(spins.size() == mapping.num_spins());
+
+  const int bits = couplings.bits();
+  const double i_on = array.on_current(signal.vbg);
+  const double read_noise_rel = array.variation_params().read_noise_rel;
+
+  EincResult result;
+  EngineTrace& trace = result.trace;
+  trace.crossbar_passes = 4;
+
+  double accumulator = 0.0;
+
+  auto is_flipped = [&flips](std::uint32_t row) {
+    for (const auto f : flips)
+      if (f == row) return true;
+    return false;
+  };
+
+  std::array<std::array<double, 2>, 16> mult_sum{};
+  std::array<std::array<double, 2>, 16> mult_sq_sum{};
+  std::array<std::array<bool, 2>, 16> column_present{};
+
+  for (const auto j : flips) {
+    const int q = -static_cast<int>(spins[j]);
+    const auto view = array.column(j);
+
+    for (auto& row : column_present) row = {false, false};
+    for (std::size_t k = 0; k < view.rows.size(); ++k) {
+      const std::int32_t mag = view.magnitudes[k];
+      const auto abs_mag = static_cast<std::uint32_t>(std::abs(mag));
+      const int plane = mag < 0 ? 1 : 0;
+      for (int b = 0; b < bits; ++b)
+        if (abs_mag & (1u << b))
+          column_present[static_cast<std::size_t>(b)]
+                        [static_cast<std::size_t>(plane)] = true;
+    }
+
+    for (const int p : {+1, -1}) {
+      for (auto& row : mult_sum) row = {0.0, 0.0};
+      for (auto& row : mult_sq_sum) row = {0.0, 0.0};
+
+      for (std::size_t k = 0; k < view.rows.size(); ++k) {
+        const auto i = view.rows[k];
+        if (static_cast<int>(spins[i]) != p || is_flipped(i)) continue;
+        const std::int32_t mag = view.magnitudes[k];
+        const auto abs_mag = static_cast<std::uint32_t>(std::abs(mag));
+        const int plane = mag < 0 ? 1 : 0;
+        const std::size_t entry = view.first_entry + k;
+        for (int b = 0; b < bits; ++b) {
+          if (!(abs_mag & (1u << b))) continue;
+          const double m = array.bit_multiplier(entry, b);
+          mult_sum[static_cast<std::size_t>(b)]
+                  [static_cast<std::size_t>(plane)] += m;
+          mult_sq_sum[static_cast<std::size_t>(b)]
+                     [static_cast<std::size_t>(plane)] += m * m;
+        }
+      }
+
+      for (int b = 0; b < bits; ++b) {
+        for (int plane = 0; plane < 2; ++plane) {
+          if (!column_present[static_cast<std::size_t>(b)]
+                             [static_cast<std::size_t>(plane)])
+            continue;
+          double current = i_on * attenuation *
+                           mult_sum[static_cast<std::size_t>(b)]
+                                   [static_cast<std::size_t>(plane)];
+          if (read_noise_rel > 0.0) {
+            const double sigma =
+                read_noise_rel * i_on * attenuation *
+                std::sqrt(mult_sq_sum[static_cast<std::size_t>(b)]
+                                     [static_cast<std::size_t>(plane)]);
+            if (sigma > 0.0) current += rng.normal(0.0, sigma);
+          }
+          const std::uint32_t code = adc.convert(current, rng);
+          const double plane_sign = plane == 0 ? 1.0 : -1.0;
+          accumulator += static_cast<double>(p * q) * plane_sign *
+                         static_cast<double>(1u << b) *
+                         static_cast<double>(code);
+          ++trace.adc_conversions;
+        }
+      }
+    }
+  }
+
+  const double to_einc =
+      couplings.scale() * adc.lsb_current() / (i_on_max * attenuation);
+  result.e_inc = accumulator * to_einc;
+  const double f_hw = i_on / i_on_max;
+  result.raw_vmv = f_hw > 0.0 ? result.e_inc / f_hw : 0.0;
+
+  const auto n = static_cast<std::uint64_t>(mapping.num_spins());
+  const auto t = static_cast<std::uint64_t>(flips.size());
+  trace.mux_slot_cycles = 2 * mapping.slots_for_flips(flips);
+  trace.row_drives = 2 * (n - t);
+  trace.column_drives =
+      2 * t * static_cast<std::uint64_t>(bits) *
+      static_cast<std::uint64_t>(mapping.planes());
+  return result;
+}
+
+/// Seed incremental VMV: rebuilds (and zero-fills) an n-sized flip bitmap on
+/// every call.  Arithmetic is identical to IsingModel::incremental_vmv.
+inline double incremental_vmv(const ising::IsingModel& model,
+                              std::span<const ising::Spin> spins,
+                              std::span<const std::uint32_t> flips) {
+  const std::size_t n = model.num_spins();
+  FECIM_EXPECTS(spins.size() == n);
+  std::vector<std::uint8_t> flipped(n, 0);
+  for (const auto idx : flips) {
+    FECIM_EXPECTS(idx < n);
+    FECIM_EXPECTS(!flipped[idx]);
+    flipped[idx] = 1;
+  }
+  const auto& j_matrix = model.couplings();
+  double acc = 0.0;
+  for (const auto i : flips) {
+    const double sigma_c_i = -static_cast<double>(spins[i]);
+    const auto cols = j_matrix.row_cols(i);
+    const auto vals = j_matrix.row_values(i);
+    double inner = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const auto j = cols[k];
+      if (!flipped[j]) inner += vals[k] * static_cast<double>(spins[j]);
+    }
+    acc += sigma_c_i * inner;
+  }
+  return acc;
+}
+
+}  // namespace fecim::crossbar::reference

@@ -6,10 +6,17 @@ namespace fecim::ising {
 
 FlipSet random_flip_set(std::size_t n_flippable, std::size_t t,
                         util::Rng& rng) {
+  FlipSet flips;
+  random_flip_set_into(flips, n_flippable, t, rng);
+  return flips;
+}
+
+void random_flip_set_into(FlipSet& out, std::size_t n_flippable,
+                          std::size_t t, util::Rng& rng) {
   FECIM_EXPECTS(t > 0);
   FECIM_EXPECTS(t <= n_flippable);
-  return rng.sample_without_replacement(static_cast<std::uint32_t>(n_flippable),
-                                        static_cast<std::uint32_t>(t));
+  rng.sample_without_replacement_into(static_cast<std::uint32_t>(n_flippable),
+                                      static_cast<std::uint32_t>(t), out);
 }
 
 SweepFlipGenerator::SweepFlipGenerator(std::size_t n_flippable, std::size_t t)
@@ -19,11 +26,17 @@ SweepFlipGenerator::SweepFlipGenerator(std::size_t n_flippable, std::size_t t)
 }
 
 FlipSet SweepFlipGenerator::next() {
-  FlipSet flips(t_);
-  for (std::size_t i = 0; i < t_; ++i)
-    flips[i] = static_cast<std::uint32_t>((cursor_ + i) % n_);
-  cursor_ = (cursor_ + t_) % n_;
+  FlipSet flips;
+  next_into(flips);
   return flips;
+}
+
+void SweepFlipGenerator::next_into(FlipSet& flips) {
+  flips.clear();
+  flips.reserve(t_);
+  for (std::size_t i = 0; i < t_; ++i)
+    flips.push_back(static_cast<std::uint32_t>((cursor_ + i) % n_));
+  cursor_ = (cursor_ + t_) % n_;
 }
 
 }  // namespace fecim::ising

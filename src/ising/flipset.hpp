@@ -17,6 +17,12 @@ using FlipSet = std::vector<std::uint32_t>;
 FlipSet random_flip_set(std::size_t n_flippable, std::size_t t,
                         util::Rng& rng);
 
+/// Allocation-free variant for annealer inner loops: clears and refills
+/// `out`, reusing its capacity.  Same RNG draw order and contents as
+/// random_flip_set for the same engine state.
+void random_flip_set_into(FlipSet& out, std::size_t n_flippable,
+                          std::size_t t, util::Rng& rng);
+
 /// Deterministic sweep generator: consecutive windows of `t` indices,
 /// wrapping around.  Useful for tests and for sweep-style annealing modes.
 class SweepFlipGenerator {
@@ -24,6 +30,9 @@ class SweepFlipGenerator {
   SweepFlipGenerator(std::size_t n_flippable, std::size_t t);
 
   FlipSet next();
+
+  /// Allocation-free next(): clears and refills `out`.
+  void next_into(FlipSet& out);
 
  private:
   std::size_t n_;

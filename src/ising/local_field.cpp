@@ -1,0 +1,64 @@
+#include "ising/local_field.hpp"
+
+#include "util/assert.hpp"
+
+namespace fecim::ising {
+
+void LocalFieldCache::build(const IsingModel& model,
+                            std::span<const Spin> spins) {
+  const std::size_t n = model.num_spins();
+  FECIM_EXPECTS(spins.size() == n);
+  h_.assign(n, 0.0);
+  const auto& j = model.couplings();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cols = j.row_cols(i);
+    const auto vals = j.row_values(i);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      acc += vals[k] * static_cast<double>(spins[cols[k]]);
+    h_[i] = acc;
+  }
+}
+
+double LocalFieldCache::vmv(const IsingModel& model,
+                            std::span<const Spin> spins,
+                            std::span<const std::uint32_t> flips) const {
+  FECIM_EXPECTS(ready());
+  FECIM_EXPECTS(spins.size() == h_.size());
+  // Beyond small flip sets the pairwise correction loses to a row walk.
+  if (flips.size() > 16) return model.incremental_vmv(spins, flips);
+
+  const auto& j = model.couplings();
+  double acc = 0.0;
+  for (const auto i : flips) {
+    FECIM_EXPECTS(i < h_.size());
+    // sum_{j not in F} J_ij sigma_j = h_i - sum_{j in F} J_ij sigma_j.
+    double inner = h_[i];
+    for (const auto other : flips) {
+      if (other == i) continue;
+      const double v = j.at(i, other);
+      if (v != 0.0) inner -= v * static_cast<double>(spins[other]);
+    }
+    acc += -static_cast<double>(spins[i]) * inner;
+  }
+  return acc;
+}
+
+void LocalFieldCache::apply_flips(const IsingModel& model,
+                                  std::span<const Spin> spins_after,
+                                  std::span<const std::uint32_t> flips) {
+  FECIM_EXPECTS(ready());
+  FECIM_EXPECTS(spins_after.size() == h_.size());
+  const auto& j = model.couplings();
+  for (const auto i : flips) {
+    FECIM_EXPECTS(i < h_.size());
+    // sigma_new - sigma_old = 2 sigma_new for a flipped spin.
+    const double delta = 2.0 * static_cast<double>(spins_after[i]);
+    const auto cols = j.row_cols(i);
+    const auto vals = j.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      h_[cols[k]] += vals[k] * delta;
+  }
+}
+
+}  // namespace fecim::ising

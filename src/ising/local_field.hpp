@@ -1,0 +1,48 @@
+// Local-field cache: h_eff[i] = sum_j J_ij sigma_j for the current
+// configuration, maintained incrementally.
+//
+// With the cache, the incremental VMV of a proposed flip set needs only the
+// cached fields of the flipped spins plus the O(|F|^2) mutual-coupling
+// correction -- no CSR row walk -- and an accepted flip set updates the
+// fields of the flipped spins' neighborhoods in O(sum degree).  The cached
+// evaluation reassociates the per-row sum (h_i - cross_i instead of a
+// filtered row walk), so results can differ from IsingModel::incremental_vmv
+// by floating-point rounding; the consumer must use one path consistently
+// within a run, which IdealCrossbarEngine's opt-in wiring guarantees.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ising/ising_model.hpp"
+#include "ising/spin.hpp"
+
+namespace fecim::ising {
+
+class LocalFieldCache {
+ public:
+  /// Populate the fields from scratch for `spins`; O(nnz).
+  void build(const IsingModel& model, std::span<const Spin> spins);
+
+  bool ready() const noexcept { return !h_.empty(); }
+  void reset() noexcept { h_.clear(); }
+
+  /// sigma_r^T J sigma_c for the proposed (not yet applied) `flips`.
+  /// O(|F|^2 log degree) via mutual-coupling lookups for the small flip sets
+  /// the annealers propose; falls back to the row-walk form beyond that.
+  double vmv(const IsingModel& model, std::span<const Spin> spins,
+             std::span<const std::uint32_t> flips) const;
+
+  /// Resynchronize after `flips` were applied (`spins_after` already holds
+  /// the flipped values); O(sum degree of flipped spins).
+  void apply_flips(const IsingModel& model,
+                   std::span<const Spin> spins_after,
+                   std::span<const std::uint32_t> flips);
+
+  std::span<const double> fields() const noexcept { return h_; }
+
+ private:
+  std::vector<double> h_;
+};
+
+}  // namespace fecim::ising

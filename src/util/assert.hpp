@@ -5,8 +5,12 @@
 // FECIM_ASSERT   — internal invariant
 //
 // All three throw fecim::contract_error so tests can assert on violations;
-// they stay active in release builds because every check here guards a
-// numerical-model invariant whose silent violation would corrupt results.
+// they stay active in release builds (including -DNDEBUG) because every
+// check here guards a numerical-model invariant whose silent violation
+// would corrupt results.  The `release-fast` CMake preset defines
+// FECIM_DISABLE_CONTRACTS to compile them out for throughput measurements
+// only; conditions are never evaluated in that mode, so they must stay
+// side-effect-free.
 #pragma once
 
 #include <stdexcept>
@@ -30,6 +34,20 @@ namespace detail {
 
 }  // namespace fecim
 
+#if defined(FECIM_DISABLE_CONTRACTS)
+
+// Compiled-out form: the condition is type-checked but never evaluated.
+#define FECIM_CONTRACT_NOOP(cond)                                           \
+  do {                                                                      \
+    if (false) static_cast<void>(cond);                                     \
+  } while (false)
+
+#define FECIM_EXPECTS(cond) FECIM_CONTRACT_NOOP(cond)
+#define FECIM_ENSURES(cond) FECIM_CONTRACT_NOOP(cond)
+#define FECIM_ASSERT(cond) FECIM_CONTRACT_NOOP(cond)
+
+#else
+
 #define FECIM_EXPECTS(cond)                                                 \
   do {                                                                      \
     if (!(cond))                                                            \
@@ -50,3 +68,5 @@ namespace detail {
       ::fecim::detail::contract_fail("invariant", #cond, __FILE__,          \
                                      __LINE__);                             \
   } while (false)
+
+#endif  // FECIM_DISABLE_CONTRACTS

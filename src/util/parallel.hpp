@@ -2,6 +2,14 @@
 //
 // Each task index gets its own RNG stream derived outside the loop, so the
 // result of a campaign is independent of the thread count.
+//
+// Workers live in a lazily-initialized persistent pool: the first parallel
+// call spawns them, every later call reuses them, so campaign loops that
+// issue many parallel_for calls (sweeps, ablation grids) pay thread-creation
+// cost once per process instead of once per call.  After a task throws, the
+// remaining indices are still claimed (so completion accounting stays exact)
+// but their bodies are skipped -- a failed campaign stops doing work
+// immediately instead of running every remaining run to completion.
 #pragma once
 
 #include <cstddef>
@@ -11,8 +19,15 @@ namespace fecim::util {
 
 /// Run body(i) for i in [0, count) across `threads` workers (0 = use
 /// worker_threads()).  Exceptions from tasks are captured and the first one
-/// is rethrown after all workers join.
+/// is rethrown after the call completes; once a task has thrown, remaining
+/// indices are drained as no-ops.  Nested calls from inside a task body
+/// execute serially inline.  Thread-safe: concurrent top-level calls are
+/// serialized against each other.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
+
+/// Number of worker slots parallel_for would use for this request
+/// (min(threads or worker_threads(), count), at least 1).
+std::size_t resolved_parallel_threads(std::size_t count, std::size_t threads);
 
 }  // namespace fecim::util

@@ -90,8 +90,15 @@ bool Rng::bernoulli(double p) noexcept { return uniform01() < p; }
 
 std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
                                                            std::uint32_t k) {
-  FECIM_EXPECTS(k <= n);
   std::vector<std::uint32_t> chosen;
+  sample_without_replacement_into(n, k, chosen);
+  return chosen;
+}
+
+void Rng::sample_without_replacement_into(std::uint32_t n, std::uint32_t k,
+                                          std::vector<std::uint32_t>& chosen) {
+  FECIM_EXPECTS(k <= n);
+  chosen.clear();
   chosen.reserve(k);
   // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; if t already
   // chosen insert j, else insert t.  O(k) expected with a linear membership
@@ -108,7 +115,6 @@ std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
     chosen.push_back(seen ? j : t);
   }
   FECIM_ENSURES(chosen.size() == k);
-  return chosen;
 }
 
 Rng Rng::split(std::uint64_t stream_tag) const noexcept {

@@ -61,6 +61,12 @@ class Rng {
   std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
                                                         std::uint32_t k);
 
+  /// Allocation-free variant for hot loops: clears `out` and fills it with
+  /// the sample, reusing its capacity.  Identical RNG draw order and result
+  /// as sample_without_replacement for the same engine state.
+  void sample_without_replacement_into(std::uint32_t n, std::uint32_t k,
+                                       std::vector<std::uint32_t>& out);
+
   /// Derive an independent stream for (e.g.) a worker thread or a run index.
   Rng split(std::uint64_t stream_tag) const noexcept;
 

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Single entry point for the repo's correctness + performance gate:
+#   1. configure + build the release-with-assertions preset,
+#   2. run the full ctest suite,
+#   3. smoke-run the hot-path benchmark (reduced sizes) so perf regressions
+#      that break the bench itself are caught before a full campaign.
+#
+# Usage: tools/check.sh [--full-bench]
+#   --full-bench   run bench_hotpath at its full sizes (writes
+#                  BENCH_hotpath.json in the repo root) instead of the smoke
+#                  configuration.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+full_bench=0
+for arg in "$@"; do
+  case "${arg}" in
+    --full-bench) full_bench=1 ;;
+    *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+if [[ -f CMakePresets.json ]]; then
+  cmake --preset release
+else
+  cmake -B build -S .
+fi
+cmake --build build -j"$(nproc)"
+
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "${full_bench}" == 1 ]]; then
+  ./build/bench/bench_hotpath
+else
+  # Smoke configuration: smallest size, few iterations, no JSON rewrite.
+  FECIM_BENCH_SMOKE=1 ./build/bench/bench_hotpath
+fi
+
+echo "check.sh: OK"
