@@ -5,14 +5,17 @@
 //      regimes: "analog" (deterministic device: ideal cells, noiseless ADC)
 //      isolates the restructured arithmetic -- bit-plane column cache,
 //      segment-class dedup, flip bitmask, V_BG memoization -- while
-//      "analog-noisy" (Vth spread + read noise + ADC noise) shows the
-//      stochastic-model-bound regime where both variants pay the same
-//      mandatory RNG draws (draw order is part of the equivalence
-//      contract, so the optimized engine cannot elide them).
-//   2. In-situ annealer iterations/sec on the ideal engine (local-field
+//      "analog-noisy" (Vth spread + read noise + ADC noise) tracks the
+//      stochastic path: counter-keyed ziggurat streams (batched per column)
+//      vs the reference kernel computing the identical keyed draws
+//      scalar-wise.
+//   2. Normal-sampler throughput: the counter-keyed ziggurat
+//      (NoiseStream::normal_fill) vs the sequential Box-Muller in
+//      Rng::normal() it replaced on the noisy hot path.
+//   3. In-situ annealer iterations/sec on the ideal engine (local-field
 //      cache + zero-allocation loop vs seed loop with per-call n-byte
 //      bitmap zero-fills and per-iteration allocations).
-//   3. Campaign wall-clock at N = 1024 (deterministic device):
+//   4. Campaign wall-clock at N = 1024 (deterministic device):
 //      run_maxcut_campaign (persistent pool, zero-allocation inner loops,
 //      mutex-free reduction) vs a faithful legacy campaign (reference
 //      kernels, per-iteration allocations, thread spawn per call, merge
@@ -20,8 +23,9 @@
 //
 // Emits machine-readable JSON (default BENCH_hotpath.json; FECIM_BENCH_OUT
 // overrides) so the perf trajectory is tracked across PRs.
-// FECIM_BENCH_SMOKE=1 runs a seconds-scale subset without rewriting the
-// JSON (used by tools/check.sh).
+// FECIM_BENCH_SMOKE=1 runs a seconds-scale subset; it skips the default
+// JSON rewrite but honors an explicit FECIM_BENCH_OUT, which is how
+// tools/check.sh captures smoke numbers for its regression gate.
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -144,7 +148,7 @@ double measure_analog(const AnalogWorkload& workload, std::size_t iterations,
   util::WallTimer timer;
   for (std::size_t it = 0; it < iterations; ++it) {
     for (std::size_t k = 0; k < t; ++k) flips[k] = flip_stream[it * t + k];
-    checksum += evaluate(flips, signals[it], rng);
+    checksum += evaluate(flips, signals[it]);
   }
   const double elapsed = timer.seconds();
   if (checksum == 0.12345) std::printf("(unreachable checksum)\n");
@@ -162,19 +166,19 @@ EngineRow bench_analog_engine(std::size_t n, std::size_t iterations,
       workload.array->on_current(workload.array->device_params().vbg_max);
 
   EngineRow row{n, noisy ? "analog-noisy" : "analog", 0.0, 0.0, 0.0};
+  engine.begin_run(42);
   row.optimized_per_sec = measure_analog(
       workload, iterations,
-      [&](const ising::FlipSet& flips, const crossbar::AnnealSignal& signal,
-          util::Rng& rng) {
-        return engine.evaluate(workload.spins, flips, signal, rng).e_inc;
+      [&](const ising::FlipSet& flips, const crossbar::AnnealSignal& signal) {
+        return engine.evaluate(workload.spins, flips, signal).e_inc;
       });
+  auto noise = crossbar::ReadoutNoise::for_run(42);
   row.reference_per_sec = measure_analog(
       workload, iterations,
-      [&](const ising::FlipSet& flips, const crossbar::AnnealSignal& signal,
-          util::Rng& rng) {
+      [&](const ising::FlipSet& flips, const crossbar::AnnealSignal& signal) {
         return crossbar::reference::analog_evaluate(
                    *workload.array, engine.adc(), engine.ir_attenuation(),
-                   i_on_max, workload.spins, flips, signal, rng)
+                   i_on_max, workload.spins, flips, signal, noise)
             .e_inc;
       });
   row.speedup = row.optimized_per_sec / row.reference_per_sec;
@@ -182,7 +186,45 @@ EngineRow bench_analog_engine(std::size_t n, std::size_t iterations,
 }
 
 // ---------------------------------------------------------------------------
-// 2. In-situ annealer iterations/sec on the ideal engine.
+// 2. Normal-sampler throughput: counter-keyed ziggurat vs sequential
+//    Box-Muller.  The noisy-analog regime consumes one normal per ADC
+//    conversion (total input-referred sigma, see crossbar::ReadoutNoise),
+//    so per-draw cost directly scales its stochastic overhead.
+// ---------------------------------------------------------------------------
+
+struct SamplerRow {
+  double ziggurat_per_sec = 0.0;
+  double box_muller_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+SamplerRow bench_sampler(std::size_t draws) {
+  SamplerRow row;
+  constexpr std::size_t kBatch = 1024;
+  std::vector<double> buffer(kBatch);
+  double checksum = 0.0;
+  {
+    const util::NoiseStream stream(99, util::stream_site::kReadNoise);
+    util::WallTimer timer;
+    for (std::size_t base = 0; base < draws; base += kBatch) {
+      stream.normal_fill(base, buffer);
+      checksum += buffer[0];
+    }
+    row.ziggurat_per_sec = static_cast<double>(draws) / timer.seconds();
+  }
+  {
+    util::Rng rng(99);
+    util::WallTimer timer;
+    for (std::size_t i = 0; i < draws; ++i) checksum += rng.normal();
+    row.box_muller_per_sec = static_cast<double>(draws) / timer.seconds();
+  }
+  if (checksum == 0.12345) std::printf("(unreachable checksum)\n");
+  row.speedup = row.ziggurat_per_sec / row.box_muller_per_sec;
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// 3. In-situ annealer iterations/sec on the ideal engine.
 // ---------------------------------------------------------------------------
 
 EngineRow bench_ideal_annealer(std::size_t n, std::size_t iterations) {
@@ -242,7 +284,7 @@ EngineRow bench_ideal_annealer(std::size_t n, std::size_t iterations) {
 }
 
 // ---------------------------------------------------------------------------
-// 3. Campaign wall-clock: optimized runner vs faithful legacy campaign.
+// 4. Campaign wall-clock: optimized runner vs faithful legacy campaign.
 // ---------------------------------------------------------------------------
 
 /// The seed fork-join helper: spawn `threads` std::threads per call, shared
@@ -272,6 +314,7 @@ double legacy_insitu_run(const ising::IsingModel& model,
                          double i_on_max, std::size_t iterations,
                          std::uint64_t seed) {
   util::Rng rng(seed);
+  auto noise = crossbar::ReadoutNoise::for_run(seed);
   auto spins = ising::random_spins(model.num_spins(), rng);
   double energy = model.energy(spins);
   double best = energy;
@@ -281,7 +324,7 @@ double legacy_insitu_run(const ising::IsingModel& model,
     const auto flips = ising::random_flip_set(model.num_flippable(), 2, rng);
     const auto evaluation = crossbar::reference::analog_evaluate(
         *workload.array, probe.adc(), probe.ir_attenuation(), i_on_max, spins,
-        flips, {point.factor, point.vbg}, rng);
+        flips, {point.factor, point.vbg}, noise);
     if (acceptance.accept(4.0 * evaluation.e_inc, rng)) {
       energy += model.delta_energy(spins, flips);
       ising::flip_in_place(spins, flips);
@@ -354,6 +397,7 @@ CampaignRow bench_campaign(std::size_t n, std::size_t runs,
 // ---------------------------------------------------------------------------
 
 void write_json(const std::string& path, const std::string& mode,
+                const SamplerRow& sampler,
                 const std::vector<EngineRow>& engines,
                 const std::vector<CampaignRow>& campaigns) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -361,9 +405,14 @@ void write_json(const std::string& path, const std::string& mode,
     std::printf("cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"schema\": \"fecim-bench-hotpath-v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"fecim-bench-hotpath-v2\",\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", mode.c_str());
   std::fprintf(f, "  \"hardware_threads\": %zu,\n", util::worker_threads());
+  std::fprintf(f,
+               "  \"sampler\": {\"normals_per_sec_ziggurat\": %.1f, "
+               "\"normals_per_sec_box_muller\": %.1f, \"speedup\": %.2f},\n",
+               sampler.ziggurat_per_sec, sampler.box_muller_per_sec,
+               sampler.speedup);
   std::fprintf(f, "  \"engine_eval\": [\n");
   for (std::size_t i = 0; i < engines.size(); ++i) {
     const auto& row = engines[i];
@@ -403,6 +452,12 @@ int main() {
             : std::vector<std::size_t>{256, 1024, 4096};
   const std::size_t engine_iterations = smoke ? 2000 : (full ? 200000 : 50000);
 
+  const SamplerRow sampler = bench_sampler(smoke ? 2'000'000 : 20'000'000);
+  std::printf(
+      "normal sampler: ziggurat %.1f M/s vs Box-Muller %.1f M/s (%.2fx)\n",
+      sampler.ziggurat_per_sec / 1e6, sampler.box_muller_per_sec / 1e6,
+      sampler.speedup);
+
   util::Table table({"n", "engine", "opt evals/s", "ref evals/s", "speedup"});
   std::vector<EngineRow> engines;
   for (const auto n : sizes) {
@@ -433,10 +488,14 @@ int main() {
         row.legacy_seconds, row.speedup);
   }
 
-  if (!smoke) {
-    const char* out = std::getenv("FECIM_BENCH_OUT");
+  // Smoke runs never overwrite the tracked baseline, but an explicit
+  // FECIM_BENCH_OUT still captures their numbers (tools/check.sh compares
+  // the smoke speedups against BENCH_hotpath.json to gate regressions).
+  const char* out = std::getenv("FECIM_BENCH_OUT");
+  if (!smoke || out != nullptr) {
     write_json(out != nullptr ? out : "BENCH_hotpath.json",
-               full ? "full" : "reduced", engines, campaigns);
+               smoke ? "smoke" : (full ? "full" : "reduced"), sampler, engines,
+               campaigns);
   }
   return 0;
 }

@@ -59,8 +59,7 @@ void BM_AnalogEngineEvaluate(benchmark::State& state) {
   crossbar::AnalogCrossbarEngine engine(array, {});
   const auto flips = ising::random_flip_set(n, 2, fx.rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        engine.evaluate(fx.spins, flips, {0.5, 0.5}, fx.rng));
+    benchmark::DoNotOptimize(engine.evaluate(fx.spins, flips, {0.5, 0.5}));
   }
 }
 BENCHMARK(BM_AnalogEngineEvaluate)->Arg(800)->Arg(2000);

@@ -13,23 +13,8 @@ SarAdc::SarAdc(const SarAdcParams& params) : params_(params) {
   FECIM_EXPECTS(params_.noise_lsb_rms >= 0.0);
   max_code_ = (std::uint32_t{1} << params_.bits) - 1;
   lsb_ = params_.full_scale_current / static_cast<double>(max_code_ + 1);
-}
-
-std::uint32_t SarAdc::convert(double current, util::Rng& rng) const {
-  double noisy = current;
-  if (params_.noise_lsb_rms > 0.0)
-    noisy += rng.normal(0.0, params_.noise_lsb_rms) * lsb_;
-  return convert_ideal(noisy);
-}
-
-std::uint32_t SarAdc::convert_ideal(double current) const {
-  if (current <= 0.0) return 0;
-  // Mid-tread transfer (0.5 LSB comparator offset): unbiased rounding, so
-  // quantization error does not accumulate a systematic sign across the
-  // shift-and-add of the bit-sliced columns.
-  const double code = std::floor(current / lsb_ + 0.5);
-  if (code >= static_cast<double>(max_code_)) return max_code_;
-  return static_cast<std::uint32_t>(code);
+  inv_lsb_ = 1.0 / lsb_;
+  noise_current_ = params_.noise_lsb_rms * lsb_;
 }
 
 double SarAdc::current_from_code(std::uint32_t code) const noexcept {

@@ -7,9 +7,8 @@
 // LSBs.  Energy and latency per conversion live in fecim::cost.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
-
-#include "util/rng.hpp"
 
 namespace fecim::circuit {
 
@@ -25,13 +24,37 @@ class SarAdc {
 
   /// Quantize a sensed column current into a code in [0, 2^bits - 1].
   /// Negative inputs clamp to 0, overrange clamps to full scale.
-  std::uint32_t convert(double current, util::Rng& rng) const;
+  ///
+  /// `noise_z` is the conversion's standard-normal input-noise draw, keyed
+  /// per conversion index by the caller (util::NoiseStream, site kAdcNoise);
+  /// it is scaled by noise_lsb_rms * LSB internally.  Passing the draw
+  /// instead of a generator keeps convert() a pure function, so conversions
+  /// can be computed in any order or in batches.  Defined inline: the noisy
+  /// engine performs one call per present segment per pass.
+  std::uint32_t convert(double current, double noise_z) const noexcept {
+    return convert_ideal(current + noise_z * noise_current_);
+  }
 
-  /// Noiseless transfer (for calibration and tests).
-  std::uint32_t convert_ideal(double current) const;
+  /// Noiseless transfer (also the shared quantizer behind convert()).
+  std::uint32_t convert_ideal(double current) const noexcept {
+    if (current <= 0.0) return 0;
+    // Mid-tread transfer (0.5 LSB comparator offset): unbiased rounding, so
+    // quantization error does not accumulate a systematic sign across the
+    // shift-and-add of the bit-sliced columns.  The reciprocal multiply
+    // replaces a divide on the per-conversion hot path; it can move a
+    // current sitting exactly on a comparator threshold by one code, which
+    // is within the 0.5 LSB accuracy the model claims.
+    const double code = std::floor(current * inv_lsb_ + 0.5);
+    if (code >= static_cast<double>(max_code_)) return max_code_;
+    return static_cast<std::uint32_t>(code);
+  }
 
   /// Current represented by one LSB.
   double lsb_current() const noexcept { return lsb_; }
+
+  /// Input-referred noise sigma in amps (noise_lsb_rms * lsb); the engines
+  /// fold it into the per-conversion total readout sigma.
+  double noise_sigma_current() const noexcept { return noise_current_; }
 
   /// Reconstruct the current a code stands for (mid-rise).
   double current_from_code(std::uint32_t code) const noexcept;
@@ -43,6 +66,8 @@ class SarAdc {
   SarAdcParams params_;
   std::uint32_t max_code_;
   double lsb_;
+  double inv_lsb_;        ///< 1 / lsb, hot-path reciprocal
+  double noise_current_;  ///< noise_lsb_rms * lsb, the sigma in amps
 };
 
 }  // namespace fecim::circuit

@@ -93,8 +93,7 @@ AnnealResult DirectEAnnealer::run(std::uint64_t seed) const {
 
     // The hardware computes E_new via the full-array VMV; dE follows
     // digitally.  Numerically dE = 4 sigma_r^T J sigma_c (+ field terms).
-    const auto evaluation =
-        engine.evaluate(spins, flips, {1.0, 0.0}, rng);
+    const auto evaluation = engine.evaluate(spins, flips, {1.0, 0.0});
     crossbar::merge_trace(result.ledger, evaluation.trace);
     ++result.ledger.iterations;
     double delta_e = 4.0 * evaluation.raw_vmv;

@@ -148,6 +148,10 @@ AnnealResult InSituCimAnnealer::run(std::uint64_t seed) const {
     ideal->enable_local_field_cache();
     engine = std::move(ideal);
   }
+  // Key the engine's readout-noise streams to this run: noisy evaluations
+  // draw from (seed, site, conversion index), never from `rng`, so the
+  // proposal/acceptance draw sequence is independent of the noise model.
+  engine->begin_run(seed);
 
   AnnealResult result;
   auto spins = ising::random_spins(n, rng);
@@ -195,8 +199,8 @@ AnnealResult InSituCimAnnealer::run(std::uint64_t seed) const {
         sweep.next_into(ws.flips);
         break;
     }
-    const auto evaluation = engine->evaluate(
-        spins, ws.flips, {point.factor, point.vbg}, rng);
+    const auto evaluation =
+        engine->evaluate(spins, ws.flips, {point.factor, point.vbg});
     crossbar::merge_trace(result.ledger, evaluation.trace);
     ++result.ledger.iterations;
 

@@ -69,7 +69,7 @@ AnnealResult MesaAnnealer::run(std::uint64_t seed) const {
       const double temperature = schedule.temperature(it);
       const auto flips = ising::random_flip_set(
           model_->num_flippable(), config_.base.flips_per_iteration, rng);
-      const auto evaluation = engine.evaluate(spins, flips, {1.0, 0.0}, rng);
+      const auto evaluation = engine.evaluate(spins, flips, {1.0, 0.0});
       crossbar::merge_trace(result.ledger, evaluation.trace);
       ++result.ledger.iterations;
       double delta_e = 4.0 * evaluation.raw_vmv;

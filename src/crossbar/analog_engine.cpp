@@ -38,13 +38,17 @@ AnalogCrossbarEngine::AnalogCrossbarEngine(
       attenuation_ = est.ir_attenuation;
     }
   }
+  noise_ = ReadoutNoise::for_run(0);
   workspace_.flip_mask.assign(array_->mapping().num_spins(), 0);
+}
+
+void AnalogCrossbarEngine::begin_run(std::uint64_t run_seed) {
+  noise_ = ReadoutNoise::for_run(run_seed);
 }
 
 EincResult AnalogCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
                                           const ising::FlipSet& flips,
-                                          const AnnealSignal& signal,
-                                          util::Rng& rng) {
+                                          const AnnealSignal& signal) {
   FECIM_EXPECTS(!flips.empty());
   const auto& mapping = array_->mapping();
   const auto& couplings = array_->couplings();
@@ -61,8 +65,8 @@ EincResult AnalogCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
   // ((rel * i_on) * att) * sqrt(sq_sum), keeping results bit-identical.
   const double current_scale = i_on * attenuation_;
   const double noise_scale = (read_noise_rel * i_on) * attenuation_;
-  const bool deterministic_readout =
-      read_noise_rel <= 0.0 && adc_.params().noise_lsb_rms <= 0.0;
+  const bool adc_noisy = adc_.params().noise_lsb_rms > 0.0;
+  const bool deterministic_readout = read_noise_rel <= 0.0 && !adc_noisy;
 
   EincResult result;
   EngineTrace& trace = result.trace;
@@ -80,101 +84,184 @@ EincResult AnalogCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
 
   const auto cache_rows = array_->cache_rows();
   const auto cache_mults = array_->cache_multipliers();
+  const auto all_mults = array_->multipliers();
+  const std::size_t slots = static_cast<std::size_t>(bits) * 2;
 
   for (const auto j : flips) {
     // sigma_c_j = -sigma_j (the flipped value); its sign selects the
     // DL-polarity pass this column participates in.
     const int q = -static_cast<int>(spins[j]);
 
-    // One sweep over each distinct cell list accumulates both row-polarity
-    // passes: an unflipped row contributes to exactly one polarity, and the
-    // per-polarity addition order stays the column's cell order.
-    const auto classes = array_->column_classes(j);
-    for (std::size_t ci = 0; ci < classes.size(); ++ci) {
-      const auto& cls = classes[ci];
-      if (cls.all_unit) {
-        // Branchless: spins are random +-1, so per-cell branches mispredict
-        // half the time; counting live and positive cells with masks keeps
-        // the loop vectorizable.
-        std::uint32_t live = 0;
-        std::uint32_t count_pos = 0;
-        for (std::uint32_t k = cls.begin; k < cls.end; ++k) {
-          const auto row = cache_rows[k];
-          const std::uint32_t unflipped = ws.flip_mask[row] == 0 ? 1u : 0u;
-          live += unflipped;
-          count_pos += unflipped & (spins[row] > 0 ? 1u : 0u);
-        }
-        const std::uint32_t count_neg = live - count_pos;
-        ws.sum[0][ci] = static_cast<double>(count_pos);
-        ws.sum[1][ci] = static_cast<double>(count_neg);
-        ws.sq_sum[0][ci] = static_cast<double>(count_pos);
-        ws.sq_sum[1][ci] = static_cast<double>(count_neg);
-      } else {
-        double sum_pos = 0.0;
-        double sum_neg = 0.0;
-        double sq_pos = 0.0;
-        double sq_neg = 0.0;
-        for (std::uint32_t k = cls.begin; k < cls.end; ++k) {
-          const auto row = cache_rows[k];
-          if (ws.flip_mask[row]) continue;
-          const double m = cache_mults[k];
-          if (spins[row] > 0) {
-            sum_pos += m;
-            sq_pos += m * m;
-          } else {
-            sum_neg += m;
-            sq_neg += m * m;
-          }
-        }
-        ws.sum[0][ci] = sum_pos;
-        ws.sum[1][ci] = sum_neg;
-        ws.sq_sum[0][ci] = sq_pos;
-        ws.sq_sum[1][ci] = sq_neg;
-      }
-    }
-
     const auto segments = array_->column_segments(j);
-    for (const int p : {+1, -1}) {  // row-polarity (FG) passes
-      const int bank = p > 0 ? 0 : 1;
-      if (deterministic_readout) {
-        // No stochastic term anywhere in the sensing chain: segments
-        // sharing a class see the same current, hence the same code, so
-        // one conversion per class plus the precomputed per-class net
-        // weight replaces the per-segment shift-and-add.  Codes and
-        // weights are integers (< 2^53 in every partial sum), so this
-        // association is bit-identical to the per-segment order.  The
-        // ledger still counts one conversion per physical column sensed.
-        const auto weights = array_->column_class_weights(j);
+    const std::size_t column_conversions =
+        2 * static_cast<std::size_t>(array_->column_present_segments(j));
+    if (deterministic_readout) {
+      // One sweep over each distinct cell list accumulates both
+      // row-polarity passes: an unflipped row contributes to exactly one
+      // polarity, and the per-polarity addition order stays the column's
+      // cell order.
+      const auto classes = array_->column_classes(j);
+      for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+        const auto& cls = classes[ci];
+        if (cls.all_unit) {
+          // Branchless: spins are random +-1, so per-cell branches
+          // mispredict half the time; counting live and positive cells
+          // with masks keeps the loop vectorizable.
+          std::uint32_t live = 0;
+          std::uint32_t count_pos = 0;
+          for (std::uint32_t k = cls.begin; k < cls.end; ++k) {
+            const auto row = cache_rows[k];
+            const std::uint32_t unflipped = ws.flip_mask[row] == 0 ? 1u : 0u;
+            live += unflipped;
+            count_pos += unflipped & (spins[row] > 0 ? 1u : 0u);
+          }
+          const std::uint32_t count_neg = live - count_pos;
+          ws.sum[0][ci] = static_cast<double>(count_pos);
+          ws.sum[1][ci] = static_cast<double>(count_neg);
+        } else {
+          double sum_pos = 0.0;
+          double sum_neg = 0.0;
+          for (std::uint32_t k = cls.begin; k < cls.end; ++k) {
+            const auto row = cache_rows[k];
+            if (ws.flip_mask[row]) continue;
+            const double m = cache_mults[k];
+            if (spins[row] > 0)
+              sum_pos += m;
+            else
+              sum_neg += m;
+          }
+          ws.sum[0][ci] = sum_pos;
+          ws.sum[1][ci] = sum_neg;
+        }
+      }
+
+      // No stochastic term anywhere in the sensing chain: segments sharing
+      // a class see the same current, hence the same code, so one
+      // conversion per class plus the precomputed per-class net weight
+      // replaces the per-segment shift-and-add.  Codes and weights are
+      // integers (< 2^53 in every partial sum), so this association is
+      // bit-identical to the per-segment order.  The ledger still counts
+      // one conversion per physical column sensed, and the noise cursor
+      // still advances so the indexing stays aligned with implementations
+      // that convert per segment.
+      const auto weights = array_->column_class_weights(j);
+      for (const int p : {+1, -1}) {  // row-polarity (FG) passes
+        const int bank = p > 0 ? 0 : 1;
         double column_acc = 0.0;
         for (std::size_t ci = 0; ci < classes.size(); ++ci) {
           const std::uint32_t code =
-              adc_.convert(current_scale * ws.sum[bank][ci], rng);
+              adc_.convert_ideal(current_scale * ws.sum[bank][ci]);
           column_acc += weights[ci] * static_cast<double>(code);
         }
         accumulator += static_cast<double>(p * q) * column_acc;
         trace.adc_conversions += array_->column_present_segments(j);
-        continue;
       }
-      for (int b = 0; b < bits; ++b) {
-        for (int plane = 0; plane < 2; ++plane) {
-          const auto seg = segments[static_cast<std::size_t>(b * 2 + plane)];
-          if (!seg.present) continue;
-          double current = current_scale * ws.sum[bank][seg.cls];
-          if (read_noise_rel > 0.0) {
-            // Independent per-cell C2C noise aggregates in quadrature.
-            const double sigma =
-                noise_scale * std::sqrt(ws.sq_sum[bank][seg.cls]);
-            if (sigma > 0.0) current += rng.normal(0.0, sigma);
-          }
-          const std::uint32_t code = adc_.convert(current, rng);
-          const double plane_sign = plane == 0 ? 1.0 : -1.0;
-          accumulator += static_cast<double>(p * q) * plane_sign *
-                         static_cast<double>(1u << b) *
-                         static_cast<double>(code);
-          ++trace.adc_conversions;
+      noise_.next_conversion += column_conversions;
+      continue;
+    }
+
+    // Stochastic readout sweep: device variation de-dupes to nothing (every
+    // multiplier is distinct), so walk the column's cells once against the
+    // entry-major multiplier storage -- one row/flip/spin gather per cell,
+    // and a branch-free unit-stride inner bit loop (absent bits store
+    // multiplier 0, filtered cells select 0.0, and +0.0 terms never change
+    // a sum, so every accumulator stays bit-identical to the filtered
+    // per-segment walk of the reference kernel; addition order per segment
+    // is the column's cell order either way).
+    const auto view = array_->column(j);
+    for (std::size_t b = 0; b < static_cast<std::size_t>(bits); ++b) {
+      ws.nsum[0][0][b] = ws.nsum[0][1][b] = 0.0;
+      ws.nsum[1][0][b] = ws.nsum[1][1][b] = 0.0;
+      ws.nsq[0][0][b] = ws.nsq[0][1][b] = 0.0;
+      ws.nsq[1][0][b] = ws.nsq[1][1][b] = 0.0;
+    }
+    for (std::size_t k = 0; k < view.rows.size(); ++k) {
+      const auto row = view.rows[k];
+      const double live = ws.flip_mask[row] == 0 ? 1.0 : 0.0;
+      const double sel_pos = spins[row] > 0 ? live : 0.0;
+      const double sel_neg = live - sel_pos;
+      const std::size_t plane = view.magnitudes[k] < 0 ? 1 : 0;
+      const float* entry_mults =
+          all_mults.data() +
+          (view.first_entry + k) * static_cast<std::size_t>(bits);
+      double* sum_pos = ws.nsum[0][plane];
+      double* sum_neg = ws.nsum[1][plane];
+      double* sq_pos = ws.nsq[0][plane];
+      double* sq_neg = ws.nsq[1][plane];
+      if (read_noise_rel > 0.0) {
+        for (int b = 0; b < bits; ++b) {
+          const double m = entry_mults[b];
+          const double m_pos = m * sel_pos;
+          const double m_neg = m * sel_neg;
+          sum_pos[b] += m_pos;
+          sum_neg[b] += m_neg;
+          sq_pos[b] += m_pos * m_pos;
+          sq_neg[b] += m_neg * m_neg;
+        }
+      } else {
+        // ADC-noise-only regime (the default config): the squared sums are
+        // never read, so skip half the sweep's arithmetic.
+        for (int b = 0; b < bits; ++b) {
+          const double m = entry_mults[b];
+          sum_pos[b] += m * sel_pos;
+          sum_neg[b] += m * sel_neg;
         }
       }
     }
+
+    // Batch this column's keyed draws -- conversion indices
+    // [next_conversion, next_conversion + column_conversions) in the
+    // canonical polarity/bit/plane order -- then consume them in sequence.
+    // The batched values equal element-wise keyed draws, so any regrouping
+    // of this loop (or a future parallel version) sees identical noise.
+    // Each conversion takes ONE draw scaled by its total input-referred
+    // sigma (read noise + ADC noise in quadrature, see readout_sigma),
+    // precomputed per segment so the sqrt stays out of the polarity passes.
+    noise_.conversion.normal_fill(noise_.next_conversion,
+                                  {ws.z, column_conversions});
+    const double sigma_adc = adc_.noise_sigma_current();
+    const double noise_var_scale = noise_scale * noise_scale;
+    const double adc_variance = sigma_adc * sigma_adc;
+    for (std::size_t s = 0; s < slots; ++s) {
+      if (!segments[s].present) continue;
+      const std::size_t b = s >> 1;
+      const std::size_t plane = s & 1;
+      if (read_noise_rel > 0.0) {
+        ws.nsigma[0][plane][b] = readout_sigma(
+            noise_var_scale * ws.nsq[0][plane][b], adc_variance);
+        ws.nsigma[1][plane][b] = readout_sigma(
+            noise_var_scale * ws.nsq[1][plane][b], adc_variance);
+      } else {
+        ws.nsigma[0][plane][b] = sigma_adc;
+        ws.nsigma[1][plane][b] = sigma_adc;
+      }
+    }
+    std::size_t conversion = 0;
+    for (const int p : {+1, -1}) {  // row-polarity (FG) passes
+      const int bank = p > 0 ? 0 : 1;
+      // Codes and bit weights are integers, so the per-pass shift-and-add
+      // runs in int64 (max |sum| < 2^34) and joins the double accumulator
+      // once per pass -- exact, hence bit-identical to the per-segment
+      // double adds.
+      std::int64_t pass_acc = 0;
+      for (std::size_t s = 0; s < slots; ++s) {
+        if (!segments[s].present) continue;
+        const std::size_t b = s >> 1;
+        const std::size_t plane = s & 1;
+        const double current =
+            current_scale * ws.nsum[bank][plane][b] +
+            ws.nsigma[bank][plane][b] * ws.z[conversion];
+        const std::uint32_t code = adc_.convert_ideal(current);
+        const auto shifted =
+            static_cast<std::int64_t>(static_cast<std::uint64_t>(code) << b);
+        pass_acc += plane == 0 ? shifted : -shifted;
+        ++conversion;
+      }
+      accumulator +=
+          static_cast<double>(p * q) * static_cast<double>(pass_acc);
+    }
+    trace.adc_conversions += column_conversions;
+    noise_.next_conversion += column_conversions;
   }
 
   for (const auto f : flips) ws.flip_mask[f] = 0;

@@ -15,10 +15,13 @@
 // Hot path: the engine walks the array's precomputed bit-plane column cache
 // (one pass over each distinct segment class accumulates both row
 // polarities) instead of decoding magnitudes per cell per call, and tracks
-// flip membership through a reusable per-engine workspace bitmask.  Both
-// restructurings are floating-point- and RNG-draw-order-identical to the
-// direct per-cell evaluation; tests/test_perf_equivalence.cpp pins that
-// equivalence against crossbar/reference_kernels.hpp.
+// flip membership through a reusable per-engine workspace bitmask.  Readout
+// noise comes from counter-keyed streams (ReadoutNoise) indexed by the
+// canonical conversion order, batched per column through the ziggurat
+// sampler -- no sequential RNG anywhere in the sensing chain.  All of it is
+// floating-point-identical to the direct per-cell evaluation;
+// tests/test_perf_equivalence.cpp pins that equivalence against
+// crossbar/reference_kernels.hpp.
 #pragma once
 
 #include <memory>
@@ -50,9 +53,13 @@ class AnalogCrossbarEngine final : public EincEngine {
   AnalogCrossbarEngine(std::shared_ptr<const ProgrammedArray> array,
                        const AnalogEngineConfig& config = {});
 
+  /// Re-keys the readout noise streams to `run_seed` and resets the
+  /// conversion counter.  Without a call the engine behaves as run 0.
+  void begin_run(std::uint64_t run_seed) override;
+
   EincResult evaluate(std::span<const ising::Spin> spins,
-                      const ising::FlipSet& flips, const AnnealSignal& signal,
-                      util::Rng& rng) override;
+                      const ising::FlipSet& flips,
+                      const AnnealSignal& signal) override;
 
   std::size_t num_spins() const noexcept override {
     return array_->mapping().num_spins();
@@ -61,16 +68,25 @@ class AnalogCrossbarEngine final : public EincEngine {
   const circuit::SarAdc& adc() const noexcept { return adc_; }
   /// IR-drop attenuation factor applied to all column currents.
   double ir_attenuation() const noexcept { return attenuation_; }
+  /// Current stochastic readout state (streams + conversion cursor); the
+  /// equivalence tests use it to check cursor lockstep with the reference.
+  const ReadoutNoise& readout_noise() const noexcept { return noise_; }
 
  private:
-  /// Reusable per-engine scratch so evaluate() performs no heap allocation:
-  /// the flip-membership bitmask plus per-segment-class accumulator banks
-  /// (index 0 = +1 row-polarity pass, 1 = -1; a column has at most
-  /// bits * 2 <= 32 distinct classes).
+  /// Reusable per-engine scratch so evaluate() performs no heap allocation.
+  /// Deterministic readout accumulates per segment class (`sum`, index 0 =
+  /// +1 row-polarity pass, 1 = -1; a column has at most bits * 2 <= 32
+  /// distinct classes).  Stochastic readout accumulates per physical
+  /// segment, laid out [bank][plane][bit] so the per-cell sweep's inner bit
+  /// loop is branch-free and unit-stride; `z` holds the column's batched
+  /// per-conversion draws (<= 2 passes * 32 segments).
   struct EvalWorkspace {
     std::vector<std::uint8_t> flip_mask;
     double sum[2][32];
-    double sq_sum[2][32];
+    double nsum[2][2][16];    ///< [bank][plane][bit] current sums
+    double nsq[2][2][16];     ///< [bank][plane][bit] squared-multiplier sums
+    double nsigma[2][2][16];  ///< [bank][plane][bit] total readout sigma
+    double z[64];             ///< batched standard-normal conversion draws
   };
 
   std::shared_ptr<const ProgrammedArray> array_;
@@ -82,6 +98,7 @@ class AnalogCrossbarEngine final : public EincEngine {
   // schedule repeats levels for long stretches, so memoize the last level.
   double cached_vbg_ = -1.0;
   double cached_i_on_ = 0.0;
+  ReadoutNoise noise_;
   EvalWorkspace workspace_;
 };
 

@@ -13,8 +13,7 @@ IdealCrossbarEngine::IdealCrossbarEngine(const ising::IsingModel& model,
 
 EincResult IdealCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
                                          const ising::FlipSet& flips,
-                                         const AnnealSignal& signal,
-                                         util::Rng& /*rng*/) {
+                                         const AnnealSignal& signal) {
   FECIM_EXPECTS(!flips.empty());
   EincResult result;
   if (use_cache_) {

@@ -39,8 +39,8 @@ class IdealCrossbarEngine final : public EincEngine {
                       Accounting accounting);
 
   EincResult evaluate(std::span<const ising::Spin> spins,
-                      const ising::FlipSet& flips, const AnnealSignal& signal,
-                      util::Rng& rng) override;
+                      const ising::FlipSet& flips,
+                      const AnnealSignal& signal) override;
 
   void on_flips_applied(std::span<const ising::Spin> spins_after,
                         const ising::FlipSet& flips) override;

@@ -23,13 +23,20 @@ ProgrammedArray::ProgrammedArray(const QuantizedCouplings& couplings,
   multipliers_.assign(couplings_.nonzeros() * bits, 1.0F);
 
   if (!variation_.ideal()) {
-    util::Rng rng(seed);
+    // (absent-bit slots are zeroed below, after variation sampling, so the
+    // per-cell noise-stream indexing stays a pure function of cell index)
+    // Counter-keyed programming variation: cell c's fault roll and V_TH
+    // offset are draws at index c of the kCellFault / kCellVth streams, so
+    // a cell's programmed state is independent of array size and sampling
+    // order (and reproducible in isolation for debugging).
+    const util::NoiseStream fault_stream(seed, util::stream_site::kCellFault);
+    const util::NoiseStream vth_stream(seed, util::stream_site::kCellVth);
     // Subthreshold translation of a V_TH offset into a current factor:
     // I ~ exp(-dVth / (n Vt)).
     const double v_slope = device_params_.transistor.slope_factor *
                            device_params_.transistor.thermal_voltage;
     for (std::size_t cell = 0; cell < multipliers_.size(); ++cell) {
-      const double roll = rng.uniform01();
+      const double roll = fault_stream.uniform01(cell);
       if (roll < variation_.stuck_off_rate) {
         multipliers_[cell] = 0.0F;
         ++faulted_;
@@ -41,9 +48,25 @@ ProgrammedArray::ProgrammedArray(const QuantizedCouplings& couplings,
         continue;
       }
       if (variation_.vth_sigma > 0.0) {
-        const double dvth = rng.normal(0.0, variation_.vth_sigma);
+        const double dvth = vth_stream.normal(cell, 0.0, variation_.vth_sigma);
         multipliers_[cell] = static_cast<float>(std::exp(-dvth / v_slope));
       }
+    }
+  }
+
+  // Zero the multiplier slots of bits a cell does not store: the stochastic
+  // readout sweep can then accumulate every (cell, bit) unconditionally --
+  // absent bits contribute exact +0.0 -- which removes the per-bit presence
+  // branch from the hot loop and keeps it vectorizable.  bit_multiplier()
+  // and multipliers() therefore report 0 for absent bits.
+  for (std::size_t j = 0; j < couplings_.num_spins(); ++j) {
+    const auto view = column(j);
+    for (std::size_t k = 0; k < view.rows.size(); ++k) {
+      const auto abs_mag =
+          static_cast<std::uint32_t>(std::abs(view.magnitudes[k]));
+      float* entry_mults = multipliers_.data() + (view.first_entry + k) * bits;
+      for (std::size_t b = 0; b < bits; ++b)
+        if (!(abs_mag & (1u << b))) entry_mults[b] = 0.0F;
     }
   }
 

@@ -66,6 +66,12 @@ class ProgrammedArray {
   /// Current multiplier of bit `bit` of global entry `entry`.
   double bit_multiplier(std::size_t entry, int bit) const;
 
+  /// Raw per-(entry, bit) multiplier storage, entry-major
+  /// (multipliers()[entry * bits + bit], stuck-off cells stored as 0).  The
+  /// stochastic readout path decodes magnitudes per cell against it so the
+  /// per-bit loads are contiguous.
+  std::span<const float> multipliers() const noexcept { return multipliers_; }
+
   /// Number of programmed (nonzero-magnitude) logical cells.
   std::size_t num_programmed_entries() const noexcept {
     return couplings_.nonzeros();

@@ -1,12 +1,14 @@
 // Golden reference implementations of the simulation hot paths, preserved
-// verbatim from the pre-cache direct algorithms.
+// from the pre-cache direct algorithms.
 //
 // The optimized kernels (AnalogCrossbarEngine over the bit-plane column
 // cache, IsingModel::incremental_vmv over the persistent flip bitmap) are
-// required to be floating-point- and RNG-draw-order-identical to these;
-// tests/test_perf_equivalence.cpp asserts that contract and
-// bench/bench_hotpath.cpp measures the speedup against them.  They are
-// intentionally slow -- do not call them outside tests/benches.
+// required to be floating-point-identical to these, with readout noise
+// drawn from the shared counter-keyed ReadoutNoise streams (same canonical
+// conversion indexing on both sides, so results match bit-for-bit without
+// any draw-order coupling); tests/test_perf_equivalence.cpp asserts that
+// contract and bench/bench_hotpath.cpp measures the speedup against them.
+// They are intentionally slow -- do not call them outside tests/benches.
 #pragma once
 
 #include <array>
@@ -23,13 +25,17 @@ namespace fecim::crossbar::reference {
 /// Per-cell magnitude-decoding analog evaluation (the seed algorithm):
 /// re-derives bit-plane column structure per call and scans the flip set
 /// linearly per row.  `adc`, `attenuation` and `i_on_max` come from the
-/// engine under test so both paths share one calibration.
+/// engine under test so both paths share one calibration; `noise` is the
+/// run's counter-keyed readout cursor (engine side: begin_run /
+/// readout_noise()), advanced by one index per present-segment conversion
+/// in the canonical order.
 inline EincResult analog_evaluate(const ProgrammedArray& array,
                                   const circuit::SarAdc& adc,
                                   double attenuation, double i_on_max,
                                   std::span<const ising::Spin> spins,
                                   const ising::FlipSet& flips,
-                                  const AnnealSignal& signal, util::Rng& rng) {
+                                  const AnnealSignal& signal,
+                                  ReadoutNoise& noise) {
   FECIM_EXPECTS(!flips.empty());
   const auto& mapping = array.mapping();
   const auto& couplings = array.couplings();
@@ -99,14 +105,25 @@ inline EincResult analog_evaluate(const ProgrammedArray& array,
           double current = i_on * attenuation *
                            mult_sum[static_cast<std::size_t>(b)]
                                    [static_cast<std::size_t>(plane)];
-          if (read_noise_rel > 0.0) {
-            const double sigma =
-                read_noise_rel * i_on * attenuation *
-                std::sqrt(mult_sq_sum[static_cast<std::size_t>(b)]
-                                     [static_cast<std::size_t>(plane)]);
-            if (sigma > 0.0) current += rng.normal(0.0, sigma);
-          }
-          const std::uint32_t code = adc.convert(current, rng);
+          // One keyed draw per conversion, scaled by the total
+          // input-referred sigma (read + ADC noise in quadrature); the
+          // expression tree matches the engine's exactly.
+          const double noise_scale = (read_noise_rel * i_on) * attenuation;
+          const double noise_var_scale = noise_scale * noise_scale;
+          const double adc_variance =
+              adc.noise_sigma_current() * adc.noise_sigma_current();
+          const double sigma =
+              read_noise_rel > 0.0
+                  ? readout_sigma(
+                        noise_var_scale *
+                            mult_sq_sum[static_cast<std::size_t>(b)]
+                                       [static_cast<std::size_t>(plane)],
+                        adc_variance)
+                  : adc.noise_sigma_current();
+          if (sigma > 0.0)
+            current += sigma * noise.conversion.normal(noise.next_conversion);
+          const std::uint32_t code = adc.convert_ideal(current);
+          ++noise.next_conversion;
           const double plane_sign = plane == 0 ? 1.0 : -1.0;
           accumulator += static_cast<double>(p * q) * plane_sign *
                          static_cast<double>(1u << b) *

@@ -7,18 +7,21 @@
 namespace fecim::device {
 
 CellVariation::CellVariation(std::size_t num_cells,
-                             const VariationParams& params, util::Rng& rng) {
+                             const VariationParams& params,
+                             std::uint64_t seed) {
   FECIM_EXPECTS(params.vth_sigma >= 0.0);
   FECIM_EXPECTS(params.read_noise_rel >= 0.0);
   FECIM_EXPECTS(params.stuck_off_rate >= 0.0 && params.stuck_on_rate >= 0.0);
   FECIM_EXPECTS(params.stuck_off_rate + params.stuck_on_rate <= 1.0);
 
+  const util::NoiseStream vth(seed, util::stream_site::kCellVth);
+  const util::NoiseStream fault(seed, util::stream_site::kCellFault);
   vth_offset_.resize(num_cells);
   fault_.resize(num_cells, CellFault::kNone);
   for (std::size_t c = 0; c < num_cells; ++c) {
     vth_offset_[c] =
-        params.vth_sigma > 0.0 ? rng.normal(0.0, params.vth_sigma) : 0.0;
-    const double roll = rng.uniform01();
+        params.vth_sigma > 0.0 ? vth.normal(c, 0.0, params.vth_sigma) : 0.0;
+    const double roll = fault.uniform01(c);
     if (roll < params.stuck_off_rate)
       fault_[c] = CellFault::kStuckOff;
     else if (roll < params.stuck_off_rate + params.stuck_on_rate)
@@ -43,9 +46,12 @@ std::size_t CellVariation::count_faults() const noexcept {
 }
 
 double apply_read_noise(double current, const VariationParams& params,
-                        util::Rng& rng) noexcept {
+                        const util::NoiseStream& stream,
+                        std::uint64_t conversion_index) noexcept {
   if (params.read_noise_rel <= 0.0 || current == 0.0) return current;
-  const double noisy = current * (1.0 + rng.normal(0.0, params.read_noise_rel));
+  const double noisy =
+      current *
+      (1.0 + stream.normal(conversion_index, 0.0, params.read_noise_rel));
   return std::max(0.0, noisy);
 }
 

@@ -2,6 +2,13 @@
 // spread (programming variation), cycle-to-cycle read noise, and stuck-at
 // faults.  This is the "custom device noise model" the algorithm is
 // evaluated against.
+//
+// All draws come from counter-keyed noise streams (util::NoiseStream):
+// programming-time variation is keyed per cell on the kCellVth / kCellFault
+// sites, read noise per conversion on kReadNoise.  A cell's offset or fault
+// is therefore a pure function of (seed, cell index) -- independent of how
+// many other cells exist or in what order they are sampled.  See
+// docs/noise-model.md.
 #pragma once
 
 #include <cstdint>
@@ -25,12 +32,14 @@ struct VariationParams {
 
 enum class CellFault : std::uint8_t { kNone = 0, kStuckOff = 1, kStuckOn = 2 };
 
-/// Per-cell static variation state, sampled once at programming time.
+/// Per-cell static variation state, sampled once at programming time from
+/// the counter-keyed kCellVth / kCellFault streams of `seed`: cell c's
+/// offset and fault are draws at index c, reproducible in isolation.
 class CellVariation {
  public:
   CellVariation() = default;
   CellVariation(std::size_t num_cells, const VariationParams& params,
-                util::Rng& rng);
+                std::uint64_t seed);
 
   std::size_t size() const noexcept { return vth_offset_.size(); }
   double vth_offset(std::size_t cell) const;
@@ -42,8 +51,11 @@ class CellVariation {
   std::vector<CellFault> fault_;
 };
 
-/// Apply cycle-to-cycle read noise to a just-computed cell current.
+/// Apply cycle-to-cycle read noise to a just-computed cell current, drawing
+/// the relative-noise normal at `conversion_index` of `stream` (site
+/// kReadNoise).
 double apply_read_noise(double current, const VariationParams& params,
-                        util::Rng& rng) noexcept;
+                        const util::NoiseStream& stream,
+                        std::uint64_t conversion_index) noexcept;
 
 }  // namespace fecim::device

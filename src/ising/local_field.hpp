@@ -9,6 +9,20 @@
 // filtered row walk), so results can differ from IsingModel::incremental_vmv
 // by floating-point rounding; the consumer must use one path consistently
 // within a run, which IdealCrossbarEngine's opt-in wiring guarantees.
+//
+// Coherence protocol (the `on_flips_applied` contract, shared with
+// crossbar::EincEngine):
+//   1. build() once against the run's starting spins (or lazily before the
+//      first cached evaluation);
+//   2. vmv() only ever sees *proposed* flips -- it must not mutate state;
+//   3. every flip set the caller actually applies is reported through
+//      apply_flips() with the already-flipped spin vector, exactly once, in
+//      application order;
+//   4. any wholesale rewrite of the spin vector (restart, reseed, loading a
+//      snapshot) invalidates the fields: call reset()/build() again.
+// Violating 3 or 4 does not fail fast -- the fields silently drift and every
+// later vmv() is wrong -- which is why the annealers own the wiring and
+// fresh per-run engines make stale state impossible across runs.
 #pragma once
 
 #include <span>

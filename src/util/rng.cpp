@@ -126,4 +126,141 @@ Rng Rng::split(std::uint64_t stream_tag) const noexcept {
   return Rng(splitmix64(sm));
 }
 
+// ---------------------------------------------------------------------------
+// NoiseStream: counter-keyed draws.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// 128-layer ziggurat for the standard normal (Marsaglia & Tsang layout,
+// Doornik's double-precision acceptance form).  R is the right edge of the
+// last finite strip, V the common strip area.
+constexpr int kZigLayers = 128;
+constexpr double kZigR = 3.442619855899;
+constexpr double kZigV = 9.91256303526217e-3;
+
+struct ZigguratTables {
+  double x[kZigLayers + 1];  // strip right edges; x[kZigLayers] = 0
+  double ratio[kZigLayers];  // x[i+1] / x[i]: the quick-accept thresholds
+
+  ZigguratTables() noexcept {
+    const double f_r = std::exp(-0.5 * kZigR * kZigR);
+    x[0] = kZigV / f_r;  // pseudo-edge of the base strip (holds the tail)
+    x[1] = kZigR;
+    x[kZigLayers] = 0.0;
+    for (int i = 2; i < kZigLayers; ++i) {
+      const double prev = x[i - 1];
+      x[i] = std::sqrt(
+          -2.0 * std::log(kZigV / prev + std::exp(-0.5 * prev * prev)));
+    }
+    for (int i = 0; i < kZigLayers; ++i) ratio[i] = x[i + 1] / x[i];
+  }
+};
+
+// Namespace-scope constant: initialized once before main, so the hot
+// samplers read the tables without a function-local-static guard check on
+// every draw.
+const ZigguratTables g_zig_tables;
+
+inline double unit_from_bits(std::uint64_t bits) noexcept {
+  // 53 high bits -> [0, 1), full mantissa resolution.
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+inline double positive_unit_from_bits(std::uint64_t bits) noexcept {
+  // (0, 1]: safe as a log() argument.
+  return static_cast<double>((bits >> 11) + 1) * 0x1.0p-53;
+}
+
+/// Cold continuation of a draw whose first attempt failed the quick box
+/// test: resolve that attempt (tail for layer 0, wedge otherwise), then keep
+/// drawing until acceptance.  `state` advances only within this draw, so
+/// rejection retries never leak into neighboring indices.  Out of line on
+/// purpose -- ~1.2% of draws land here, and keeping it cold lets the box
+/// fast path inline into the fill loops.
+double normal_rejection(std::uint64_t state, int layer, double u) noexcept {
+  const ZigguratTables& t = g_zig_tables;
+  for (;;) {
+    if (layer == 0) {
+      // Base strip: sample the tail beyond R (Marsaglia's exact method).
+      const bool negative = u < 0.0;
+      for (;;) {
+        const double a =
+            -std::log(positive_unit_from_bits(splitmix64(state))) / kZigR;
+        const double b = -std::log(positive_unit_from_bits(splitmix64(state)));
+        if (b + b > a * a) return negative ? -(kZigR + a) : kZigR + a;
+      }
+    }
+    // Wedge: accept against the density between the strip edges.
+    const double x = u * t.x[layer];
+    const double f0 = std::exp(-0.5 * (t.x[layer] * t.x[layer] - x * x));
+    const double f1 =
+        std::exp(-0.5 * (t.x[layer + 1] * t.x[layer + 1] - x * x));
+    if (f1 + unit_from_bits(splitmix64(state)) * (f0 - f1) < 1.0) return x;
+    // Next attempt: layer from the low 7 bits, signed uniform in [-1, 1)
+    // from the high 53 -- disjoint bit ranges of one hash.
+    const std::uint64_t bits = splitmix64(state);
+    layer = static_cast<int>(bits & 0x7F);
+    u = 2.0 * unit_from_bits(bits) - 1.0;
+    if (std::fabs(u) < t.ratio[layer]) return u * t.x[layer];
+  }
+}
+
+/// Sub-stream state for draw `index` of stream `key`: a Weyl step over the
+/// index xor'd into the key; every downstream use runs it through at least
+/// one splitmix64 round for avalanche.
+inline std::uint64_t substream_state(std::uint64_t key,
+                                     std::uint64_t index) noexcept {
+  return key ^ (index * 0x9e3779b97f4a7c15ULL);
+}
+
+/// One standard normal for (key, index); the ~98.8% box case inlines.
+inline double keyed_normal(std::uint64_t key, std::uint64_t index) noexcept {
+  std::uint64_t state = substream_state(key, index);
+  const std::uint64_t bits = splitmix64(state);
+  const int layer = static_cast<int>(bits & 0x7F);
+  const double u = 2.0 * unit_from_bits(bits) - 1.0;
+  const ZigguratTables& t = g_zig_tables;
+  if (std::fabs(u) < t.ratio[layer]) return u * t.x[layer];
+  return normal_rejection(state, layer, u);
+}
+
+}  // namespace
+
+NoiseStream::NoiseStream(std::uint64_t run_seed,
+                         std::uint64_t site_id) noexcept {
+  // Two mixing rounds: decorrelate raw seeds, then fold in the site so
+  // (seed, site) pairs land far apart even for small consecutive values.
+  std::uint64_t s = run_seed;
+  const std::uint64_t mixed_seed = splitmix64(s);
+  s = mixed_seed ^ (site_id * 0xd6e8feb86659fd93ULL);
+  key_ = splitmix64(s);
+}
+
+std::uint64_t NoiseStream::bits(std::uint64_t index) const noexcept {
+  std::uint64_t state = substream_state(key_, index);
+  return splitmix64(state);
+}
+
+double NoiseStream::uniform01(std::uint64_t index) const noexcept {
+  return unit_from_bits(bits(index));
+}
+
+double NoiseStream::normal(std::uint64_t index) const noexcept {
+  return keyed_normal(key_, index);
+}
+
+double NoiseStream::normal(std::uint64_t index, double mean,
+                           double stddev) const noexcept {
+  return mean + stddev * normal(index);
+}
+
+void NoiseStream::normal_fill(std::uint64_t base_index,
+                              std::span<double> out) const noexcept {
+  // Independent per-element draws: no loop-carried state, so the hash +
+  // fast-path ziggurat pipeline across iterations.
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = keyed_normal(key_, base_index + i);
+}
+
 }  // namespace fecim::util

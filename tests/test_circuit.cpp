@@ -46,11 +46,11 @@ TEST(SarAdc, LsbMatchesResolution) {
 
 TEST(SarAdc, NoiseIsUnbiasedWithRequestedSigma) {
   SarAdc adc({13, 1e-5, 0.5});
-  fecim::util::Rng rng(3);
+  const fecim::util::NoiseStream stream(3, fecim::util::stream_site::kAdcNoise);
   const double input = 5e-6;
   fecim::util::RunningStats stats;
-  for (int i = 0; i < 20000; ++i)
-    stats.add(adc.current_from_code(adc.convert(input, rng)));
+  for (std::uint64_t i = 0; i < 20000; ++i)
+    stats.add(adc.current_from_code(adc.convert(input, stream.normal(i))));
   EXPECT_NEAR(stats.mean(), input, adc.lsb_current());
   // Total sigma ~ sqrt(noise^2 + quantization^2) LSB ~ 0.58 LSB.
   EXPECT_NEAR(stats.stddev(), 0.58 * adc.lsb_current(),

@@ -122,9 +122,8 @@ TEST(Variation, IdealFlagsDetectNoise) {
 }
 
 TEST(Variation, OffsetsHaveRequestedSpread) {
-  fecim::util::Rng rng(5);
   const VariationParams params{0.05, 0.0, 0.0, 0.0};
-  const CellVariation cells(20000, params, rng);
+  const CellVariation cells(20000, params, /*seed=*/5);
   fecim::util::RunningStats stats;
   for (std::size_t c = 0; c < cells.size(); ++c) stats.add(cells.vth_offset(c));
   EXPECT_NEAR(stats.mean(), 0.0, 0.002);
@@ -132,9 +131,8 @@ TEST(Variation, OffsetsHaveRequestedSpread) {
 }
 
 TEST(Variation, StuckFaultRatesRespected) {
-  fecim::util::Rng rng(6);
   const VariationParams params{0.0, 0.0, 0.02, 0.01};
-  const CellVariation cells(50000, params, rng);
+  const CellVariation cells(50000, params, /*seed=*/6);
   std::size_t off = 0;
   std::size_t on = 0;
   for (std::size_t c = 0; c < cells.size(); ++c) {
@@ -147,11 +145,11 @@ TEST(Variation, StuckFaultRatesRespected) {
 }
 
 TEST(Variation, ReadNoiseIsUnbiasedAndClampsAtZero) {
-  fecim::util::Rng rng(7);
+  const fecim::util::NoiseStream stream(7, fecim::util::stream_site::kReadNoise);
   const VariationParams params{0.0, 0.1, 0.0, 0.0};
   fecim::util::RunningStats stats;
-  for (int i = 0; i < 50000; ++i) {
-    const double noisy = apply_read_noise(1e-6, params, rng);
+  for (std::uint64_t i = 0; i < 50000; ++i) {
+    const double noisy = apply_read_noise(1e-6, params, stream, i);
     EXPECT_GE(noisy, 0.0);
     stats.add(noisy);
   }
@@ -159,10 +157,21 @@ TEST(Variation, ReadNoiseIsUnbiasedAndClampsAtZero) {
   EXPECT_NEAR(stats.stddev(), 1e-7, 5e-9);
 }
 
+TEST(Variation, KeyedDrawsAreSizeAndOrderIndependent) {
+  // Cell c's variation state must not depend on how many cells were
+  // sampled: growing the array preserves the prefix.
+  const VariationParams params{0.05, 0.0, 0.02, 0.01};
+  const CellVariation small(100, params, /*seed=*/9);
+  const CellVariation large(4096, params, /*seed=*/9);
+  for (std::size_t c = 0; c < small.size(); ++c) {
+    EXPECT_EQ(small.vth_offset(c), large.vth_offset(c));
+    EXPECT_EQ(small.fault(c), large.fault(c));
+  }
+}
+
 TEST(Variation, RejectsInvalidRates) {
-  fecim::util::Rng rng(8);
   const VariationParams bad{0.0, 0.0, 0.7, 0.5};  // rates sum > 1
-  EXPECT_THROW(CellVariation(10, bad, rng), fecim::contract_error);
+  EXPECT_THROW(CellVariation(10, bad, /*seed=*/8), fecim::contract_error);
 }
 
 }  // namespace

@@ -46,7 +46,7 @@ TEST_P(BitsSweep, AnalogMatchesQuantizedArithmetic) {
   for (int trial = 0; trial < 30; ++trial) {
     const auto spins = ising::random_spins(48, rng);
     const auto flips = ising::random_flip_set(48, 2, rng);
-    const auto result = engine.evaluate(spins, flips, {1.0, 0.7}, rng);
+    const auto result = engine.evaluate(spins, flips, {1.0, 0.7});
     const double expected =
         quantized_model.incremental_vmv(spins, flips);
     // Mid-tread ADC: <= 0.5 LSB per sensed column, amplified by shift-add.

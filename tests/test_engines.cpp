@@ -56,7 +56,7 @@ TEST(IdealEngine, ComputesExactVmv) {
   util::Rng rng(2);
   const auto spins = ising::random_spins(64, rng);
   const ising::FlipSet flips{3, 40};
-  const auto result = engine.evaluate(spins, flips, {0.5, 0.35}, rng);
+  const auto result = engine.evaluate(spins, flips, {0.5, 0.35});
   EXPECT_NEAR(result.raw_vmv, fx.model->incremental_vmv(spins, flips), 1e-12);
   EXPECT_NEAR(result.e_inc, result.raw_vmv * 0.5, 1e-12);
 }
@@ -67,7 +67,7 @@ TEST(IdealEngine, InSituTraceCounts) {
   util::Rng rng(4);
   const auto spins = ising::random_spins(64, rng);
   const ising::FlipSet flips{0, 9};  // interleaved: distinct groups
-  const auto result = engine.evaluate(spins, flips, {1.0, 0.7}, rng);
+  const auto result = engine.evaluate(spins, flips, {1.0, 0.7});
   // 2 row passes x |F| columns x 8 bits x 1 plane.
   EXPECT_EQ(result.trace.adc_conversions, 2u * 2u * 8u);
   EXPECT_EQ(result.trace.mux_slot_cycles, 2u);
@@ -82,7 +82,7 @@ TEST(IdealEngine, FullArrayTraceCounts) {
   util::Rng rng(6);
   const auto spins = ising::random_spins(64, rng);
   const ising::FlipSet flips{1};
-  const auto result = engine.evaluate(spins, flips, {1.0, 0.7}, rng);
+  const auto result = engine.evaluate(spins, flips, {1.0, 0.7});
   EXPECT_EQ(result.trace.adc_conversions, 2u * 64u * 8u);
   EXPECT_EQ(result.trace.mux_slot_cycles, 2u * 8u);
   EXPECT_EQ(result.trace.row_drives, 2u * 64u);
@@ -97,8 +97,8 @@ TEST(IdealEngine, ConversionRatioMatchesPaperStory) {
   util::Rng rng(8);
   const auto spins = ising::random_spins(64, rng);
   const ising::FlipSet flips{10, 20};
-  const auto a = in_situ.evaluate(spins, flips, {1.0, 0.7}, rng);
-  const auto b = full.evaluate(spins, flips, {1.0, 0.7}, rng);
+  const auto a = in_situ.evaluate(spins, flips, {1.0, 0.7});
+  const auto b = full.evaluate(spins, flips, {1.0, 0.7});
   EXPECT_EQ(b.trace.adc_conversions / a.trace.adc_conversions, 64u / 2u);
   EXPECT_EQ(b.trace.mux_slot_cycles / a.trace.mux_slot_cycles, 8u);
 }
@@ -120,8 +120,8 @@ TEST(AnalogEngine, NoiselessAgreesWithIdealWithinQuantization) {
     const double vbg = dac.quantize(rng.uniform(0.2, 0.7));
     // The analog engine realizes f as the device-current ratio; compare on
     // the raw VMV which divides that factor back out.
-    const auto a = analog.evaluate(spins, flips, {0.0, vbg}, rng);
-    const auto b = ideal.evaluate(spins, flips, {1.0, vbg}, rng);
+    const auto a = analog.evaluate(spins, flips, {0.0, vbg});
+    const auto b = ideal.evaluate(spins, flips, {1.0, vbg});
     // Error budget: each of the 2 row passes x |F| columns floor-rounds up
     // to 1 LSB per bit column, amplified by the shift-add bit weights
     // (sum_b 2^b = 2^k - 1), and re-scaled by I_max / I_on(vbg).
@@ -146,7 +146,7 @@ TEST(AnalogEngine, RealizesFractionalFactorInSitu) {
   const auto spins = ising::random_spins(64, rng);
   const ising::FlipSet flips{5, 33};
   for (const double vbg : {0.3, 0.5, 0.7}) {
-    const auto result = engine.evaluate(spins, flips, {0.0, vbg}, rng);
+    const auto result = engine.evaluate(spins, flips, {0.0, vbg});
     if (result.raw_vmv == 0.0) continue;
     const double f_hw =
         fx.array->on_current(vbg) / fx.array->on_current(0.7);
@@ -162,8 +162,8 @@ TEST(AnalogEngine, TraceMatchesIdealInSituAccounting) {
   util::Rng rng(14);
   const auto spins = ising::random_spins(64, rng);
   const ising::FlipSet flips{2, 17};
-  const auto a = analog.evaluate(spins, flips, {1.0, 0.7}, rng);
-  const auto b = ideal.evaluate(spins, flips, {1.0, 0.7}, rng);
+  const auto a = analog.evaluate(spins, flips, {1.0, 0.7});
+  const auto b = ideal.evaluate(spins, flips, {1.0, 0.7});
   // Unit-weight graph: all |mag| = 255, every bit column present.
   EXPECT_EQ(a.trace.adc_conversions, b.trace.adc_conversions);
   EXPECT_EQ(a.trace.mux_slot_cycles, b.trace.mux_slot_cycles);
@@ -183,8 +183,8 @@ TEST(AnalogEngine, ReadNoiseSpreadsEinc) {
   util::RunningStats quiet_stats;
   util::RunningStats noisy_stats;
   for (int i = 0; i < 300; ++i) {
-    quiet_stats.add(quiet_engine.evaluate(spins, flips, {1.0, 0.7}, rng).e_inc);
-    noisy_stats.add(noisy_engine.evaluate(spins, flips, {1.0, 0.7}, rng).e_inc);
+    quiet_stats.add(quiet_engine.evaluate(spins, flips, {1.0, 0.7}).e_inc);
+    noisy_stats.add(noisy_engine.evaluate(spins, flips, {1.0, 0.7}).e_inc);
   }
   EXPECT_LT(quiet_stats.stddev(), 1e-9);  // deterministic without noise
   EXPECT_GT(noisy_stats.stddev(), 1e-3);
@@ -207,9 +207,9 @@ TEST(AnalogEngine, StuckOffCellsBiasResult) {
     const auto spins = ising::random_spins(64, rng);
     const auto flips = ising::random_flip_set(64, 2, rng);
     magnitude_healthy.add(std::fabs(
-        healthy_engine.evaluate(spins, flips, {1.0, 0.7}, rng).e_inc));
+        healthy_engine.evaluate(spins, flips, {1.0, 0.7}).e_inc));
     magnitude_faulty.add(std::fabs(
-        faulty_engine.evaluate(spins, flips, {1.0, 0.7}, rng).e_inc));
+        faulty_engine.evaluate(spins, flips, {1.0, 0.7}).e_inc));
   }
   // Half the bit-cells dead: conductance (and thus |E_inc|) shrinks.
   EXPECT_LT(magnitude_faulty.mean(), magnitude_healthy.mean());
@@ -231,8 +231,8 @@ TEST(AnalogEngine, IrDropAttenuationIsCalibratedOut) {
   const ising::FlipSet flips{1, 50};
   // The digital normalization divides the attenuation back out, so results
   // agree up to ADC requantization of the attenuated currents.
-  const auto a = engine_lossless.evaluate(spins, flips, {1.0, 0.7}, rng);
-  const auto b = engine_lossy.evaluate(spins, flips, {1.0, 0.7}, rng);
+  const auto a = engine_lossless.evaluate(spins, flips, {1.0, 0.7});
+  const auto b = engine_lossy.evaluate(spins, flips, {1.0, 0.7});
   const double lsb_in_vmv =
       fx.quantized->scale() * engine_lossless.adc().lsb_current() /
       fx.array->on_current(0.7);
@@ -245,9 +245,9 @@ TEST(Engines, RejectEmptyFlipSet) {
   AnalogCrossbarEngine analog(fx.array, {});
   util::Rng rng(22);
   const auto spins = ising::random_spins(64, rng);
-  EXPECT_THROW(ideal.evaluate(spins, {}, {1.0, 0.7}, rng),
+  EXPECT_THROW(ideal.evaluate(spins, {}, {1.0, 0.7}),
                fecim::contract_error);
-  EXPECT_THROW(analog.evaluate(spins, {}, {1.0, 0.7}, rng),
+  EXPECT_THROW(analog.evaluate(spins, {}, {1.0, 0.7}),
                fecim::contract_error);
 }
 

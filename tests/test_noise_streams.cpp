@@ -1,0 +1,136 @@
+// Counter-keyed noise streams (util::NoiseStream): statistical quality of
+// the ziggurat normal sampler (moments + tails over >= 1e6 draws) and the
+// keyed-draw contract -- pure functions of (run_seed, site, index),
+// batch/scalar agreement, stream independence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using fecim::util::NoiseStream;
+namespace site = fecim::util::stream_site;
+
+constexpr std::size_t kDraws = 1 << 20;  // ~1.05e6
+
+std::vector<double> million_normals(std::uint64_t seed, std::uint64_t site_id) {
+  std::vector<double> draws(kDraws);
+  const NoiseStream stream(seed, site_id);
+  stream.normal_fill(0, draws);
+  return draws;
+}
+
+TEST(NoiseStream, NormalMomentsMatchStandardNormal) {
+  const auto draws = million_normals(12345, site::kReadNoise);
+  double sum = 0.0;
+  for (const double z : draws) sum += z;
+  const double mean = sum / static_cast<double>(draws.size());
+  double m2 = 0.0;
+  double m3 = 0.0;
+  double m4 = 0.0;
+  for (const double z : draws) {
+    const double d = z - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  const auto n = static_cast<double>(draws.size());
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+  const double skew = m3 / std::pow(m2, 1.5);
+  const double excess_kurtosis = m4 / (m2 * m2) - 3.0;
+
+  // Tolerances ~5 standard errors at n = 2^20: se(mean) ~ 1e-3,
+  // se(var) ~ sqrt(2/n) ~ 1.4e-3, se(skew) ~ sqrt(6/n) ~ 2.4e-3,
+  // se(kurt) ~ sqrt(24/n) ~ 4.8e-3.
+  EXPECT_NEAR(mean, 0.0, 5e-3);
+  EXPECT_NEAR(m2, 1.0, 7e-3);
+  EXPECT_NEAR(skew, 0.0, 1.2e-2);
+  EXPECT_NEAR(excess_kurtosis, 0.0, 2.5e-2);
+}
+
+TEST(NoiseStream, NormalTailMassIsCorrect) {
+  const auto draws = million_normals(777, site::kAdcNoise);
+  const auto n = static_cast<double>(draws.size());
+  const auto tail_fraction = [&](double threshold) {
+    std::size_t count = 0;
+    for (const double z : draws) count += std::fabs(z) > threshold;
+    return static_cast<double>(count) / n;
+  };
+  // Two-sided tail masses of N(0,1); tolerances ~5 binomial sigmas.
+  EXPECT_NEAR(tail_fraction(1.0), 0.31731, 2.3e-3);
+  EXPECT_NEAR(tail_fraction(2.0), 0.04550, 1.1e-3);
+  EXPECT_NEAR(tail_fraction(3.0), 2.6998e-3, 2.6e-4);
+  EXPECT_NEAR(tail_fraction(4.0), 6.334e-5, 4.0e-5);
+
+  // The ziggurat's explicit tail sampler must actually reach past 4 sigma
+  // in a million draws (p ~ 1 - 3e-29 of happening) but never produce the
+  // absurd (|z| > 7 at n = 2^20 has p ~ 1e-6).
+  const double max_abs = std::fabs(*std::max_element(
+      draws.begin(), draws.end(),
+      [](double a, double b) { return std::fabs(a) < std::fabs(b); }));
+  EXPECT_GT(max_abs, 4.0);
+  EXPECT_LT(max_abs, 7.0);
+}
+
+TEST(NoiseStream, DrawsArePureFunctionsOfKeyAndIndex) {
+  const NoiseStream stream(42, site::kReadNoise);
+  // Same (key, index) -> same value, regardless of call order or repetition.
+  const double forward_0 = stream.normal(0);
+  const double forward_9 = stream.normal(9);
+  EXPECT_EQ(stream.normal(9), forward_9);
+  EXPECT_EQ(stream.normal(0), forward_0);
+  const NoiseStream same(42, site::kReadNoise);
+  EXPECT_EQ(same.normal(0), forward_0);
+  EXPECT_EQ(same.key(), stream.key());
+
+  // uniform01 stays in [0, 1).
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double u = stream.uniform01(i);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+
+  // The scaled overload is exactly mean + stddev * z.
+  EXPECT_EQ(stream.normal(3, 2.0, 0.5), 2.0 + 0.5 * stream.normal(3));
+}
+
+TEST(NoiseStream, BatchedFillMatchesScalarDraws) {
+  const NoiseStream stream(2024, site::kCellVth);
+  std::vector<double> batch(4096);
+  const std::uint64_t base = 123456789;
+  stream.normal_fill(base, batch);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    ASSERT_EQ(batch[i], stream.normal(base + i)) << "i=" << i;
+}
+
+TEST(NoiseStream, DistinctSitesAndSeedsAreDecorrelated) {
+  const NoiseStream a(5, site::kReadNoise);
+  const NoiseStream b(5, site::kAdcNoise);   // same seed, different site
+  const NoiseStream c(6, site::kReadNoise);  // different seed, same site
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_NE(a.key(), c.key());
+
+  constexpr std::size_t n = 200000;
+  double dot_ab = 0.0;
+  double dot_ac = 0.0;
+  double lag1 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double za = a.normal(i);
+    dot_ab += za * b.normal(i);
+    dot_ac += za * c.normal(i);
+    lag1 += za * a.normal(i + 1);
+  }
+  // Sample correlations of independent N(0,1) pairs: se ~ 1/sqrt(n) ~ 2e-3.
+  EXPECT_NEAR(dot_ab / n, 0.0, 1.5e-2);
+  EXPECT_NEAR(dot_ac / n, 0.0, 1.5e-2);
+  EXPECT_NEAR(lag1 / n, 0.0, 1.5e-2);
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Gate hot-path bench smoke runs against the tracked baseline.
+
+Usage: bench_gate.py BASELINE_JSON SMOKE_JSON
+
+Compares every (n, engine) row the two files share, plus the sampler entry.
+A row regresses when BOTH signals drop more than the tolerance below the
+baseline (default 10%, override with FECIM_BENCH_TOLERANCE=0.15 etc.):
+
+  * speedup        -- optimized / reference ratio; robust to a uniformly
+                      slow machine, sensitive to reference-side flukes;
+  * absolute opt   -- optimized evals/s; robust to reference flukes,
+                      sensitive to machine load.
+
+Requiring both to fall catches real optimized-path regressions (which drag
+both signals down) while tolerating the single-signal noise a seconds-scale
+smoke run on a busy machine produces.  Exit code 1 on any regression.
+"""
+import json
+import os
+import sys
+
+
+def fmt(value):
+    return f"{value:,.0f}" if value >= 1000 else f"{value:.2f}"
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        smoke = json.load(f)
+    tolerance = float(os.environ.get("FECIM_BENCH_TOLERANCE", "0.10"))
+    floor = 1.0 - tolerance
+
+    failures = []
+    checked = 0
+
+    def check(label, smoke_ratio, base_ratio, smoke_abs, base_abs):
+        nonlocal checked
+        checked += 1
+        ratio_ok = smoke_ratio >= base_ratio * floor
+        abs_ok = smoke_abs >= base_abs * floor
+        verdict = "ok" if (ratio_ok or abs_ok) else "REGRESSION"
+        print(f"  {label:<28} speedup {fmt(smoke_ratio)} vs {fmt(base_ratio)}"
+              f" | opt/s {fmt(smoke_abs)} vs {fmt(base_abs)} ... {verdict}")
+        if verdict != "ok":
+            failures.append(label)
+
+    base_rows = {(r["n"], r["engine"]): r for r in baseline.get("engine_eval", [])}
+    for row in smoke.get("engine_eval", []):
+        base = base_rows.get((row["n"], row["engine"]))
+        if base is None:
+            continue
+        check(f"n={row['n']} {row['engine']}", row["speedup"], base["speedup"],
+              row["evals_per_sec_optimized"], base["evals_per_sec_optimized"])
+
+    if "sampler" in smoke and "sampler" in baseline:
+        check("normal sampler", smoke["sampler"]["speedup"],
+              baseline["sampler"]["speedup"],
+              smoke["sampler"]["normals_per_sec_ziggurat"],
+              baseline["sampler"]["normals_per_sec_ziggurat"])
+
+    if checked == 0:
+        print("bench_gate: no comparable rows between smoke and baseline",
+              file=sys.stderr)
+        return 1
+    if failures:
+        print(f"bench_gate: {len(failures)} regression(s) beyond "
+              f"{tolerance:.0%}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"bench_gate: {checked} row(s) within {tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

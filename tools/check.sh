@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Single entry point for the repo's correctness + performance gate:
-#   1. configure + build the release-with-assertions preset,
+#   1. configure + build the release-with-assertions preset (library, tests,
+#      benches, examples, tools),
 #   2. run the full ctest suite,
-#   3. smoke-run the hot-path benchmark (reduced sizes) so perf regressions
-#      that break the bench itself are caught before a full campaign.
+#   3. smoke-run the hot-path benchmark and gate its speedups against the
+#      tracked baseline in BENCH_hotpath.json (tools/bench_gate.py; >10%
+#      regressions on both signals fail, FECIM_BENCH_TOLERANCE overrides),
+#   4. smoke-run the quickstart example, so the README's build-and-run
+#      instructions stay honest.
 #
 # Usage: tools/check.sh [--full-bench]
-#   --full-bench   run bench_hotpath at its full sizes (writes
-#                  BENCH_hotpath.json in the repo root) instead of the smoke
-#                  configuration.
+#   --full-bench   additionally run bench_hotpath at its full sizes,
+#                  rewriting BENCH_hotpath.json in the repo root (do this
+#                  when a PR intentionally moves hot-path performance).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -31,11 +35,24 @@ cmake --build build -j"$(nproc)"
 
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
+# Smoke configuration: smallest size, few iterations; the JSON goes to the
+# build tree (never the tracked baseline) for the regression gate.
+smoke_json="build/bench_smoke.json"
+FECIM_BENCH_SMOKE=1 FECIM_BENCH_OUT="${smoke_json}" ./build/bench/bench_hotpath
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/bench_gate.py BENCH_hotpath.json "${smoke_json}"
+else
+  echo "check.sh: python3 not found; skipping bench regression gate" >&2
+fi
+
+# Example smoke: quickstart exercises the whole stack (problem -> mapping ->
+# analog engine -> annealer -> cost ledger) in under a second.
+./build/examples/quickstart >/dev/null
+echo "check.sh: example smoke OK"
+
 if [[ "${full_bench}" == 1 ]]; then
   ./build/bench/bench_hotpath
-else
-  # Smoke configuration: smallest size, few iterations, no JSON rewrite.
-  FECIM_BENCH_SMOKE=1 ./build/bench/bench_hotpath
 fi
 
 echo "check.sh: OK"
