@@ -27,13 +27,12 @@ int main() {
     const auto config = bench::campaign_config(83);
 
     auto report = [&](const char* label, const core::Annealer& annealer) {
-      const auto result =
-          core::run_maxcut_campaign(annealer, instance, config);
+      const auto result = core::run_campaign(annealer, instance, config);
       table.row()
           .add(group.nodes)
           .add(group.iterations)
           .add(label)
-          .add(result.normalized_cut.mean(), 3)
+          .add(result.normalized.mean(), 3)
           .add(result.success_rate * 100.0, 0);
     };
 

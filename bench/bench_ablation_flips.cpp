@@ -21,14 +21,14 @@ int main() {
     setup.flips_per_iteration = flips;
     const auto annealer = core::make_annealer(core::AnnealerKind::kThisWork,
                                               instance.model, setup);
-    const auto result = core::run_maxcut_campaign(
+    const auto result = core::run_campaign(
         *annealer, instance, bench::campaign_config(61));
     const double conversions_per_iteration =
         static_cast<double>(result.total_ledger.adc_conversions) /
         static_cast<double>(result.total_ledger.iterations);
     table.row()
         .add(flips)
-        .add(result.normalized_cut.mean(), 3)
+        .add(result.normalized.mean(), 3)
         .add(result.success_rate * 100.0, 0)
         .add(util::si_format(result.energy.mean(), "J"))
         .add(util::si_format(result.time.mean(), "s"))

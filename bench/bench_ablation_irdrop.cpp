@@ -49,11 +49,11 @@ int main() {
     config.iterations = 1000;
     config.analog.model_ir_drop = ir_on;
     core::InSituCimAnnealer annealer(instance.model, config);
-    const auto result = core::run_maxcut_campaign(
-        annealer, instance, bench::campaign_config(91));
+    const auto result =
+        core::run_campaign(annealer, instance, bench::campaign_config(91));
     quality.row()
         .add(ir_on ? "IR drop modeled" : "ideal wires")
-        .add(result.normalized_cut.mean(), 3)
+        .add(result.normalized.mean(), 3)
         .add(result.success_rate * 100.0, 0);
   }
   std::printf("%s", quality.str().c_str());

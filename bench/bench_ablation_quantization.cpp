@@ -22,8 +22,8 @@ int main() {
   problems::Graph weighted(graph.num_vertices());
   for (const auto& e : graph.edges())
     weighted.add_edge(e.u, e.v, e.weight * weight_rng.uniform(0.25, 1.0));
-  const auto instance = core::make_maxcut_instance("weighted-512",
-                                                   std::move(weighted), 32);
+  const auto instance = problems::make_maxcut_problem("weighted-512",
+                                                      std::move(weighted), 32);
 
   util::Table table({"k bits", "max |J| error", "norm. cut", "success",
                      "energy/run"});
@@ -35,12 +35,12 @@ int main() {
     setup.bits = bits;
     const auto annealer = core::make_annealer(core::AnnealerKind::kThisWork,
                                               instance.model, setup);
-    const auto result = core::run_maxcut_campaign(
+    const auto result = core::run_campaign(
         *annealer, instance, bench::campaign_config(67));
     table.row()
         .add(bits)
         .add(quantized.max_abs_error(instance.model->couplings()), 5)
-        .add(result.normalized_cut.mean(), 3)
+        .add(result.normalized.mean(), 3)
         .add(result.success_rate * 100.0, 0)
         .add(util::si_format(result.energy.mean(), "J"));
   }

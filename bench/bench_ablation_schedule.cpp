@@ -24,12 +24,12 @@ int main() {
     config.iterations = 1000;
     config.schedule.dac.step = step;
     core::InSituCimAnnealer annealer(instance.model, config);
-    const auto result = core::run_maxcut_campaign(
-        annealer, instance, bench::campaign_config(97));
+    const auto result =
+        core::run_campaign(annealer, instance, bench::campaign_config(97));
     table.row()
         .add(step, 2)
         .add(config.schedule.dac.num_levels())
-        .add(result.normalized_cut.mean(), 3)
+        .add(result.normalized.mean(), 3)
         .add(result.success_rate * 100.0, 0);
   }
   std::printf("%s", table.str().c_str());

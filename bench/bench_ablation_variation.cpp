@@ -14,7 +14,7 @@ namespace {
 
 void sweep(const char* title, const std::vector<device::VariationParams>& points,
            const std::vector<std::string>& labels,
-           const core::MaxcutInstance& instance) {
+           const core::ProblemInstance& instance) {
   std::printf("\n-- %s --\n", title);
   util::Table table({"setting", "norm. cut", "success", "faulted bit-cells"});
   for (std::size_t p = 0; p < points.size(); ++p) {
@@ -23,7 +23,7 @@ void sweep(const char* title, const std::vector<device::VariationParams>& points
     setup.variation = points[p];
     const auto annealer = core::make_annealer(core::AnnealerKind::kThisWork,
                                               instance.model, setup);
-    const auto result = core::run_maxcut_campaign(
+    const auto result = core::run_campaign(
         *annealer, instance, bench::campaign_config(71 + p));
     const auto* in_situ =
         dynamic_cast<const core::InSituCimAnnealer*>(annealer.get());
@@ -33,7 +33,7 @@ void sweep(const char* title, const std::vector<device::VariationParams>& points
             : 0;
     table.row()
         .add(labels[p])
-        .add(result.normalized_cut.mean(), 3)
+        .add(result.normalized.mean(), 3)
         .add(result.success_rate * 100.0, 0)
         .add(faults);
   }

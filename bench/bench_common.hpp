@@ -13,6 +13,7 @@
 #include "core/annealer_factory.hpp"
 #include "core/runner.hpp"
 #include "problems/generators.hpp"
+#include "problems/instances.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
 
@@ -53,12 +54,15 @@ inline std::uint64_t instance_seed(std::size_t nodes, std::size_t index) {
   return nodes * 1000003ULL + index;
 }
 
-inline core::MaxcutInstance make_instance(std::size_t nodes,
-                                          std::size_t index) {
+/// Max-Cut benchmark instance for a (group size, index) pair, built through
+/// the shared ProblemInstance factory (same reference-restart policy as the
+/// paper harness; no duplicated construction logic in the benches).
+inline core::ProblemInstance make_instance(std::size_t nodes,
+                                           std::size_t index) {
   const auto seed = instance_seed(nodes, index);
   auto graph = problems::gset_like_instance(nodes, seed);
   const std::size_t restarts = util::full_reproduction_mode() ? 64 : 24;
-  return core::make_maxcut_instance(
+  return problems::make_maxcut_problem(
       "n" + std::to_string(nodes) + "-i" + std::to_string(index),
       std::move(graph), restarts, seed);
 }

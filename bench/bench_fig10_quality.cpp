@@ -32,10 +32,10 @@ int main() {
         core::StandardSetup setup;
         setup.iterations = group.iterations;
         const auto annealer = core::make_annealer(kind, instance.model, setup);
-        const auto result = core::run_maxcut_campaign(
+        const auto result = core::run_campaign(
             *annealer, instance, bench::campaign_config(41 + i));
-        normalized.add(result.normalized_cut.mean());
-        min_norm = std::min(min_norm, result.normalized_cut.min());
+        normalized.add(result.normalized.mean());
+        min_norm = std::min(min_norm, result.normalized.min());
         success.add(result.success_rate);
       }
       if (kind == core::AnnealerKind::kThisWork)

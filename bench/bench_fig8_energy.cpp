@@ -31,7 +31,7 @@ void figure_8a() {
         core::StandardSetup setup;
         setup.iterations = group.iterations;
         const auto annealer = core::make_annealer(kind, instance.model, setup);
-        const auto result = core::run_maxcut_campaign(
+        const auto result = core::run_campaign(
             *annealer, instance, bench::campaign_config(17 + i));
         energy.add(result.energy.mean());
         adc.add(result.adc_energy.mean());

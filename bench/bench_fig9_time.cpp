@@ -29,7 +29,7 @@ void figure_9a() {
         core::StandardSetup setup;
         setup.iterations = group.iterations;
         const auto annealer = core::make_annealer(kind, instance.model, setup);
-        const auto result = core::run_maxcut_campaign(
+        const auto result = core::run_campaign(
             *annealer, instance, bench::campaign_config(29 + i));
         time.add(result.time.mean());
         // The slot-serialized ADC share dominates both designs.

@@ -15,11 +15,15 @@
 //   3. In-situ annealer iterations/sec on the ideal engine (local-field
 //      cache + zero-allocation loop vs seed loop with per-call n-byte
 //      bitmap zero-fills and per-iteration allocations).
-//   4. Campaign wall-clock at N = 1024 (deterministic device):
-//      run_maxcut_campaign (persistent pool, zero-allocation inner loops,
-//      mutex-free reduction) vs a faithful legacy campaign (reference
-//      kernels, per-iteration allocations, thread spawn per call, merge
-//      mutex).
+//   4. Campaign wall-clock at N in {256, 1024} in two regimes: "analog"
+//      (deterministic device) pits run_campaign (persistent pool,
+//      zero-allocation inner loops, mutex-free reduction) against a
+//      faithful legacy campaign (reference kernels, per-iteration
+//      allocations, thread spawn per call, merge mutex); "analog-noisy"
+//      measures replica-parallel scaling of the stochastic path
+//      (threads=N vs threads=1 -- legal since counter-keyed noise streams
+//      unbound runs from a shared RNG).  The n=256 rows run in every mode
+//      so check.sh smoke passes always have baseline rows to gate on.
 //
 // Emits machine-readable JSON (default BENCH_hotpath.json; FECIM_BENCH_OUT
 // overrides) so the perf trajectory is tracked across PRs.
@@ -28,6 +32,7 @@
 // tools/check.sh captures smoke numbers for its regression gate.
 #include <cstdio>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -60,6 +65,7 @@ struct EngineRow {
 
 struct CampaignRow {
   std::size_t n = 0;
+  std::string kind;  ///< "analog" (vs seed legacy) | "analog-noisy" (threads scaling)
   std::size_t runs = 0;
   std::size_t iterations = 0;
   std::size_t threads = 0;
@@ -84,6 +90,21 @@ core::InSituConfig analog_config(bool noisy) {
     config.analog.adc.noise_lsb_rms = 0.0;  // deterministic readout
   }
   return config;
+}
+
+/// Minimum wall time over three repetitions: smoke-scale timed regions are
+/// milliseconds long, where single samples scatter by tens of percent on a
+/// busy machine; the minimum is the standard noise-robust estimator and
+/// keeps the bench_gate rows stable run to run.
+template <typename Body>
+double best_of_three_seconds(const Body& body) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    util::WallTimer timer;
+    body();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
 }
 
 // ---------------------------------------------------------------------------
@@ -143,16 +164,22 @@ double measure_analog(const AnalogWorkload& workload, std::size_t iterations,
     }
   }
 
+  // Best of three timed passes: smoke-scale iteration counts measure
+  // milliseconds, where single samples scatter enough to trip the bench
+  // gate on a loaded machine.
   ising::FlipSet flips(t);
   double checksum = 0.0;
-  util::WallTimer timer;
-  for (std::size_t it = 0; it < iterations; ++it) {
-    for (std::size_t k = 0; k < t; ++k) flips[k] = flip_stream[it * t + k];
-    checksum += evaluate(flips, signals[it]);
+  double best = std::numeric_limits<double>::infinity();
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    util::WallTimer timer;
+    for (std::size_t it = 0; it < iterations; ++it) {
+      for (std::size_t k = 0; k < t; ++k) flips[k] = flip_stream[it * t + k];
+      checksum += evaluate(flips, signals[it]);
+    }
+    best = std::min(best, timer.seconds());
   }
-  const double elapsed = timer.seconds();
   if (checksum == 0.12345) std::printf("(unreachable checksum)\n");
-  return static_cast<double>(iterations) / elapsed;
+  return static_cast<double>(iterations) / best;
 }
 
 EngineRow bench_analog_engine(std::size_t n, std::size_t iterations,
@@ -205,18 +232,20 @@ SamplerRow bench_sampler(std::size_t draws) {
   double checksum = 0.0;
   {
     const util::NoiseStream stream(99, util::stream_site::kReadNoise);
-    util::WallTimer timer;
-    for (std::size_t base = 0; base < draws; base += kBatch) {
-      stream.normal_fill(base, buffer);
-      checksum += buffer[0];
-    }
-    row.ziggurat_per_sec = static_cast<double>(draws) / timer.seconds();
+    const double elapsed = best_of_three_seconds([&] {
+      for (std::size_t base = 0; base < draws; base += kBatch) {
+        stream.normal_fill(base, buffer);
+        checksum += buffer[0];
+      }
+    });
+    row.ziggurat_per_sec = static_cast<double>(draws) / elapsed;
   }
   {
-    util::Rng rng(99);
-    util::WallTimer timer;
-    for (std::size_t i = 0; i < draws; ++i) checksum += rng.normal();
-    row.box_muller_per_sec = static_cast<double>(draws) / timer.seconds();
+    const double elapsed = best_of_three_seconds([&] {
+      util::Rng rng(99);
+      for (std::size_t i = 0; i < draws; ++i) checksum += rng.normal();
+    });
+    row.box_muller_per_sec = static_cast<double>(draws) / elapsed;
   }
   if (checksum == 0.12345) std::printf("(unreachable checksum)\n");
   row.speedup = row.ziggurat_per_sec / row.box_muller_per_sec;
@@ -239,45 +268,47 @@ EngineRow bench_ideal_annealer(std::size_t n, std::size_t iterations) {
 
   EngineRow row{n, "ideal-annealer", 0.0, 0.0, 0.0};
   {
-    util::WallTimer timer;
-    const auto result = annealer.run(99);
-    row.optimized_per_sec =
-        static_cast<double>(iterations) / timer.seconds();
-    if (result.ledger.iterations != iterations)
-      std::printf("(iteration mismatch)\n");
+    const double elapsed = best_of_three_seconds([&] {
+      const auto result = annealer.run(99);
+      if (result.ledger.iterations != iterations)
+        std::printf("(iteration mismatch)\n");
+    });
+    row.optimized_per_sec = static_cast<double>(iterations) / elapsed;
   }
   {
     // Seed loop: cache-less engine (stateless CSR row walks with an n-byte
     // bitmap zero-fill per call), freshly-allocated flip sets, delta_energy
-    // row walk on every accept.
-    util::Rng rng(99);
-    crossbar::IdealCrossbarEngine engine(*model, annealer.mapping(),
-                                         crossbar::Accounting::kInSitu);
-    auto spins = ising::random_spins(model->num_spins(), rng);
-    double energy = model->energy(spins);
-    double best = energy;
-    const core::FractionalAcceptance acceptance;
-    util::WallTimer timer;
-    for (std::size_t it = 0; it < iterations; ++it) {
-      const auto point = annealer.schedule().at(it);
-      const auto flips = ising::random_flip_set(model->num_flippable(),
-                                                config.flips_per_iteration,
-                                                rng);
-      // The seed engine evaluated through the reference VMV (fresh bitmap
-      // allocation + zero-fill per call).
-      crossbar::EincResult evaluation;
-      evaluation.raw_vmv =
-          crossbar::reference::incremental_vmv(*model, spins, flips);
-      evaluation.e_inc = evaluation.raw_vmv * point.factor;
-      if (acceptance.accept(config.acceptance_gain * evaluation.e_inc, rng)) {
-        energy += model->delta_energy(spins, flips);
-        ising::flip_in_place(spins, flips);
-        if (energy < best) best = energy;
+    // row walk on every accept.  State re-initializes inside the repeat so
+    // every timed pass runs the identical workload.
+    const double elapsed = best_of_three_seconds([&] {
+      util::Rng rng(99);
+      crossbar::IdealCrossbarEngine engine(*model, annealer.mapping(),
+                                           crossbar::Accounting::kInSitu);
+      auto spins = ising::random_spins(model->num_spins(), rng);
+      double energy = model->energy(spins);
+      double best = energy;
+      const core::FractionalAcceptance acceptance;
+      for (std::size_t it = 0; it < iterations; ++it) {
+        const auto point = annealer.schedule().at(it);
+        const auto flips = ising::random_flip_set(model->num_flippable(),
+                                                  config.flips_per_iteration,
+                                                  rng);
+        // The seed engine evaluated through the reference VMV (fresh bitmap
+        // allocation + zero-fill per call).
+        crossbar::EincResult evaluation;
+        evaluation.raw_vmv =
+            crossbar::reference::incremental_vmv(*model, spins, flips);
+        evaluation.e_inc = evaluation.raw_vmv * point.factor;
+        if (acceptance.accept(config.acceptance_gain * evaluation.e_inc,
+                              rng)) {
+          energy += model->delta_energy(spins, flips);
+          ising::flip_in_place(spins, flips);
+          if (energy < best) best = energy;
+        }
       }
-    }
-    row.reference_per_sec =
-        static_cast<double>(iterations) / timer.seconds();
-    if (best > energy) std::printf("(unreachable)\n");
+      if (best > energy) std::printf("(unreachable)\n");
+    });
+    row.reference_per_sec = static_cast<double>(iterations) / elapsed;
   }
   row.speedup = row.optimized_per_sec / row.reference_per_sec;
   return row;
@@ -334,16 +365,21 @@ double legacy_insitu_run(const ising::IsingModel& model,
   return best;
 }
 
-CampaignRow bench_campaign(std::size_t n, std::size_t runs,
-                           std::size_t iterations) {
-  auto instance = core::make_maxcut_instance(
+core::ProblemInstance campaign_instance(std::size_t n) {
+  return problems::make_maxcut_problem(
       "hotpath-n" + std::to_string(n),
       problems::random_graph(n, 24.0, problems::WeightScheme::kPlusMinusOne,
                              3000 + n),
       8, 3000 + n);
+}
+
+CampaignRow bench_campaign(std::size_t n, std::size_t runs,
+                           std::size_t iterations) {
+  const auto instance = campaign_instance(n);
 
   CampaignRow row;
   row.n = n;
+  row.kind = "analog";
   row.runs = runs;
   row.iterations = iterations;
   row.threads = util::worker_threads();
@@ -356,12 +392,10 @@ CampaignRow bench_campaign(std::size_t n, std::size_t runs,
   core::CampaignConfig campaign;
   campaign.runs = runs;
 
-  {
-    util::WallTimer timer;
-    const auto result = core::run_maxcut_campaign(annealer, instance, campaign);
-    row.optimized_seconds = timer.seconds();
+  row.optimized_seconds = best_of_three_seconds([&] {
+    const auto result = core::run_campaign(annealer, instance, campaign);
     if (result.runs != runs) std::printf("(campaign run mismatch)\n");
-  }
+  });
 
   {
     auto workload =
@@ -374,21 +408,66 @@ CampaignRow bench_campaign(std::size_t n, std::size_t runs,
     std::vector<std::uint64_t> seeds(runs);
     for (auto& s : seeds) s = seeder();
 
-    util::WallTimer timer;
-    util::RunningStats best;
-    std::mutex merge_mutex;  // the seed runner's serialization point
-    legacy_parallel_for(
-        runs,
-        [&](std::size_t run) {
-          const double b = legacy_insitu_run(*instance.model, workload, probe,
-                                             i_on_max, iterations, seeds[run]);
-          const std::lock_guard<std::mutex> lock(merge_mutex);
-          best.add(b);
-        },
-        std::min<std::size_t>(row.threads, runs));
-    row.legacy_seconds = timer.seconds();
-    if (best.count() != runs) std::printf("(legacy run mismatch)\n");
+    row.legacy_seconds = best_of_three_seconds([&] {
+      util::RunningStats best;
+      std::mutex merge_mutex;  // the seed runner's serialization point
+      legacy_parallel_for(
+          runs,
+          [&](std::size_t run) {
+            const double b = legacy_insitu_run(*instance.model, workload,
+                                               probe, i_on_max, iterations,
+                                               seeds[run]);
+            const std::lock_guard<std::mutex> lock(merge_mutex);
+            best.add(b);
+          },
+          std::min<std::size_t>(row.threads, runs));
+      if (best.count() != runs) std::printf("(legacy run mismatch)\n");
+    });
   }
+
+  row.speedup = row.legacy_seconds / row.optimized_seconds;
+  return row;
+}
+
+/// Replica-parallel noisy-analog campaign: counter-keyed noise streams made
+/// parallel noisy evaluation legal (runs no longer serialize on one RNG), so
+/// the same run_campaign call scales across workers.  legacy_seconds holds
+/// the threads=1 wall time, optimized_seconds the all-cores wall time; on a
+/// single-core host the ratio degenerates to ~1.
+CampaignRow bench_noisy_campaign(std::size_t n, std::size_t runs,
+                                 std::size_t iterations) {
+  const auto instance = campaign_instance(n);
+
+  CampaignRow row;
+  row.n = n;
+  row.kind = "analog-noisy";
+  row.runs = runs;
+  row.iterations = iterations;
+  row.threads = util::worker_threads();
+
+  auto config = analog_config(/*noisy=*/true);
+  config.iterations = iterations;
+  config.flips_per_iteration = 2;
+  config.flip_selection = core::InSituConfig::FlipSelection::kRandom;
+  const core::InSituCimAnnealer annealer(instance.model, config);
+
+  core::CampaignConfig serial;
+  serial.runs = runs;
+  serial.threads = 1;
+  core::CampaignConfig parallel = serial;
+  parallel.threads = row.threads;
+
+  double serial_objective = 0.0;
+  row.legacy_seconds = best_of_three_seconds([&] {
+    const auto result = core::run_campaign(annealer, instance, serial);
+    serial_objective = result.objective.mean();
+  });
+  row.optimized_seconds = best_of_three_seconds([&] {
+    const auto result = core::run_campaign(annealer, instance, parallel);
+    // Replica parallelism must not change results (keyed noise streams).
+    if (result.objective.mean() != serial_objective)
+      std::printf("(noisy campaign thread-determinism mismatch)\n");
+  });
 
   row.speedup = row.legacy_seconds / row.optimized_seconds;
   return row;
@@ -405,7 +484,7 @@ void write_json(const std::string& path, const std::string& mode,
     std::printf("cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"schema\": \"fecim-bench-hotpath-v2\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"fecim-bench-hotpath-v3\",\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", mode.c_str());
   std::fprintf(f, "  \"hardware_threads\": %zu,\n", util::worker_threads());
   std::fprintf(f,
@@ -427,13 +506,17 @@ void write_json(const std::string& path, const std::string& mode,
   std::fprintf(f, "  ],\n  \"campaign\": [\n");
   for (std::size_t i = 0; i < campaigns.size(); ++i) {
     const auto& row = campaigns[i];
+    // %.6f: the smoke campaign completes in milliseconds, and the gate
+    // derives a throughput signal from this value -- %.3f quantization
+    // would inject up to +-50 % error into it.
     std::fprintf(f,
-                 "    {\"n\": %zu, \"runs\": %zu, \"iterations\": %zu, "
-                 "\"threads\": %zu, \"wall_seconds_optimized\": %.3f, "
-                 "\"wall_seconds_legacy\": %.3f, \"speedup\": %.2f}%s\n",
-                 row.n, row.runs, row.iterations, row.threads,
-                 row.optimized_seconds, row.legacy_seconds, row.speedup,
-                 i + 1 < campaigns.size() ? "," : "");
+                 "    {\"n\": %zu, \"kind\": \"%s\", \"runs\": %zu, "
+                 "\"iterations\": %zu, "
+                 "\"threads\": %zu, \"wall_seconds_optimized\": %.6f, "
+                 "\"wall_seconds_legacy\": %.6f, \"speedup\": %.2f}%s\n",
+                 row.n, row.kind.c_str(), row.runs, row.iterations,
+                 row.threads, row.optimized_seconds, row.legacy_seconds,
+                 row.speedup, i + 1 < campaigns.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -450,7 +533,9 @@ int main() {
   const std::vector<std::size_t> sizes =
       smoke ? std::vector<std::size_t>{256}
             : std::vector<std::size_t>{256, 1024, 4096};
-  const std::size_t engine_iterations = smoke ? 2000 : (full ? 200000 : 50000);
+  // Smoke needs enough iterations that even the slowest regime (noisy
+  // reference, iterations / 4) times a multi-millisecond region.
+  const std::size_t engine_iterations = smoke ? 8000 : (full ? 200000 : 50000);
 
   const SamplerRow sampler = bench_sampler(smoke ? 2'000'000 : 20'000'000);
   std::printf(
@@ -476,16 +561,31 @@ int main() {
 
   std::vector<CampaignRow> campaigns;
   {
-    const std::size_t n = smoke ? 256 : 1024;
-    const std::size_t runs = smoke ? 4 : (full ? 64 : 16);
-    const std::size_t iterations = smoke ? 1000 : (full ? 20000 : 5000);
-    const CampaignRow row = bench_campaign(n, runs, iterations);
-    campaigns.push_back(row);
-    std::printf(
-        "campaign n=%zu runs=%zu iters=%zu threads=%zu: optimized %.3fs, "
-        "legacy %.3fs, speedup %.2fx\n",
-        row.n, row.runs, row.iterations, row.threads, row.optimized_seconds,
-        row.legacy_seconds, row.speedup);
+    // n=256 rows run in every mode so the check.sh smoke pass always has a
+    // baseline row to gate against; non-smoke modes add the n=1024 rows.
+    const std::vector<std::size_t> campaign_sizes =
+        smoke ? std::vector<std::size_t>{256}
+              : std::vector<std::size_t>{256, 1024};
+    // The smoke campaign runs the same workload as the reduced-mode
+    // baseline row: an identical (runs, iterations) pair removes the
+    // amortization bias a shorter campaign would carry, and the tens of
+    // milliseconds it takes are what the gate's throughput signal needs to
+    // sit clear of timer noise.
+    const std::size_t runs = full ? 64 : 16;
+    const std::size_t iterations = full ? 20000 : 5000;
+    for (const auto n : campaign_sizes) {
+      campaigns.push_back(bench_campaign(n, runs, iterations));
+      campaigns.push_back(bench_noisy_campaign(n, runs, iterations / 4));
+    }
+    for (const auto& row : campaigns) {
+      std::printf(
+          "campaign n=%zu %s runs=%zu iters=%zu threads=%zu: optimized "
+          "%.3fs, %s %.3fs, speedup %.2fx\n",
+          row.n, row.kind.c_str(), row.runs, row.iterations, row.threads,
+          row.optimized_seconds,
+          row.kind == "analog-noisy" ? "serial" : "legacy",
+          row.legacy_seconds, row.speedup);
+    }
   }
 
   // Smoke runs never overwrite the tracked baseline, but an explicit

@@ -22,7 +22,7 @@ int main() {
     setup.iterations = iterations;
     const auto annealer = core::make_annealer(core::AnnealerKind::kThisWork,
                                               instance.model, setup);
-    const auto result = core::run_maxcut_campaign(
+    const auto result = core::run_campaign(
         *annealer, instance, bench::campaign_config(53 + i));
     time_stats.add(result.time.mean());
     energy_stats.add(result.energy.mean());

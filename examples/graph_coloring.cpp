@@ -1,12 +1,16 @@
-// Graph coloring on the CiM annealer: QUBO one-hot encoding -> Ising with
-// fields -> ancilla folding -> in-situ annealing -> decoded coloring.
+// Graph coloring on the CiM annealer through the unified campaign API:
+// make_coloring_problem encodes the one-hot QUBO and run_campaign executes
+// parallel replicas; the decode hook reports conflicts/feasibility, and the
+// winning run's spins decode back into an explicit coloring.
 //
 //   build/examples/example_graph_coloring
 #include <cstdio>
 
 #include "core/annealer_factory.hpp"
+#include "core/runner.hpp"
 #include "problems/coloring.hpp"
 #include "problems/generators.hpp"
+#include "problems/instances.hpp"
 
 int main() {
   using namespace fecim;
@@ -22,43 +26,37 @@ int main() {
   // Realistic workflow: try the greedy palette size first, widen by one
   // color if the annealer cannot satisfy every constraint.
   for (std::size_t k = greedy_colors; k <= greedy_colors + 1; ++k) {
-    const auto encoding = problems::coloring_to_qubo(graph, k, 2.0);
-    std::printf("\ntrying k = %zu: QUBO with %zu binary variables\n", k,
-                encoding.qubo.num_variables());
-
-    // Fields from the one-hot penalty fold into one pinned ancilla spin.
-    const auto model = std::make_shared<const ising::IsingModel>(
-        encoding.qubo.to_ising().with_ancilla());
+    const auto problem = problems::make_coloring_problem(
+        "coloring-example", graph, k, 2.0);
+    std::printf("\ntrying k = %zu: %s (%zu spins)\n", k,
+                problem.summary.c_str(), problem.model->num_spins());
 
     core::StandardSetup setup;
     setup.iterations = 20000;
     setup.acceptance_gain = 4.0;  // softer comparator for constraint problems
     // Constraint-exact problems need tighter programming than Max-Cut:
     // +-30 mV V_TH spread statically corrupts the penalty weights, while a
-    // program-verify loop reaching +-10 mV preserves them (see EXPERIMENTS.md).
+    // program-verify loop reaching +-10 mV preserves them.
     setup.variation = {0.01, 0.02, 0.0, 0.0};
     const auto annealer =
-        core::make_annealer(core::AnnealerKind::kThisWork, model, setup);
+        core::make_annealer(core::AnnealerKind::kThisWork, problem.model,
+                            setup);
 
-    std::size_t best_violations = ~std::size_t{0};
-    std::vector<std::uint32_t> best_colors;
-    for (std::uint64_t seed = 0; seed < 10 && best_violations > 0; ++seed) {
-      auto spins = annealer->run(seed).best_spins;
-      spins.pop_back();  // drop the ancilla
-      const auto x = ising::binary_from_spins(spins);
-      const auto violations =
-          problems::coloring_violations(graph, encoding, x);
-      if (violations < best_violations) {
-        best_violations = violations;
-        best_colors = problems::decode_coloring(encoding, x);
-      }
-    }
+    core::CampaignConfig config;
+    config.runs = 10;
+    const auto result = core::run_campaign(*annealer, problem, config);
+    std::printf("feasible runs: %.0f %%, mean violations %.1f\n",
+                result.feasible_rate * 100.0, result.violations.mean());
 
-    std::printf("best assignment: %zu constraint violations\n",
-                best_violations);
-    if (best_violations == 0) {
-      std::printf("valid %zu-coloring found; vertex colors:", k);
-      for (const auto c : best_colors) std::printf(" %u", c);
+    if (result.best_run < result.per_run.size()) {
+      const auto& winner = result.per_run[result.best_run];
+      // Re-decode the winning configuration into explicit vertex colors.
+      const auto colors =
+          problems::coloring_from_spins(graph, k, winner.best_spins);
+      std::printf("valid %zu-coloring found (%.0f colors used); "
+                  "vertex colors:",
+                  k, winner.solution.objective);
+      for (const auto c : colors) std::printf(" %u", c);
       std::printf("\n");
       return 0;
     }

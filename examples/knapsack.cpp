@@ -1,61 +1,58 @@
-// 0/1 knapsack on the CiM annealer: slack-bit QUBO encoding (the HyCiM [15]
-// problem class), solved by the in-situ flow and checked against the exact
-// dynamic-programming optimum.
+// 0/1 knapsack on the CiM annealer through the unified campaign API: the
+// slack-bit QUBO encoding (the HyCiM [15] problem class) behind
+// make_knapsack_problem, parallel replicas via run_campaign, and the decoded
+// value/weight feasibility against the exact DP optimum.
 //
 //   build/examples/example_knapsack
 #include <cstdio>
 
 #include "core/annealer_factory.hpp"
+#include "core/runner.hpp"
+#include "problems/instances.hpp"
 #include "problems/knapsack.hpp"
-#include "util/rng.hpp"
 
 int main() {
   using namespace fecim;
 
-  // A 12-item instance with integer weights.
-  util::Rng rng(5);
-  problems::KnapsackInstance instance;
-  instance.capacity = 30;
-  for (int i = 0; i < 12; ++i) {
-    instance.items.push_back(
-        {static_cast<double>(rng.uniform_int(3, 20)),
-         static_cast<double>(rng.uniform_int(2, 12))});
-  }
-  const double optimum = problems::knapsack_optimal_value(instance);
-  std::printf("knapsack: %zu items, capacity %.0f, DP optimum = %.0f\n",
-              instance.items.size(), instance.capacity, optimum);
+  // A 12-item instance with integer weights; capacity defaults to ~40 % of
+  // the total weight.
+  const auto instance = problems::random_knapsack(12, 5, 30.0);
+  const auto problem =
+      problems::make_knapsack_problem("knapsack-example", instance);
+  std::printf("knapsack: %s; DP optimum = %.0f\n", problem.summary.c_str(),
+              problem.reference_objective);
 
-  const auto encoding = problems::knapsack_to_qubo(instance);
-  std::printf("QUBO: %zu item bits + %zu slack bits, penalty A = %.0f\n",
-              encoding.num_items, encoding.num_slack_bits, encoding.penalty);
-
-  const auto model = std::make_shared<const ising::IsingModel>(
-      encoding.qubo.to_ising().with_ancilla());
   core::StandardSetup setup;
   setup.iterations = 30000;
   setup.acceptance_gain = 4.0;
   // Tight program-verify: constraint weights must survive D2D variation.
   setup.variation = {0.01, 0.02, 0.0, 0.0};
   const auto annealer =
-      core::make_annealer(core::AnnealerKind::kThisWork, model, setup);
+      core::make_annealer(core::AnnealerKind::kThisWork, problem.model, setup);
 
-  problems::KnapsackSolution best;
-  for (std::uint64_t seed = 0; seed < 10; ++seed) {
-    auto spins = annealer->run(seed).best_spins;
-    spins.pop_back();
-    const auto solution = problems::decode_knapsack(
-        instance, encoding, ising::binary_from_spins(spins));
-    if (solution.feasible && solution.value > best.value) best = solution;
+  core::CampaignConfig config;
+  config.runs = 10;
+  const auto result = core::run_campaign(*annealer, problem, config);
+
+  if (result.best_run >= result.per_run.size()) {
+    std::printf("no feasible packing found (mean capacity excess %.1f)\n",
+                result.violations.mean());
+    return 1;
   }
+  const auto& winner = result.per_run[result.best_run];
+  const double best_value = winner.solution.objective;
+  std::printf("annealed: best value %.0f (%.1f %% of optimum), feasible "
+              "runs %.0f %%, success %.0f %%\n",
+              best_value, 100.0 * best_value / problem.reference_objective,
+              result.feasible_rate * 100.0, result.success_rate * 100.0);
 
-  std::printf("annealed: value %.0f, weight %.0f / %.0f (%s), "
-              "%.1f %% of optimum\n",
-              best.value, best.weight, instance.capacity,
-              best.feasible ? "feasible" : "INFEASIBLE",
-              100.0 * best.value / optimum);
-  std::printf("selected items:");
-  for (std::size_t i = 0; i < best.selection.size(); ++i)
-    if (best.selection[i]) std::printf(" %zu", i);
+  // Re-decode the winning run's spins into the explicit item selection.
+  const auto solution =
+      problems::knapsack_from_spins(instance, winner.best_spins);
+  std::printf("selected items (weight %.0f / %.0f):", solution.weight,
+              instance.capacity);
+  for (std::size_t i = 0; i < solution.selection.size(); ++i)
+    if (solution.selection[i]) std::printf(" %zu", i);
   std::printf("\n");
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "core/runner.hpp"
 #include "problems/generators.hpp"
 #include "problems/gset_io.hpp"
+#include "problems/instances.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -22,8 +23,9 @@ int main(int argc, char** argv) {
               graph.num_vertices(), graph.num_edges(),
               argc > 1 ? argv[1] : "generated Gset-style");
 
-  auto instance = core::make_maxcut_instance("campaign", std::move(graph), 48);
-  std::printf("reference cut: %.0f\n\n", instance.reference_cut);
+  auto instance =
+      problems::make_maxcut_problem("campaign", std::move(graph), 48);
+  std::printf("reference cut: %.0f\n\n", instance.reference_objective);
 
   core::StandardSetup setup;
   setup.iterations = 700;  // the paper's 800-node budget
@@ -37,10 +39,10 @@ int main(int argc, char** argv) {
         core::AnnealerKind::kCimFpga, core::AnnealerKind::kCimAsic,
         core::AnnealerKind::kMesa}) {
     const auto annealer = core::make_annealer(kind, instance.model, setup);
-    const auto result = core::run_maxcut_campaign(*annealer, instance, config);
+    const auto result = core::run_campaign(*annealer, instance, config);
     table.row()
         .add(core::annealer_kind_name(kind))
-        .add(result.normalized_cut.mean(), 3)
+        .add(result.normalized.mean(), 3)
         .add(result.success_rate * 100.0, 0)
         .add(util::si_format(result.energy.mean(), "J"))
         .add(util::si_format(result.time.mean(), "s"))

@@ -7,7 +7,7 @@
 #include "core/annealer_factory.hpp"
 #include "core/runner.hpp"
 #include "problems/generators.hpp"
-#include "problems/maxcut.hpp"
+#include "problems/instances.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -20,22 +20,24 @@ int main() {
               graph.num_edges());
 
   // 2. Map it to the Ising form the crossbar stores (J = w/2, zero field).
-  auto instance = core::make_maxcut_instance("quickstart", std::move(graph));
-  std::printf("best-known cut (reference): %.0f\n", instance.reference_cut);
+  //    The ProblemInstance bundles the model, the best-known reference and
+  //    the spin -> domain decode hook.
+  auto problem = problems::make_maxcut_problem("quickstart", std::move(graph));
+  std::printf("best-known cut (reference): %.0f\n",
+              problem.reference_objective);
 
   // 3. Build "this work": DG FeFET analog crossbar + tunable-BG in-situ
   //    annealing flow, with default device variation switched on.
   core::StandardSetup setup;
   setup.iterations = 2000;
   auto annealer = core::make_annealer(core::AnnealerKind::kThisWork,
-                                      instance.model, setup);
+                                      problem.model, setup);
 
-  // 4. One annealing run.
+  // 4. One annealing run, decoded back into the domain objective.
   const auto result = annealer->run(/*seed=*/1);
-  const double cut =
-      problems::cut_from_energy(*instance.graph, result.best_energy);
+  const double cut = problem.decode(result.best_spins).objective;
   std::printf("annealed cut: %.0f (%.1f %% of reference)\n", cut,
-              100.0 * cut / instance.reference_cut);
+              100.0 * cut / problem.reference_objective);
   std::printf("accepted %llu of %llu moves (%llu uphill)\n",
               static_cast<unsigned long long>(result.accepted_moves),
               static_cast<unsigned long long>(result.ledger.iterations),

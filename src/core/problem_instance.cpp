@@ -1,0 +1,31 @@
+#include "core/problem_instance.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace fecim::core {
+
+const char* objective_sense_name(ObjectiveSense sense) noexcept {
+  return sense == ObjectiveSense::kMaximize ? "maximize" : "minimize";
+}
+
+bool ProblemInstance::success(const DecodedSolution& solution,
+                              double threshold) const {
+  if (!solution.feasible) return false;
+  if (sense == ObjectiveSense::kMaximize)
+    return solution.objective >= threshold * reference_objective;
+  return solution.objective <= (2.0 - threshold) * reference_objective;
+}
+
+void validate_problem(const ProblemInstance& problem) {
+  FECIM_EXPECTS(problem.model != nullptr);
+  FECIM_EXPECTS(problem.model->num_spins() > 0);
+  // Annealers require the fields folded (with_ancilla) before construction;
+  // catching it here names the problem instead of the annealer internals.
+  FECIM_EXPECTS(!problem.model->has_fields());
+  FECIM_EXPECTS(static_cast<bool>(problem.decode));
+  FECIM_EXPECTS(std::isfinite(problem.reference_objective));
+}
+
+}  // namespace fecim::core

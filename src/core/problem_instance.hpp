@@ -1,0 +1,86 @@
+// Problem-agnostic campaign abstraction.
+//
+// The paper positions the FeCiM in-situ annealer as a general combinatorial
+// optimization engine; a ProblemInstance is the contract between one COP
+// family (Max-Cut, graph coloring, knapsack, number partitioning, TSP) and
+// the campaign runner: an annealer-ready Ising model, a best-known reference
+// objective, and a decode hook that maps a final spin vector back into the
+// problem's own domain (cut value, conflict count, knapsack value +
+// capacity feasibility, partition imbalance, tour length).
+//
+// Factories for the five built-in families live in problems/instances.hpp;
+// docs/problems.md documents each family's encoding, penalty auto-tuning
+// and decode/feasibility semantics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ising/ising_model.hpp"
+
+namespace fecim::core {
+
+/// Whether a larger or a smaller domain objective is better.
+enum class ObjectiveSense { kMaximize, kMinimize };
+
+const char* objective_sense_name(ObjectiveSense sense) noexcept;
+
+/// Domain-level outcome of decoding one run's best spin configuration.
+struct DecodedSolution {
+  /// Domain objective (cut value, knapsack value, imbalance, tour length,
+  /// colors used).  For hard-constrained encodings the value is only
+  /// meaningful when `feasible`; campaign statistics aggregate it over
+  /// feasible runs.
+  double objective = 0.0;
+  /// All domain constraints satisfied (always true for unconstrained
+  /// families such as Max-Cut and number partitioning).
+  bool feasible = true;
+  /// Constraint-violation count (non-one-hot groups, monochromatic edges,
+  /// capacity excess...); 0 iff `feasible`.  Aggregated over every run, so
+  /// near-miss quality is visible even when no run is feasible.
+  double violations = 0.0;
+};
+
+/// One COP instance bundled with everything the campaign runner needs.
+/// Plain data + a decode hook rather than a class hierarchy: factories
+/// capture their encoding state (slack layout, one-hot geometry, distance
+/// matrix) inside the std::function, and call sites stay value-semantic.
+struct ProblemInstance {
+  std::string name;
+  std::string family;           ///< maxcut | coloring | knapsack | partition | tsp
+  std::string summary;          ///< human-readable shape, e.g. "800 vertices, 19176 edges"
+  std::string objective_label;  ///< what `objective` measures, e.g. "cut"
+
+  /// Annealer-ready shared model: pure quadratic, with any QUBO linear
+  /// terms already folded into a pinned ancilla spin (with_ancilla()).
+  std::shared_ptr<const ising::IsingModel> model;
+
+  double reference_objective = 0.0;  ///< best-known / heuristic reference
+  ObjectiveSense sense = ObjectiveSense::kMaximize;
+
+  /// Map a full spin vector (ancilla included, when the model carries one)
+  /// to the domain objective + feasibility.  Must be pure and thread-safe:
+  /// the campaign runner invokes it concurrently from worker threads.
+  std::function<DecodedSolution(std::span<const ising::Spin>)> decode;
+
+  /// Sense-aware success test against the reference objective:
+  ///   maximize: feasible and objective >= threshold * reference,
+  ///   minimize: feasible and objective <= (2 - threshold) * reference
+  /// (threshold 0.9 means "within 10 % of the reference" either way; a
+  /// zero reference for a minimization family demands an exact optimum).
+  bool success(const DecodedSolution& solution, double threshold) const;
+
+  /// objective / reference; sense-independent, so < 1 beats the reference
+  /// for minimization families and trails it for maximization families.
+  /// Only defined when the reference is nonzero (callers guard).
+  double normalized(double objective) const {
+    return objective / reference_objective;
+  }
+};
+
+/// Contract checks shared by the runner and the factories: model present and
+/// pure-quadratic-ready, decode hook set, finite reference.
+void validate_problem(const ProblemInstance& problem);
+
+}  // namespace fecim::core

@@ -1,5 +1,7 @@
 #include "core/runner.hpp"
 
+#include <limits>
+
 #include "problems/maxcut.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -20,6 +22,34 @@ MaxcutInstance make_maxcut_instance(std::string name, problems::Graph graph,
   return instance;
 }
 
+ProblemInstance as_problem(const MaxcutInstance& instance) {
+  FECIM_EXPECTS(instance.graph != nullptr && instance.model != nullptr);
+  ProblemInstance problem;
+  problem.name = instance.name;
+  problem.family = "maxcut";
+  problem.summary = std::to_string(instance.graph->num_vertices()) +
+                    " vertices, " +
+                    std::to_string(instance.graph->num_edges()) + " edges";
+  problem.objective_label = "cut";
+  problem.model = instance.model;
+  problem.reference_objective = instance.reference_cut;
+  problem.sense = ObjectiveSense::kMaximize;
+  problem.decode = [graph = instance.graph](
+                       std::span<const ising::Spin> spins) {
+    DecodedSolution solution;
+    solution.objective = problems::cut_value(*graph, spins);
+    solution.feasible = true;  // every bipartition is a valid cut
+    return solution;
+  };
+  return problem;
+}
+
+double CampaignResult::best_objective(ObjectiveSense sense) const noexcept {
+  if (objective.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return sense == ObjectiveSense::kMaximize ? objective.max()
+                                            : objective.min();
+}
+
 namespace {
 
 /// Per-run aggregation inputs, written into a disjoint slot by whichever
@@ -28,19 +58,18 @@ namespace {
 /// campaign for every thread count: the reduce below always walks runs in
 /// index order, so Welford update order never depends on the schedule.
 struct RunOutcome {
-  double cut = 0.0;
+  RunRecord record;
   cost::CostBreakdown breakdown{};
   crossbar::CostLedger ledger{};
 };
 
 }  // namespace
 
-CampaignResult run_maxcut_campaign(const Annealer& annealer,
-                                   const MaxcutInstance& instance,
-                                   const CampaignConfig& config) {
+CampaignResult run_campaign(const Annealer& annealer,
+                            const ProblemInstance& problem,
+                            const CampaignConfig& config) {
   FECIM_EXPECTS(config.runs > 0);
-  FECIM_EXPECTS(instance.graph != nullptr && instance.model != nullptr);
-  FECIM_EXPECTS(instance.reference_cut > 0.0);
+  validate_problem(problem);
 
   CampaignResult result;
   result.runs = config.runs;
@@ -53,13 +82,18 @@ CampaignResult run_maxcut_campaign(const Annealer& annealer,
 
   std::vector<RunOutcome> outcomes(config.runs);
 
+  // Replica-parallel execution: each run binds its own engine clone and
+  // counter-keyed noise streams inside Annealer::run(seed), so noisy-analog
+  // replicas no longer serialize on a shared RNG and need no locking.
   util::parallel_for(
       config.runs,
       [&](std::size_t run) {
-        const auto outcome = annealer.run(seeds[run]);
+        auto outcome = annealer.run(seeds[run]);
         auto& slot = outcomes[run];
-        slot.cut = problems::cut_from_energy(*instance.graph,
-                                             outcome.best_energy);
+        slot.record.seed = seeds[run];
+        slot.record.best_energy = outcome.best_energy;
+        slot.record.solution = problem.decode(outcome.best_spins);
+        slot.record.best_spins = std::move(outcome.best_spins);
         slot.breakdown = cost::compute_cost(outcome.ledger, config.costs,
                                             annealer.exp_unit());
         slot.ledger = outcome.ledger;
@@ -69,21 +103,46 @@ CampaignResult run_maxcut_campaign(const Annealer& annealer,
   // Single-threaded reduction in run order -- no merge mutex on the hot
   // path, and the aggregate statistics are schedule-independent.
   std::size_t successes = 0;
-  for (const auto& slot : outcomes) {
-    result.cut.add(slot.cut);
-    result.normalized_cut.add(slot.cut / instance.reference_cut);
+  std::size_t feasible = 0;
+  result.best_run = config.runs;  // "none feasible" sentinel
+  result.per_run.reserve(config.runs);
+  for (auto& slot : outcomes) {
+    const auto& solution = slot.record.solution;
+    if (solution.feasible) {
+      ++feasible;
+      result.objective.add(solution.objective);
+      if (problem.reference_objective != 0.0)
+        result.normalized.add(problem.normalized(solution.objective));
+      const bool better =
+          result.best_run == config.runs ||
+          (problem.sense == ObjectiveSense::kMaximize
+               ? solution.objective >
+                     result.per_run[result.best_run].solution.objective
+               : solution.objective <
+                     result.per_run[result.best_run].solution.objective);
+      if (better) result.best_run = result.per_run.size();
+    }
+    result.violations.add(solution.violations);
     result.energy.add(slot.breakdown.total_energy);
     result.time.add(slot.breakdown.total_time);
     result.adc_energy.add(slot.breakdown.adc_energy);
     result.exp_energy.add(slot.breakdown.exp_energy);
     result.total_ledger.merge(slot.ledger);
-    if (slot.cut >= config.success_threshold * instance.reference_cut)
-      ++successes;
+    if (problem.success(solution, config.success_threshold)) ++successes;
+    result.per_run.push_back(std::move(slot.record));
   }
 
   result.success_rate =
       static_cast<double>(successes) / static_cast<double>(config.runs);
+  result.feasible_rate =
+      static_cast<double>(feasible) / static_cast<double>(config.runs);
   return result;
+}
+
+CampaignResult run_maxcut_campaign(const Annealer& annealer,
+                                   const MaxcutInstance& instance,
+                                   const CampaignConfig& config) {
+  return run_campaign(annealer, as_problem(instance), config);
 }
 
 }  // namespace fecim::core

@@ -1,13 +1,23 @@
-// Experiment campaign runner: many independent annealing runs on a Max-Cut
-// instance, aggregated into the statistics the paper's evaluation reports
-// (normalized cut, success rate vs the 90 %-of-optimum target, modeled
-// energy and latency).
+// Experiment campaign runner: many independent annealing runs on one
+// combinatorial-optimization instance, aggregated into the statistics the
+// paper's evaluation reports (domain objective, feasibility and success
+// rates, modeled energy and latency).
+//
+// The runner is problem-agnostic: run_campaign() drives any ProblemInstance
+// (problems/instances.hpp builds the five built-in families) and scores runs
+// through the instance's decode hook.  Replica execution is parallel and
+// deterministic -- every run derives its seed up front, binds its own
+// engine clone with counter-keyed noise streams inside Annealer::run(), and
+// writes into a disjoint result slot, so the campaign outcome is
+// bit-identical for every thread count.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/annealer.hpp"
+#include "core/problem_instance.hpp"
 #include "cost/cost_model.hpp"
 #include "problems/graph.hpp"
 #include "util/stats.hpp"
@@ -16,7 +26,9 @@ namespace fecim::core {
 
 /// A Max-Cut benchmark instance bundled with its Ising model and the
 /// best-known reference cut (certified for toroidal instances, long-run
-/// local-search proxy otherwise).
+/// local-search proxy otherwise).  Retained as a thin adapter over
+/// ProblemInstance so pre-generalization call sites migrate incrementally;
+/// new code should prefer problems::make_maxcut_problem.
 struct MaxcutInstance {
   std::string name;
   std::shared_ptr<const problems::Graph> graph;
@@ -31,26 +43,65 @@ MaxcutInstance make_maxcut_instance(std::string name, problems::Graph graph,
                                     std::size_t reference_restarts = 64,
                                     std::uint64_t reference_seed = 7);
 
+/// View a MaxcutInstance as a ProblemInstance (shares graph/model; decode
+/// scores the cut of the best spins).
+ProblemInstance as_problem(const MaxcutInstance& instance);
+
 struct CampaignConfig {
   std::size_t runs = 5;
   std::uint64_t base_seed = 42;
-  double success_threshold = 0.9;  ///< paper: 90 % of the optimal cut
+  double success_threshold = 0.9;  ///< paper: within 10 % of the reference
   std::size_t threads = 0;         ///< 0 = util::worker_threads()
   cost::ComponentCosts costs{};
 };
 
-struct CampaignResult {
-  std::size_t runs = 0;
-  util::RunningStats cut;             ///< best cut per run
-  util::RunningStats normalized_cut;  ///< cut / reference
-  util::RunningStats energy;          ///< modeled energy per run [J]
-  util::RunningStats time;            ///< modeled latency per run [s]
-  util::RunningStats adc_energy;      ///< ADC share of run energy [J]
-  util::RunningStats exp_energy;      ///< e^x share of run energy [J]
-  double success_rate = 0.0;          ///< fraction reaching the target cut
-  crossbar::CostLedger total_ledger;  ///< summed over all runs
+/// Everything one run contributed, in run order.  Kept per run (not merged
+/// on the fly) so thread-count determinism is testable record by record and
+/// callers can re-decode domain artifacts (colorings, tours, selections)
+/// from the winning configuration.
+struct RunRecord {
+  std::uint64_t seed = 0;
+  double best_energy = 0.0;        ///< best Ising energy of the run
+  DecodedSolution solution;        ///< decoded domain outcome
+  ising::SpinVector best_spins;    ///< configuration achieving best_energy
 };
 
+struct CampaignResult {
+  std::size_t runs = 0;
+  util::RunningStats objective;   ///< domain objective over *feasible* runs
+  util::RunningStats normalized;  ///< objective / reference over feasible
+                                  ///< runs (empty when the reference is 0)
+  util::RunningStats violations;  ///< constraint violations, every run
+  util::RunningStats energy;      ///< modeled energy per run [J]
+  util::RunningStats time;        ///< modeled latency per run [s]
+  util::RunningStats adc_energy;  ///< ADC share of run energy [J]
+  util::RunningStats exp_energy;  ///< e^x share of run energy [J]
+  double success_rate = 0.0;      ///< fraction feasible AND within threshold
+  double feasible_rate = 0.0;     ///< fraction of runs satisfying constraints
+  crossbar::CostLedger total_ledger;  ///< summed over all runs
+  std::vector<RunRecord> per_run;     ///< per-run records in run order
+
+  /// Index into per_run of the best feasible run (sense-aware), or
+  /// per_run.size() when no run was feasible.
+  std::size_t best_run = 0;
+
+  /// Best feasible domain objective (objective.max() for maximization,
+  /// objective.min() for minimization).  NaN when no run was feasible -- a
+  /// literal 0 would be indistinguishable from a perfect imbalance or tour
+  /// for minimization families, so rank-by-objective callers fail loudly
+  /// instead of silently preferring fully infeasible campaigns.
+  double best_objective(ObjectiveSense sense) const noexcept;
+};
+
+/// Run `config.runs` independent replicas of `annealer` on `problem` and
+/// aggregate.  Runs execute in parallel across `config.threads` workers;
+/// results are bit-identical for every thread count (fixed per-run seeds,
+/// disjoint result slots, reduction in run order).
+CampaignResult run_campaign(const Annealer& annealer,
+                            const ProblemInstance& problem,
+                            const CampaignConfig& config);
+
+/// Thin adapter: run_campaign over as_problem(instance).
 CampaignResult run_maxcut_campaign(const Annealer& annealer,
                                    const MaxcutInstance& instance,
                                    const CampaignConfig& config);

@@ -1,0 +1,88 @@
+// ProblemInstance factories: one per built-in COP family.
+//
+// Each factory encodes the domain problem into an annealer-ready Ising
+// model (QUBO linear terms folded into a pinned ancilla spin), computes a
+// best-known reference objective, and captures the encoding state inside a
+// decode hook that maps final spins back to the domain:
+//
+//   family     | objective        | sense    | feasibility
+//   -----------+------------------+----------+---------------------------------
+//   maxcut     | cut value        | maximize | always feasible
+//   coloring   | colors used      | minimize | no conflicts (one-hot + edges)
+//   knapsack   | packed value     | maximize | total weight <= capacity
+//   partition  | |sum A - sum B|  | minimize | always feasible
+//   tsp        | tour length      | minimize | both one-hot families satisfied
+//
+// Encoding conventions, penalty auto-tuning and decode semantics are
+// documented in docs/problems.md.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/problem_instance.hpp"
+#include "problems/graph.hpp"
+#include "problems/knapsack.hpp"
+#include "problems/tsp.hpp"
+
+namespace fecim::problems {
+
+/// Max-Cut: direct Ising mapping, reference from reference_cut() with
+/// `reference_restarts` random-start 1-opt descents (certified optimum for
+/// toroidal instances).
+core::ProblemInstance make_maxcut_problem(std::string name, Graph graph,
+                                          std::size_t reference_restarts = 64,
+                                          std::uint64_t reference_seed = 7);
+
+/// Graph k-coloring (one-hot QUBO).  num_colors == 0 picks the greedy
+/// (largest-degree-first) palette size.  The reference objective is the
+/// palette size, so any conflict-free assignment counts as success.
+core::ProblemInstance make_coloring_problem(std::string name, Graph graph,
+                                            std::size_t num_colors = 0,
+                                            double penalty = 2.0);
+
+/// 0/1 knapsack (logarithmic slack QUBO).  penalty == 0 auto-tunes to
+/// max item value + 1.  The reference objective is the exact DP optimum for
+/// integral weights, a greedy density bound otherwise.
+core::ProblemInstance make_knapsack_problem(std::string name,
+                                            KnapsackInstance instance,
+                                            double penalty = 0.0);
+
+/// Number partitioning: dense J_ij = s_i s_j coupling matrix; reference is
+/// the greedy largest-first imbalance (sound upper bound).
+core::ProblemInstance make_partition_problem(std::string name,
+                                             std::vector<double> numbers);
+
+/// Travelling salesman (Lucas one-hot position QUBO).  penalty == 0
+/// auto-tunes to max distance * n.  Reference is the nearest-neighbour +
+/// 2-opt heuristic tour.
+core::ProblemInstance make_tsp_problem(std::string name, TspInstance instance,
+                                       double penalty = 0.0);
+
+/// Explicit vertex colors from a spin configuration produced by a
+/// make_coloring_problem campaign (e.g. a RunRecord's best_spins; the
+/// pinned ancilla is stripped internally).  Vertices whose one-hot group is
+/// not exactly single-hot get the invalid marker num_colors.  Lives here so
+/// call sites never re-derive the factory's variable layout themselves.
+std::vector<std::uint32_t> coloring_from_spins(
+    const Graph& graph, std::size_t num_colors,
+    std::span<const ising::Spin> spins);
+
+/// Item selection + value/weight feasibility from a spin configuration
+/// produced by a make_knapsack_problem campaign (ancilla stripped, slack
+/// bits dropped).
+KnapsackSolution knapsack_from_spins(const KnapsackInstance& instance,
+                                     std::span<const ising::Spin> spins);
+
+/// Seeded random knapsack with integral values/weights (so the DP reference
+/// applies); capacity == 0 defaults to ~40 % of the total weight.
+KnapsackInstance random_knapsack(std::size_t items, std::uint64_t seed,
+                                 double capacity = 0.0);
+
+/// Seeded random partition numbers: integers in [1, 64].
+std::vector<double> random_partition_numbers(std::size_t count,
+                                             std::uint64_t seed);
+
+}  // namespace fecim::problems

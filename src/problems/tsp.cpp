@@ -87,10 +87,11 @@ TspTour decode_tsp(const TspInstance& instance, const TspEncoding& encoding,
         ++per_position[pos];
         ++per_city[city];
       }
-  tour.valid = std::all_of(per_position.begin(), per_position.end(),
-                           [](int c) { return c == 1; }) &&
-               std::all_of(per_city.begin(), per_city.end(),
-                           [](int c) { return c == 1; });
+  for (std::size_t i = 0; i < n; ++i) {
+    tour.violations += per_city[i] != 1;
+    tour.violations += per_position[i] != 1;
+  }
+  tour.valid = tour.violations == 0;
   if (tour.valid) tour.length = tour_length(instance, tour.order);
   return tour;
 }

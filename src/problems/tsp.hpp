@@ -40,6 +40,9 @@ struct TspTour {
   std::vector<std::uint32_t> order;  ///< city at each position
   double length = 0.0;
   bool valid = false;  ///< exactly one city per position and vice versa
+  /// Constraint violations: cities not visited exactly once plus positions
+  /// not filled exactly once; 0 iff `valid`.
+  std::size_t violations = 0;
 };
 
 /// Decode a variable assignment into a tour (valid == both one-hot

@@ -1,0 +1,233 @@
+// Problem-agnostic campaign layer: run_campaign over every COP family,
+// decode/feasibility aggregation, sense-aware success, and the
+// replica-parallel determinism contract (threads=1 vs threads=N produce
+// bit-identical per-run records at fixed seeds).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/annealer_factory.hpp"
+#include "core/runner.hpp"
+#include "problems/generators.hpp"
+#include "problems/instances.hpp"
+#include "problems/tsp.hpp"
+
+namespace {
+
+using namespace fecim;
+
+std::unique_ptr<core::Annealer> standard_annealer(
+    const core::ProblemInstance& problem, std::size_t iterations,
+    double gain = 16.0) {
+  core::StandardSetup setup;
+  setup.iterations = iterations;
+  setup.acceptance_gain = gain;
+  return core::make_annealer(core::AnnealerKind::kThisWork, problem.model,
+                             setup);
+}
+
+/// Family-independent invariants every campaign result satisfies.
+void check_campaign_shape(const core::ProblemInstance& problem,
+                          const core::CampaignResult& result,
+                          std::size_t runs) {
+  EXPECT_EQ(result.runs, runs);
+  EXPECT_EQ(result.per_run.size(), runs);
+  EXPECT_EQ(result.violations.count(), runs);
+  EXPECT_GE(result.feasible_rate, 0.0);
+  EXPECT_LE(result.feasible_rate, 1.0);
+  EXPECT_LE(result.success_rate, result.feasible_rate);
+  // objective aggregates feasible runs only.
+  EXPECT_DOUBLE_EQ(static_cast<double>(result.objective.count()),
+                   result.feasible_rate * static_cast<double>(runs));
+  std::size_t feasible = 0;
+  for (const auto& record : result.per_run) {
+    feasible += record.solution.feasible;
+    EXPECT_EQ(record.solution.feasible, record.solution.violations == 0.0);
+    // The decode hook is pure: re-decoding the stored spins reproduces the
+    // recorded solution.
+    const auto redecoded = problem.decode(record.best_spins);
+    EXPECT_DOUBLE_EQ(redecoded.objective, record.solution.objective);
+    EXPECT_EQ(redecoded.feasible, record.solution.feasible);
+    EXPECT_DOUBLE_EQ(redecoded.violations, record.solution.violations);
+  }
+  EXPECT_EQ(result.objective.count(), feasible);
+  if (feasible > 0) {
+    ASSERT_LT(result.best_run, runs);
+    EXPECT_TRUE(result.per_run[result.best_run].solution.feasible);
+    EXPECT_DOUBLE_EQ(result.per_run[result.best_run].solution.objective,
+                     result.best_objective(problem.sense));
+  } else {
+    EXPECT_EQ(result.best_run, runs);
+  }
+}
+
+TEST(Campaign, MaxcutFamily) {
+  auto problem = problems::make_maxcut_problem(
+      "maxcut-32",
+      problems::random_graph(32, 5.0, problems::WeightScheme::kUnit, 3), 32,
+      3);
+  EXPECT_EQ(problem.family, "maxcut");
+  EXPECT_EQ(problem.sense, core::ObjectiveSense::kMaximize);
+  const auto annealer = standard_annealer(problem, 500);
+  core::CampaignConfig config;
+  config.runs = 6;
+  const auto result = core::run_campaign(*annealer, problem, config);
+  check_campaign_shape(problem, result, 6);
+  EXPECT_DOUBLE_EQ(result.feasible_rate, 1.0);
+  EXPECT_GT(result.objective.mean(), 0.0);
+  EXPECT_LE(result.normalized.max(), 1.0 + 1e-9);
+}
+
+TEST(Campaign, ColoringFamily) {
+  auto problem = problems::make_coloring_problem(
+      "coloring-10",
+      problems::random_graph(10, 2.4, problems::WeightScheme::kUnit, 8), 3,
+      2.0);
+  EXPECT_EQ(problem.family, "coloring");
+  EXPECT_EQ(problem.sense, core::ObjectiveSense::kMinimize);
+  EXPECT_DOUBLE_EQ(problem.reference_objective, 3.0);
+  const auto annealer = standard_annealer(problem, 8000, 4.0);
+  core::CampaignConfig config;
+  config.runs = 6;
+  const auto result = core::run_campaign(*annealer, problem, config);
+  check_campaign_shape(problem, result, 6);
+  // At this size a valid 3-coloring is reliably found by at least one run.
+  EXPECT_GT(result.feasible_rate, 0.0);
+  // Feasible colorings use at most the palette; success == feasibility.
+  EXPECT_LE(result.objective.max(), 3.0);
+  EXPECT_DOUBLE_EQ(result.success_rate, result.feasible_rate);
+}
+
+TEST(Campaign, KnapsackFamily) {
+  const problems::KnapsackInstance instance{
+      {{10, 5}, {7, 4}, {4, 3}, {6, 5}}, 9};
+  auto problem = problems::make_knapsack_problem("knapsack-4", instance);
+  EXPECT_EQ(problem.family, "knapsack");
+  EXPECT_EQ(problem.sense, core::ObjectiveSense::kMaximize);
+  EXPECT_GT(problem.reference_objective, 0.0);  // DP optimum
+  const auto annealer = standard_annealer(problem, 6000, 4.0);
+  core::CampaignConfig config;
+  config.runs = 6;
+  const auto result = core::run_campaign(*annealer, problem, config);
+  check_campaign_shape(problem, result, 6);
+  EXPECT_GT(result.feasible_rate, 0.0);
+  // No feasible packing can beat the DP optimum.
+  EXPECT_LE(result.objective.max(), problem.reference_objective + 1e-9);
+}
+
+TEST(Campaign, PartitionFamily) {
+  auto problem = problems::make_partition_problem(
+      "partition-9", {7, 5, 4, 3, 3, 2, 2, 1, 1});
+  EXPECT_EQ(problem.family, "partition");
+  EXPECT_EQ(problem.sense, core::ObjectiveSense::kMinimize);
+  const auto annealer = standard_annealer(problem, 2000);
+  core::CampaignConfig config;
+  config.runs = 6;
+  const auto result = core::run_campaign(*annealer, problem, config);
+  check_campaign_shape(problem, result, 6);
+  EXPECT_DOUBLE_EQ(result.feasible_rate, 1.0);
+  EXPECT_LE(result.best_objective(problem.sense), 4.0);  // near-perfect split
+}
+
+TEST(Campaign, TspFamily) {
+  auto problem = problems::make_tsp_problem("tsp-4",
+                                            problems::random_tsp(4, 2));
+  EXPECT_EQ(problem.family, "tsp");
+  EXPECT_EQ(problem.sense, core::ObjectiveSense::kMinimize);
+  EXPECT_GT(problem.reference_objective, 0.0);
+  const auto annealer = standard_annealer(problem, 8000, 4.0);
+  core::CampaignConfig config;
+  config.runs = 6;
+  const auto result = core::run_campaign(*annealer, problem, config);
+  check_campaign_shape(problem, result, 6);
+  EXPECT_GT(result.feasible_rate, 0.0);
+  // A valid tour on 4 cities is at worst the heuristic times a small factor.
+  EXPECT_LE(result.best_objective(problem.sense),
+            2.0 * problem.reference_objective + 1e-9);
+}
+
+TEST(Campaign, SenseAwareSuccess) {
+  core::ProblemInstance maximize;
+  maximize.reference_objective = 100.0;
+  maximize.sense = core::ObjectiveSense::kMaximize;
+  EXPECT_TRUE(maximize.success({95.0, true, 0.0}, 0.9));
+  EXPECT_FALSE(maximize.success({85.0, true, 0.0}, 0.9));
+  EXPECT_FALSE(maximize.success({95.0, false, 1.0}, 0.9));  // infeasible
+
+  core::ProblemInstance minimize;
+  minimize.reference_objective = 100.0;
+  minimize.sense = core::ObjectiveSense::kMinimize;
+  EXPECT_TRUE(minimize.success({105.0, true, 0.0}, 0.9));   // within 10 %
+  EXPECT_FALSE(minimize.success({115.0, true, 0.0}, 0.9));  // beyond 10 %
+  EXPECT_TRUE(minimize.success({50.0, true, 0.0}, 0.9));    // beats reference
+
+  core::ProblemInstance exact = minimize;
+  exact.reference_objective = 0.0;  // zero reference demands the optimum
+  EXPECT_TRUE(exact.success({0.0, true, 0.0}, 0.9));
+  EXPECT_FALSE(exact.success({1.0, true, 0.0}, 0.9));
+}
+
+TEST(Campaign, AllRunsInfeasibleLeavesSentinel) {
+  auto problem = problems::make_partition_problem("infeasible", {3, 2, 1});
+  // Override the decode hook: every run reports infeasible.
+  problem.decode = [](std::span<const ising::Spin>) {
+    core::DecodedSolution solution;
+    solution.feasible = false;
+    solution.violations = 1.0;
+    solution.objective = 42.0;
+    return solution;
+  };
+  const auto annealer = standard_annealer(problem, 50);
+  core::CampaignConfig config;
+  config.runs = 3;
+  const auto result = core::run_campaign(*annealer, problem, config);
+  EXPECT_EQ(result.best_run, 3u);  // "none feasible" sentinel
+  EXPECT_TRUE(result.objective.empty());
+  EXPECT_DOUBLE_EQ(result.feasible_rate, 0.0);
+  EXPECT_DOUBLE_EQ(result.success_rate, 0.0);
+  // NaN, not 0: a zero "best imbalance" would read as a perfect split.
+  EXPECT_TRUE(std::isnan(result.best_objective(problem.sense)));
+  EXPECT_DOUBLE_EQ(result.violations.mean(), 1.0);
+}
+
+/// Replica-parallel determinism on the *noisy* analog path: every run binds
+/// its own counter-keyed noise stream, so the per-run records are
+/// bit-identical for any thread count at fixed seeds.
+TEST(Campaign, NoisyCampaignIsThreadCountInvariant) {
+  auto problem = problems::make_maxcut_problem(
+      "determinism-48",
+      problems::random_graph(48, 6.0, problems::WeightScheme::kUnit, 4), 24,
+      4);
+  core::StandardSetup setup;
+  setup.iterations = 300;
+  // Full stochastic model: programming spread + C2C read noise + ADC noise.
+  setup.variation = {0.03, 0.05, 0.0, 0.0};
+  const auto annealer = core::make_annealer(core::AnnealerKind::kThisWork,
+                                            problem.model, setup);
+
+  core::CampaignConfig serial;
+  serial.runs = 6;
+  serial.threads = 1;
+  core::CampaignConfig parallel = serial;
+  parallel.threads = 4;
+
+  const auto a = core::run_campaign(*annealer, problem, serial);
+  const auto b = core::run_campaign(*annealer, problem, parallel);
+
+  ASSERT_EQ(a.per_run.size(), b.per_run.size());
+  for (std::size_t run = 0; run < a.per_run.size(); ++run) {
+    const auto& ra = a.per_run[run];
+    const auto& rb = b.per_run[run];
+    EXPECT_EQ(ra.seed, rb.seed);
+    EXPECT_EQ(ra.best_energy, rb.best_energy);  // bit-identical, not "near"
+    EXPECT_EQ(ra.solution.objective, rb.solution.objective);
+    EXPECT_EQ(ra.solution.feasible, rb.solution.feasible);
+    EXPECT_EQ(ra.best_spins, rb.best_spins);
+  }
+  EXPECT_EQ(a.best_run, b.best_run);
+  EXPECT_DOUBLE_EQ(a.objective.mean(), b.objective.mean());
+  EXPECT_DOUBLE_EQ(a.energy.mean(), b.energy.mean());
+  EXPECT_EQ(a.total_ledger.adc_conversions, b.total_ledger.adc_conversions);
+}
+
+}  // namespace

@@ -131,7 +131,7 @@ TEST(Integration, PaperShapeAtReducedScale) {
 
   // Quality: the budget-matched in-situ annealer beats the fixed-decay
   // baselines (which are still hot after 300 iterations).
-  EXPECT_GT(ours.normalized_cut.mean(), fpga.normalized_cut.mean());
+  EXPECT_GT(ours.normalized.mean(), fpga.normalized.mean());
 
   // Energy: ~n / |F| = 128x, plus the e^x elimination on top.
   const double fpga_ratio = fpga.energy.mean() / ours.energy.mean();
@@ -179,8 +179,8 @@ TEST(Integration, VariationRobustness) {
       *core::make_annealer(core::AnnealerKind::kThisWork, instance.model,
                            noisy),
       instance, config);
-  EXPECT_NEAR(noisy_result.normalized_cut.mean(),
-              clean_result.normalized_cut.mean(), 0.05);
+  EXPECT_NEAR(noisy_result.normalized.mean(),
+              clean_result.normalized.mean(), 0.05);
 }
 
 }  // namespace

@@ -193,6 +193,24 @@ TEST(Coloring, DecodeMarksInvalidVertices) {
   EXPECT_EQ(colors[1], 0u);
 }
 
+TEST(Coloring, DecodeMarksZeroHotVertices) {
+  // The invalid marker (== num_colors) must cover the zero-hot case too,
+  // not only multi-hot groups.
+  Graph g(3);
+  const auto encoding = coloring_to_qubo(g, 3);
+  std::vector<std::uint8_t> x(9, 0);
+  x[0 * 3 + 1] = 1;  // vertex 0: single-hot, color 1
+  // vertex 1: zero-hot
+  x[2 * 3 + 0] = 1;
+  x[2 * 3 + 2] = 1;  // vertex 2: double-hot
+  const auto colors = decode_coloring(encoding, x);
+  EXPECT_EQ(colors[0], 1u);
+  EXPECT_EQ(colors[1], 3u);  // invalid marker == num_colors
+  EXPECT_EQ(colors[2], 3u);
+  // Each marked vertex counts as exactly one violation (edge-free graph).
+  EXPECT_EQ(coloring_violations(g, encoding, x), 2u);
+}
+
 TEST(Coloring, GreedyIsValid) {
   const auto g = random_graph(80, 6.0, WeightScheme::kUnit, 9);
   const auto colors = greedy_coloring(g);
@@ -231,6 +249,47 @@ TEST(Knapsack, InfeasibleSelectionsDecodeAsInfeasible) {
   x[1] = 1;  // weight 12 > 7
   const auto solution = decode_knapsack(instance, encoding, x);
   EXPECT_FALSE(solution.feasible);
+}
+
+TEST(Knapsack, SlackRoundTripFeasibility) {
+  // Any feasible selection plus the greedy (largest-first) slack encoding of
+  // its residual capacity reaches the penalty minimum: H == -value.  The
+  // decode strips the slack bits and reproduces the selection.
+  const KnapsackInstance instance{{{10, 5}, {7, 4}, {4, 3}, {6, 5}}, 11};
+  const auto encoding = knapsack_to_qubo(instance);
+
+  const std::vector<std::uint8_t> selection{1, 0, 1, 0};  // weight 8, value 14
+  double weight = 0.0;
+  double value = 0.0;
+  for (std::size_t i = 0; i < selection.size(); ++i) {
+    if (!selection[i]) continue;
+    weight += instance.items[i].weight;
+    value += instance.items[i].value;
+  }
+  ASSERT_LE(weight, instance.capacity);
+
+  // Greedy largest-first representation: the coefficients 1,2,4,...,residual
+  // cover every integer in [0, capacity], so the residual always encodes.
+  std::vector<std::uint8_t> x(selection);
+  x.resize(encoding.num_items + encoding.num_slack_bits, 0);
+  double residual = instance.capacity - weight;
+  for (std::size_t j = encoding.num_slack_bits; j-- > 0;) {
+    const double c = encoding.slack_coefficients[j];
+    if (c <= residual + 1e-9) {
+      x[encoding.num_items + j] = 1;
+      residual -= c;
+    }
+  }
+  EXPECT_NEAR(residual, 0.0, 1e-9);
+
+  EXPECT_NEAR(encoding.qubo.value(x), -value, 1e-9);
+  const auto solution = decode_knapsack(instance, encoding, x);
+  EXPECT_TRUE(solution.feasible);
+  EXPECT_DOUBLE_EQ(solution.value, value);
+  EXPECT_DOUBLE_EQ(solution.weight, weight);
+  ASSERT_EQ(solution.selection.size(), selection.size());
+  for (std::size_t i = 0; i < selection.size(); ++i)
+    EXPECT_EQ(solution.selection[i], selection[i]);
 }
 
 TEST(Partition, IsingEnergyIsSquaredImbalance) {

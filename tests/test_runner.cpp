@@ -44,11 +44,16 @@ TEST(Runner, CampaignAggregatesRuns) {
   config.runs = 8;
   const auto result = core::run_maxcut_campaign(*annealer, instance, config);
   EXPECT_EQ(result.runs, 8u);
-  EXPECT_EQ(result.cut.count(), 8u);
-  EXPECT_GT(result.cut.mean(), 0.0);
-  EXPECT_LE(result.normalized_cut.max(), 1.0 + 1e-9);
+  EXPECT_EQ(result.objective.count(), 8u);
+  EXPECT_GT(result.objective.mean(), 0.0);
+  EXPECT_LE(result.normalized.max(), 1.0 + 1e-9);
   EXPECT_GE(result.success_rate, 0.0);
   EXPECT_LE(result.success_rate, 1.0);
+  EXPECT_DOUBLE_EQ(result.feasible_rate, 1.0);  // every bipartition is a cut
+  EXPECT_EQ(result.per_run.size(), 8u);
+  ASSERT_LT(result.best_run, result.per_run.size());
+  EXPECT_DOUBLE_EQ(result.per_run[result.best_run].solution.objective,
+                   result.objective.max());
   EXPECT_EQ(result.total_ledger.iterations, 8u * 400u);
   EXPECT_GT(result.energy.mean(), 0.0);
   EXPECT_GT(result.time.mean(), 0.0);
@@ -67,7 +72,7 @@ TEST(Runner, ThreadCountDoesNotChangeResults) {
   parallel.threads = 4;
   const auto a = core::run_maxcut_campaign(*annealer, instance, serial);
   const auto b = core::run_maxcut_campaign(*annealer, instance, parallel);
-  EXPECT_DOUBLE_EQ(a.cut.mean(), b.cut.mean());
+  EXPECT_DOUBLE_EQ(a.objective.mean(), b.objective.mean());
   EXPECT_DOUBLE_EQ(a.success_rate, b.success_rate);
   EXPECT_EQ(a.total_ledger.adc_conversions, b.total_ledger.adc_conversions);
 }

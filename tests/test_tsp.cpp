@@ -74,6 +74,7 @@ TEST(Tsp, QuboValueEqualsTourLengthForValidAssignments) {
   for (std::size_t p = 0; p < 4; ++p) x[p * 4 + p] = 1;  // city p at pos p
   const auto tour = problems::decode_tsp(instance, encoding, x);
   ASSERT_TRUE(tour.valid);
+  EXPECT_EQ(tour.violations, 0u);
   EXPECT_DOUBLE_EQ(tour.length, 4.0);
   // Valid assignment: all penalties vanish, H = tour length.
   EXPECT_NEAR(encoding.qubo.value(x), 4.0, 1e-9);
@@ -86,6 +87,8 @@ TEST(Tsp, QuboPenalizesInvalidAssignments) {
   EXPECT_GE(encoding.qubo.value(empty), 2.0 * encoding.penalty - 1e-9);
   const auto tour = problems::decode_tsp(instance, encoding, empty);
   EXPECT_FALSE(tour.valid);
+  // All-zero assignment: every city unvisited and every position unfilled.
+  EXPECT_EQ(tour.violations, 8u);
 }
 
 TEST(Tsp, QuboGroundStateIsOptimalTour) {

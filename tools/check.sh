@@ -5,9 +5,12 @@
 #   2. run the full ctest suite,
 #   3. smoke-run the hot-path benchmark and gate its speedups against the
 #      tracked baseline in BENCH_hotpath.json (tools/bench_gate.py; >10%
-#      regressions on both signals fail, FECIM_BENCH_TOLERANCE overrides),
-#   4. smoke-run the quickstart example, so the README's build-and-run
-#      instructions stay honest.
+#      regressions on both signals fail, FECIM_BENCH_TOLERANCE overrides;
+#      campaign rows are gated alongside the engine rows),
+#   4. smoke-run the quickstart example and fecim_solve on every COP family
+#      (maxcut, coloring, knapsack, partition, tsp), so the README's
+#      build-and-run instructions and the unified solver pipeline stay
+#      honest.
 #
 # Usage: tools/check.sh [--full-bench]
 #   --full-bench   additionally run bench_hotpath at its full sizes,
@@ -50,6 +53,15 @@ fi
 # analog engine -> annealer -> cost ledger) in under a second.
 ./build/examples/quickstart >/dev/null
 echo "check.sh: example smoke OK"
+
+# Solver smoke: every COP family end to end through the unified campaign
+# pipeline (tiny budgets -- this checks wiring, not solution quality).
+for family in maxcut coloring knapsack partition tsp; do
+  ./build/tools/fecim_solve --problem "${family}" --nodes 48 --items 8 \
+    --numbers 12 --cities 5 --iterations 500 --runs 2 --threads 2 \
+    --csv >/dev/null
+done
+echo "check.sh: fecim_solve family smoke OK"
 
 if [[ "${full_bench}" == 1 ]]; then
   ./build/bench/bench_hotpath

@@ -1,30 +1,50 @@
-// fecim_solve -- command-line Max-Cut solver on the ferroelectric CiM
-// in-situ annealer.
+// fecim_solve -- command-line combinatorial-optimization solver on the
+// ferroelectric CiM in-situ annealer.
 //
 // usage:
 //   fecim_solve [options] [gset-file]
 //
-// With no file, a Gset-style instance is generated (--nodes, --seed).
+// One solver pipeline for all five built-in COP families: the chosen family
+// is encoded into an annealer-ready Ising model (problems/instances.hpp),
+// the campaign runner executes --runs independent replicas in parallel
+// across --threads workers, and the report shows the decoded domain
+// objective plus feasibility.  A gset-file (Max-Cut only) overrides the
+// generated instance.
 //
 // options:
+//   --problem F          maxcut|coloring|knapsack|partition|tsp  [maxcut]
 //   --annealer this-work|this-work-ideal|cim-fpga|cim-asic|mesa
-//   --iterations N       annealing iterations per run        [auto by size]
+//   --iterations N       annealing iterations per run        [auto by family]
 //   --runs N             independent Monte-Carlo runs        [10]
+//   --threads N          parallel replica workers (0 = all cores)  [0]
 //   --flips N            spins flipped per iteration (|F|)   [2]
-//   --gain X             acceptance comparator gain          [16]
+//   --gain X             acceptance comparator gain          [auto by family]
 //   --bits N             weight quantization bits            [8]
-//   --nodes N            generated-instance size             [800]
 //   --seed N             instance/run base seed              [1]
 //   --csv                emit a CSV row instead of the report
+// family-specific:
+//   --nodes N            maxcut/coloring graph size          [800 / 16]
+//   --degree X           coloring average degree             [2.5]
+//   --colors K           coloring palette (0 = greedy bound) [0]
+//   --items N            knapsack item count                 [12]
+//   --capacity W         knapsack capacity (0 = 40 % of total weight) [0]
+//   --numbers N          partition set size                  [24]
+//   --cities N           tsp city count                      [6]
+//   --penalty A          constraint penalty; 0 = auto-tune for knapsack
+//                        (max value + 1) and tsp (n * max distance),
+//                        fixed default 2 for coloring        [0]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "core/annealer_factory.hpp"
 #include "core/runner.hpp"
 #include "problems/generators.hpp"
 #include "problems/gset_io.hpp"
+#include "problems/instances.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 using namespace fecim;
@@ -33,26 +53,39 @@ namespace {
 
 struct Options {
   std::string file;
+  std::string problem = "maxcut";
   std::string annealer = "this-work";
   std::size_t iterations = 0;  // 0 = auto
   std::size_t runs = 10;
+  std::size_t threads = 0;  // 0 = util::worker_threads()
   std::size_t flips = 2;
-  double gain = 16.0;
+  double gain = 0.0;  // 0 = auto (16 unconstrained, 4 constrained)
   int bits = 8;
-  std::size_t nodes = 800;
   std::uint64_t seed = 1;
   bool csv = false;
+  // Family-specific instance knobs.
+  std::size_t nodes = 0;  // 0 = family default
+  double degree = 2.5;
+  std::size_t colors = 0;  // 0 = greedy palette
+  std::size_t items = 12;
+  double capacity = 0.0;  // 0 = auto
+  std::size_t numbers = 24;
+  std::size_t cities = 6;
+  double penalty = 0.0;  // 0 = auto
 };
 
 [[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--annealer KIND] [--iterations N] [--runs N] "
-               "[--flips N]\n"
-               "          [--gain X] [--bits N] [--nodes N] [--seed N] "
-               "[--csv] [gset-file]\n"
-               "KIND: this-work | this-work-ideal | cim-fpga | cim-asic | "
-               "mesa\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [options] [gset-file]\n"
+      "  --problem F       maxcut|coloring|knapsack|partition|tsp [maxcut]\n"
+      "  --annealer KIND   this-work | this-work-ideal | cim-fpga | cim-asic"
+      " | mesa\n"
+      "  --iterations N  --runs N  --threads N  --flips N  --gain X\n"
+      "  --bits N  --seed N  --csv\n"
+      "family-specific: --nodes N --degree X --colors K --items N\n"
+      "  --capacity W --numbers N --cities N --penalty A\n",
+      argv0);
   std::exit(2);
 }
 
@@ -64,15 +97,25 @@ Options parse(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
-    if (arg == "--annealer") options.annealer = next();
-    else if (arg == "--iterations") options.iterations = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--runs") options.runs = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--flips") options.flips = std::strtoull(next(), nullptr, 10);
+    auto next_size = [&] { return std::strtoull(next(), nullptr, 10); };
+    if (arg == "--problem") options.problem = next();
+    else if (arg == "--annealer") options.annealer = next();
+    else if (arg == "--iterations") options.iterations = next_size();
+    else if (arg == "--runs") options.runs = next_size();
+    else if (arg == "--threads") options.threads = next_size();
+    else if (arg == "--flips") options.flips = next_size();
     else if (arg == "--gain") options.gain = std::strtod(next(), nullptr);
     else if (arg == "--bits") options.bits = static_cast<int>(std::strtol(next(), nullptr, 10));
-    else if (arg == "--nodes") options.nodes = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--seed") options.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--seed") options.seed = next_size();
     else if (arg == "--csv") options.csv = true;
+    else if (arg == "--nodes") options.nodes = next_size();
+    else if (arg == "--degree") options.degree = std::strtod(next(), nullptr);
+    else if (arg == "--colors") options.colors = next_size();
+    else if (arg == "--items") options.items = next_size();
+    else if (arg == "--capacity") options.capacity = std::strtod(next(), nullptr);
+    else if (arg == "--numbers") options.numbers = next_size();
+    else if (arg == "--cities") options.cities = next_size();
+    else if (arg == "--penalty") options.penalty = std::strtod(next(), nullptr);
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else if (!arg.empty() && arg[0] == '-') usage(argv[0]);
     else options.file = arg;
@@ -90,11 +133,62 @@ core::AnnealerKind kind_from_name(const std::string& name) {
   std::exit(2);
 }
 
-std::size_t auto_iterations(std::size_t nodes) {
-  // The paper's budgets by size class.
-  if (nodes <= 800) return 700;
-  if (nodes <= 1000) return 1000;
-  if (nodes <= 2000) return 10000;
+/// Build the requested family's instance from the CLI knobs (or the Gset
+/// file for Max-Cut).
+core::ProblemInstance make_problem(const Options& options) {
+  const auto seed = options.seed;
+  if (options.problem == "maxcut") {
+    const std::size_t nodes = options.nodes > 0 ? options.nodes : 800;
+    problems::Graph graph =
+        options.file.empty() ? problems::gset_like_instance(nodes, seed)
+                             : problems::read_gset_file(options.file);
+    const std::string name = options.file.empty()
+                                 ? "generated-" + std::to_string(nodes)
+                                 : options.file;
+    return problems::make_maxcut_problem(name, std::move(graph), 48, seed);
+  }
+  if (!options.file.empty()) {
+    std::fprintf(stderr, "gset files apply to --problem maxcut only\n");
+    std::exit(2);
+  }
+  if (options.problem == "coloring") {
+    const std::size_t nodes = options.nodes > 0 ? options.nodes : 16;
+    auto graph = problems::random_graph(nodes, options.degree,
+                                        problems::WeightScheme::kUnit, seed);
+    return problems::make_coloring_problem(
+        "coloring-" + std::to_string(nodes), std::move(graph), options.colors,
+        options.penalty > 0.0 ? options.penalty : 2.0);
+  }
+  if (options.problem == "knapsack") {
+    return problems::make_knapsack_problem(
+        "knapsack-" + std::to_string(options.items),
+        problems::random_knapsack(options.items, seed, options.capacity),
+        options.penalty);
+  }
+  if (options.problem == "partition") {
+    return problems::make_partition_problem(
+        "partition-" + std::to_string(options.numbers),
+        problems::random_partition_numbers(options.numbers, seed));
+  }
+  if (options.problem == "tsp") {
+    return problems::make_tsp_problem(
+        "tsp-" + std::to_string(options.cities),
+        problems::random_tsp(options.cities, seed), options.penalty);
+  }
+  std::fprintf(stderr, "unknown problem '%s'\n", options.problem.c_str());
+  std::exit(2);
+}
+
+std::size_t auto_iterations(const std::string& family,
+                            std::size_t num_spins) {
+  // Constraint-encoded families (one-hot / slack penalties) need a longer
+  // budget than the paper's Max-Cut size classes at equal spin count.
+  if (family == "coloring" || family == "tsp") return 20000;
+  if (family == "knapsack") return 30000;
+  // The paper's Max-Cut budgets by size class (partition rides along).
+  if (num_spins <= 800) return 700;
+  if (num_spins <= 1000) return 1000;
+  if (num_spins <= 2000) return 10000;
   return 100000;
 }
 
@@ -103,56 +197,82 @@ std::size_t auto_iterations(std::size_t nodes) {
 int main(int argc, char** argv) {
   const Options options = parse(argc, argv);
 
-  problems::Graph graph =
-      options.file.empty()
-          ? problems::gset_like_instance(options.nodes, options.seed)
-          : problems::read_gset_file(options.file);
-  const std::string name =
-      options.file.empty() ? "generated-" + std::to_string(options.nodes)
-                           : options.file;
+  const auto problem = make_problem(options);
+  const bool constrained =
+      problem.family == "coloring" || problem.family == "knapsack" ||
+      problem.family == "tsp";
 
-  auto instance = core::make_maxcut_instance(name, std::move(graph), 48,
-                                             options.seed);
   core::StandardSetup setup;
-  setup.iterations = options.iterations > 0
-                         ? options.iterations
-                         : auto_iterations(instance.model->num_spins());
+  setup.iterations =
+      options.iterations > 0
+          ? options.iterations
+          : auto_iterations(problem.family, problem.model->num_spins());
   setup.flips_per_iteration = options.flips;
-  setup.acceptance_gain = options.gain;
+  // Constraint landscapes prefer a softer comparator and tighter
+  // program-verify variation so penalty weights survive programming (see
+  // docs/problems.md).
+  setup.acceptance_gain =
+      options.gain > 0.0 ? options.gain : (constrained ? 4.0 : 16.0);
+  if (constrained) setup.variation = {0.01, 0.02, 0.0, 0.0};
   setup.bits = options.bits;
 
   const auto kind = kind_from_name(options.annealer);
-  const auto annealer = core::make_annealer(kind, instance.model, setup);
+  const auto annealer = core::make_annealer(kind, problem.model, setup);
 
   core::CampaignConfig campaign;
   campaign.runs = options.runs;
   campaign.base_seed = options.seed;
-  const auto result = core::run_maxcut_campaign(*annealer, instance, campaign);
+  campaign.threads = options.threads;
+  const auto result = core::run_campaign(*annealer, problem, campaign);
 
+  // best_objective is NaN with zero feasible runs; mirror that for the mean
+  // so the CSV never shows a literal 0 that would read as a perfect
+  // imbalance or an empty packing.
+  const double best = result.best_objective(problem.sense);
+  const bool none_feasible = result.objective.empty();
+  const double mean_objective =
+      none_feasible ? std::numeric_limits<double>::quiet_NaN()
+                    : result.objective.mean();
+  // Report the resolved worker count (threads=0 means "all cores"), never
+  // the raw config value.
+  const std::size_t threads =
+      util::resolved_parallel_threads(options.runs, options.threads);
   if (options.csv) {
-    std::printf("instance,annealer,runs,iterations,best_cut,mean_cut,"
-                "reference,success_rate,energy_j,time_s\n");
-    std::printf("%s,%s,%zu,%zu,%.0f,%.1f,%.0f,%.3f,%.6g,%.6g\n",
-                instance.name.c_str(), options.annealer.c_str(), options.runs,
-                setup.iterations, result.cut.max(), result.cut.mean(),
-                instance.reference_cut, result.success_rate,
-                result.energy.mean(), result.time.mean());
+    std::printf(
+        "instance,family,annealer,runs,iterations,threads,best_objective,"
+        "mean_objective,reference,feasible_rate,success_rate,energy_j,"
+        "time_s\n");
+    std::printf("%s,%s,%s,%zu,%zu,%zu,%.6g,%.6g,%.6g,%.3f,%.3f,%.6g,%.6g\n",
+                problem.name.c_str(), problem.family.c_str(),
+                options.annealer.c_str(), options.runs, setup.iterations,
+                threads, best, mean_objective,
+                problem.reference_objective, result.feasible_rate,
+                result.success_rate, result.energy.mean(),
+                result.time.mean());
     return 0;
   }
 
-  std::printf("instance   : %s (%zu vertices, %zu edges)\n",
-              instance.name.c_str(), instance.graph->num_vertices(),
-              instance.graph->num_edges());
-  std::printf("annealer   : %s, %zu iterations x %zu runs, |F|=%zu, "
-              "gain=%.1f, k=%d bits\n",
+  std::printf("instance   : %s [%s] (%s; %zu spins)\n", problem.name.c_str(),
+              problem.family.c_str(), problem.summary.c_str(),
+              problem.model->num_spins());
+  std::printf("annealer   : %s, %zu iterations x %zu runs (%zu threads), "
+              "|F|=%zu, gain=%.1f, k=%d bits\n",
               core::annealer_kind_name(kind), setup.iterations, options.runs,
-              options.flips, options.gain, options.bits);
-  std::printf("cut        : best %.0f / mean %.1f / reference %.0f "
-              "(normalized %.3f)\n",
-              result.cut.max(), result.cut.mean(), instance.reference_cut,
-              result.normalized_cut.mean());
-  std::printf("success    : %.0f %% of runs reached 90 %% of reference\n",
-              result.success_rate * 100.0);
+              threads, options.flips, setup.acceptance_gain, options.bits);
+  if (result.objective.empty()) {
+    std::printf("%-11s: no feasible run (mean violations %.1f)\n",
+                problem.objective_label.c_str(), result.violations.mean());
+  } else {
+    std::printf("%-11s: best %.6g / mean %.6g / reference %.6g (%s)\n",
+                problem.objective_label.c_str(), best,
+                result.objective.mean(), problem.reference_objective,
+                core::objective_sense_name(problem.sense));
+  }
+  std::printf("feasible   : %.0f %% of runs satisfied every constraint\n",
+              result.feasible_rate * 100.0);
+  std::printf("success    : %.0f %% of runs within %.0f %% of reference\n",
+              result.success_rate * 100.0,
+              (1.0 - campaign.success_threshold) * 100.0);
   std::printf("hw cost    : %s, %s per run (mean)\n",
               util::si_format(result.energy.mean(), "J").c_str(),
               util::si_format(result.time.mean(), "s").c_str());
