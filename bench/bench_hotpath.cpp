@@ -15,7 +15,13 @@
 //   3. In-situ annealer iterations/sec on the ideal engine (local-field
 //      cache + zero-allocation loop vs seed loop with per-call n-byte
 //      bitmap zero-fills and per-iteration allocations).
-//   4. Campaign wall-clock at N in {256, 1024} in two regimes: "analog"
+//   4. Instance ingestion: parsing a Gset-scale edge list (text -> Graph,
+//      via the hardened read_gset on the shared instance_io core) and
+//      programming it into a crossbar (quantize + map + ProgrammedArray).
+//      Tracks the O(m) edge-merge path -- the seed's O(m^2) parallel-edge
+//      scan made 20k-edge files minutes-slow -- but is never gated
+//      (tools/bench_gate.py), since parse cost is not a hot-path signal.
+//   5. Campaign wall-clock at N in {256, 1024} in two regimes: "analog"
 //      (deterministic device) pits run_campaign (persistent pool,
 //      zero-allocation inner loops, mutex-free reduction) against a
 //      faithful legacy campaign (reference kernels, per-iteration
@@ -35,6 +41,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,6 +55,7 @@
 #include "crossbar/ideal_engine.hpp"
 #include "crossbar/reference_kernels.hpp"
 #include "problems/generators.hpp"
+#include "problems/gset_io.hpp"
 #include "problems/maxcut.hpp"
 #include "util/timer.hpp"
 
@@ -315,7 +323,57 @@ EngineRow bench_ideal_annealer(std::size_t n, std::size_t iterations) {
 }
 
 // ---------------------------------------------------------------------------
-// 4. Campaign wall-clock: optimized runner vs faithful legacy campaign.
+// 4. Instance ingestion: Gset-scale parse + crossbar programming.
+// ---------------------------------------------------------------------------
+
+struct IngestionRow {
+  std::size_t n = 0;
+  std::size_t edges = 0;
+  double parse_seconds = 0.0;
+  double program_seconds = 0.0;
+  double edges_per_sec_parse = 0.0;
+};
+
+IngestionRow bench_ingestion(std::size_t n, double avg_degree) {
+  const auto graph = problems::random_graph(
+      n, avg_degree, problems::WeightScheme::kPlusMinusOne, 4000 + n);
+  std::string text;
+  {
+    std::ostringstream out;
+    problems::write_gset(graph, out);
+    text = out.str();
+  }
+
+  IngestionRow row;
+  row.n = n;
+  row.edges = graph.num_edges();
+
+  std::size_t checksum = 0;
+  row.parse_seconds = best_of_three_seconds([&] {
+    std::istringstream in(text);
+    const auto parsed = problems::read_gset(in);
+    checksum += parsed.num_edges();
+  });
+  row.edges_per_sec_parse =
+      static_cast<double>(row.edges) / row.parse_seconds;
+
+  const auto model = problems::maxcut_to_ising(graph);
+  const core::InSituConfig config;  // default device / mapping / variation
+  row.program_seconds = best_of_three_seconds([&] {
+    const crossbar::QuantizedCouplings quantized(model.couplings(),
+                                                 config.mapping.bits);
+    const crossbar::CrossbarMapping mapping(
+        model.num_spins(), quantized.has_negative() ? 2 : 1, config.mapping);
+    const crossbar::ProgrammedArray array(quantized, mapping, config.device,
+                                          config.variation, 0x5eed);
+    checksum += array.device_params().vbg_max > 0.0;
+  });
+  if (checksum == 1) std::printf("(unreachable checksum)\n");
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// 5. Campaign wall-clock: optimized runner vs faithful legacy campaign.
 // ---------------------------------------------------------------------------
 
 /// The seed fork-join helper: spawn `threads` std::threads per call, shared
@@ -476,7 +534,7 @@ CampaignRow bench_noisy_campaign(std::size_t n, std::size_t runs,
 // ---------------------------------------------------------------------------
 
 void write_json(const std::string& path, const std::string& mode,
-                const SamplerRow& sampler,
+                const SamplerRow& sampler, const IngestionRow& ingestion,
                 const std::vector<EngineRow>& engines,
                 const std::vector<CampaignRow>& campaigns) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -484,7 +542,7 @@ void write_json(const std::string& path, const std::string& mode,
     std::printf("cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"schema\": \"fecim-bench-hotpath-v3\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"fecim-bench-hotpath-v4\",\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", mode.c_str());
   std::fprintf(f, "  \"hardware_threads\": %zu,\n", util::worker_threads());
   std::fprintf(f,
@@ -492,6 +550,13 @@ void write_json(const std::string& path, const std::string& mode,
                "\"normals_per_sec_box_muller\": %.1f, \"speedup\": %.2f},\n",
                sampler.ziggurat_per_sec, sampler.box_muller_per_sec,
                sampler.speedup);
+  // Tracked for the perf trajectory, never gated (see tools/bench_gate.py).
+  std::fprintf(f,
+               "  \"ingestion\": {\"n\": %zu, \"edges\": %zu, "
+               "\"parse_seconds\": %.6f, \"program_seconds\": %.6f, "
+               "\"edges_per_sec_parse\": %.1f},\n",
+               ingestion.n, ingestion.edges, ingestion.parse_seconds,
+               ingestion.program_seconds, ingestion.edges_per_sec_parse);
   std::fprintf(f, "  \"engine_eval\": [\n");
   for (std::size_t i = 0; i < engines.size(); ++i) {
     const auto& row = engines[i];
@@ -542,6 +607,15 @@ int main() {
       "normal sampler: ziggurat %.1f M/s vs Box-Muller %.1f M/s (%.2fx)\n",
       sampler.ziggurat_per_sec / 1e6, sampler.box_muller_per_sec / 1e6,
       sampler.speedup);
+
+  // Gset-scale ingestion: 20k edges in the tracked modes (the size class
+  // the acceptance criterion names), a smaller slice for smoke runs.
+  const IngestionRow ingestion =
+      smoke ? bench_ingestion(800, 12.0) : bench_ingestion(2000, 20.0);
+  std::printf(
+      "ingestion: n=%zu m=%zu parse %.3fs (%.0f edges/s), program %.3fs\n",
+      ingestion.n, ingestion.edges, ingestion.parse_seconds,
+      ingestion.edges_per_sec_parse, ingestion.program_seconds);
 
   util::Table table({"n", "engine", "opt evals/s", "ref evals/s", "speedup"});
   std::vector<EngineRow> engines;
@@ -594,8 +668,8 @@ int main() {
   const char* out = std::getenv("FECIM_BENCH_OUT");
   if (!smoke || out != nullptr) {
     write_json(out != nullptr ? out : "BENCH_hotpath.json",
-               smoke ? "smoke" : (full ? "full" : "reduced"), sampler, engines,
-               campaigns);
+               smoke ? "smoke" : (full ? "full" : "reduced"), sampler,
+               ingestion, engines, campaigns);
   }
   return 0;
 }

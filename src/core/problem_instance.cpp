@@ -13,9 +13,17 @@ const char* objective_sense_name(ObjectiveSense sense) noexcept {
 bool ProblemInstance::success(const DecodedSolution& solution,
                               double threshold) const {
   if (!solution.feasible) return false;
+  // "Within (1 - threshold) of the reference" measured as a fraction of
+  // |reference|, so the test stays meaningful for the negative references
+  // generic QUBO minimization produces (a sign-naive threshold * reference
+  // would *tighten* past the reference there).  For non-negative references
+  // this reduces exactly to the historical objective >= threshold * ref
+  // (maximize) / objective <= (2 - threshold) * ref (minimize) forms.
+  const double slack =
+      (1.0 - threshold) * std::fabs(reference_objective);
   if (sense == ObjectiveSense::kMaximize)
-    return solution.objective >= threshold * reference_objective;
-  return solution.objective <= (2.0 - threshold) * reference_objective;
+    return solution.objective >= reference_objective - slack;
+  return solution.objective <= reference_objective + slack;
 }
 
 void validate_problem(const ProblemInstance& problem) {

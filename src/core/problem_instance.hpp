@@ -65,10 +65,12 @@ struct ProblemInstance {
   std::function<DecodedSolution(std::span<const ising::Spin>)> decode;
 
   /// Sense-aware success test against the reference objective:
-  ///   maximize: feasible and objective >= threshold * reference,
-  ///   minimize: feasible and objective <= (2 - threshold) * reference
-  /// (threshold 0.9 means "within 10 % of the reference" either way; a
-  /// zero reference for a minimization family demands an exact optimum).
+  ///   maximize: feasible and objective >= reference - (1 - t) * |reference|,
+  ///   minimize: feasible and objective <= reference + (1 - t) * |reference|
+  /// (threshold 0.9 means "within 10 % of the reference" either way -- also
+  /// for the negative references generic QUBO minimization produces; a zero
+  /// reference demands an exact optimum).  Reduces to the historical
+  /// threshold * reference forms for non-negative references.
   bool success(const DecodedSolution& solution, double threshold) const;
 
   /// objective / reference; sense-independent, so < 1 beats the reference

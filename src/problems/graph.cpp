@@ -17,28 +17,24 @@ void Graph::add_edge(std::uint32_t u, std::uint32_t v, double weight) {
   FECIM_EXPECTS(u != v);
   if (u > v) std::swap(u, v);
   // Merge parallel edges by weight accumulation.
-  for (auto& e : edges_) {
-    if (e.u == u && e.v == v) {
-      e.weight += weight;
-      adjacency_valid_ = false;
-      return;
-    }
-  }
-  edges_.push_back({u, v, weight});
+  const auto [it, inserted] = edge_slot_.try_emplace(edge_key(u, v),
+                                                     edges_.size());
+  if (inserted)
+    edges_.push_back({u, v, weight});
+  else
+    edges_[it->second].weight += weight;
   adjacency_valid_ = false;
 }
 
 bool Graph::has_edge(std::uint32_t u, std::uint32_t v) const {
   if (u > v) std::swap(u, v);
-  return std::any_of(edges_.begin(), edges_.end(),
-                     [&](const Edge& e) { return e.u == u && e.v == v; });
+  return edge_slot_.contains(edge_key(u, v));
 }
 
 double Graph::edge_weight(std::uint32_t u, std::uint32_t v) const {
   if (u > v) std::swap(u, v);
-  for (const auto& e : edges_)
-    if (e.u == u && e.v == v) return e.weight;
-  return 0.0;
+  const auto it = edge_slot_.find(edge_key(u, v));
+  return it == edge_slot_.end() ? 0.0 : edges_[it->second].weight;
 }
 
 double Graph::total_weight() const noexcept {

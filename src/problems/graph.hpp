@@ -1,13 +1,16 @@
 // Undirected weighted graph for COP instances (Max-Cut, coloring, ...).
 //
 // Stored as an edge list with a CSR adjacency built at finalization; parallel
-// edges merge by weight summation, self-loops are rejected (they are
-// meaningless for every COP in this project).
+// edges merge by weight summation through a persistent (u,v) -> edge-slot
+// hash index, so loading an m-edge file is O(m) rather than O(m^2).
+// Self-loops are rejected (they are meaningless for every COP in this
+// project).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace fecim::problems {
@@ -51,8 +54,15 @@ class Graph {
  private:
   void ensure_adjacency() const;
 
+  static std::uint64_t edge_key(std::uint32_t u, std::uint32_t v) noexcept {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
   std::size_t num_vertices_;
   std::vector<Edge> edges_;
+  // (u << 32 | v) with u < v -> index into edges_; makes parallel-edge
+  // merging and has_edge/edge_weight O(1) instead of an O(m) list scan.
+  std::unordered_map<std::uint64_t, std::size_t> edge_slot_;
 
   // Lazily built adjacency (mutable cache; rebuilt when edges change).
   mutable bool adjacency_valid_ = false;

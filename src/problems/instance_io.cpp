@@ -1,0 +1,277 @@
+#include "problems/instance_io.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace fecim::problems {
+
+namespace io {
+
+LineParser::LineParser(std::istream& in, std::string context,
+                       std::string comment_prefixes)
+    : in_(in),
+      context_(std::move(context)),
+      comment_prefixes_(std::move(comment_prefixes)) {}
+
+bool LineParser::next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_number_;
+    std::size_t start = 0;
+    while (start < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[start])))
+      ++start;
+    if (start == line.size()) continue;  // blank
+    if (comment_prefixes_.find(line[start]) != std::string::npos) continue;
+    fields_.clear();
+    std::size_t pos = start;
+    while (pos < line.size()) {
+      while (pos < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[pos])))
+        ++pos;
+      if (pos == line.size()) break;
+      const std::size_t begin = pos;
+      while (pos < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[pos])))
+        ++pos;
+      fields_.emplace_back(line, begin, pos - begin);
+    }
+    return true;
+  }
+  return false;
+}
+
+const std::string& LineParser::field(std::size_t i) const {
+  FECIM_EXPECTS(i < fields_.size());
+  return fields_[i];
+}
+
+double LineParser::number(std::size_t i) const {
+  const std::string& text = field(i);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || end == text.c_str() ||
+      errno == ERANGE || !std::isfinite(value))
+    fail("'" + text + "' is not a finite number");
+  return value;
+}
+
+std::size_t LineParser::index(std::size_t i) const {
+  const std::string& text = field(i);
+  if (text.empty() || text[0] == '-' || text[0] == '+')
+    fail("'" + text + "' is not a non-negative integer");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || end == text.c_str() ||
+      errno == ERANGE)
+    fail("'" + text + "' is not a non-negative integer");
+  return static_cast<std::size_t>(value);
+}
+
+void LineParser::require_fields(std::size_t lo, std::size_t hi) const {
+  if (fields_.size() < lo || fields_.size() > hi) {
+    if (lo == hi)
+      fail("expected " + std::to_string(lo) + " fields, got " +
+           std::to_string(fields_.size()));
+    fail("expected " + std::to_string(lo) + ".." + std::to_string(hi) +
+         " fields, got " + std::to_string(fields_.size()));
+  }
+}
+
+void LineParser::fail(const std::string& message) const {
+  throw contract_error(context_ + ":" + std::to_string(line_number_) + ": " +
+                       message);
+}
+
+void LineParser::fail_truncated(const std::string& expected) const {
+  throw contract_error(context_ + ": unexpected end of input (expected " +
+                       expected + ")");
+}
+
+}  // namespace io
+
+// ---------------------------------------------------------------------------
+// DIMACS coloring (.col)
+// ---------------------------------------------------------------------------
+
+Graph read_dimacs_coloring(std::istream& in, const std::string& context) {
+  // DIMACS comments are "c ..." lines; tolerate '#'/'%' too so the shared
+  // fixture conventions work across every format.
+  io::LineParser parser(in, context, "c#%");
+  if (!parser.next())
+    throw contract_error(context + ": empty input (expected 'p edge <n> <m>')");
+  if (parser.field(0) != "p" || parser.fields() < 4 ||
+      parser.field(1) != "edge")
+    parser.fail("expected problem line 'p edge <n> <m>'");
+  const std::size_t n = parser.index(2);
+  const std::size_t m = parser.index(3);
+  if (n == 0) parser.fail("graph must have at least one vertex");
+
+  Graph graph(n);
+  std::size_t edges_seen = 0;
+  while (parser.next()) {
+    if (parser.field(0) != "e")
+      parser.fail("expected edge line 'e <u> <v>', got '" + parser.field(0) +
+                  "'");
+    parser.require_fields(3, 3);
+    const std::size_t u = parser.index(1);
+    const std::size_t v = parser.index(2);
+    if (u < 1 || u > n || v < 1 || v > n)
+      parser.fail("vertex index out of range [1, " + std::to_string(n) + "]");
+    if (u == v) parser.fail("self-loop on vertex " + std::to_string(u));
+    ++edges_seen;
+    // DIMACS files routinely list both directions; dedupe (O(1) via the
+    // graph's edge index) instead of accumulating a meaningless weight.
+    if (!graph.has_edge(static_cast<std::uint32_t>(u - 1),
+                        static_cast<std::uint32_t>(v - 1)))
+      graph.add_edge(static_cast<std::uint32_t>(u - 1),
+                     static_cast<std::uint32_t>(v - 1), 1.0);
+  }
+  if (edges_seen < m)
+    parser.fail_truncated(std::to_string(m) + " edges, got " +
+                          std::to_string(edges_seen));
+  return graph;
+}
+
+Graph read_dimacs_coloring_file(const std::string& path) {
+  return io::read_file(path, "dimacs",
+                        [](std::istream& in, const std::string& context) {
+                          return read_dimacs_coloring(in, context);
+                        });
+}
+
+// ---------------------------------------------------------------------------
+// Knapsack
+// ---------------------------------------------------------------------------
+
+KnapsackInstance read_knapsack(std::istream& in, const std::string& context) {
+  io::LineParser parser(in, context);
+  if (!parser.next())
+    throw contract_error(context +
+                         ": empty input (expected '<num_items> <capacity>')");
+  parser.require_fields(2, 2);
+  const std::size_t items = parser.index(0);
+  const double capacity = parser.number(1);
+  if (items == 0) parser.fail("instance must have at least one item");
+  if (capacity <= 0.0) parser.fail("capacity must be positive");
+
+  KnapsackInstance instance;
+  instance.capacity = capacity;
+  instance.items.reserve(items);
+  for (std::size_t i = 0; i < items; ++i) {
+    if (!parser.next())
+      parser.fail_truncated(std::to_string(items) + " item lines, got " +
+                            std::to_string(i));
+    parser.require_fields(2, 2);
+    const double value = parser.number(0);
+    const double weight = parser.number(1);
+    if (value < 0.0) parser.fail("item value must be non-negative");
+    if (weight <= 0.0) parser.fail("item weight must be positive");
+    instance.items.push_back({value, weight});
+  }
+  if (parser.next())
+    parser.fail("trailing content after " + std::to_string(items) +
+                " item lines");
+  return instance;
+}
+
+KnapsackInstance read_knapsack_file(const std::string& path) {
+  return io::read_file(path, "knapsack",
+                        [](std::istream& in, const std::string& context) {
+                          return read_knapsack(in, context);
+                        });
+}
+
+void write_knapsack(const KnapsackInstance& instance, std::ostream& out) {
+  const auto previous = out.precision(
+      std::numeric_limits<double>::max_digits10);
+  out << instance.items.size() << ' ' << instance.capacity << '\n';
+  for (const auto& item : instance.items)
+    out << item.value << ' ' << item.weight << '\n';
+  out.precision(previous);
+}
+
+// ---------------------------------------------------------------------------
+// Number partitioning
+// ---------------------------------------------------------------------------
+
+std::vector<double> read_partition(std::istream& in,
+                                   const std::string& context) {
+  io::LineParser parser(in, context);
+  std::vector<double> numbers;
+  while (parser.next()) {
+    for (std::size_t i = 0; i < parser.fields(); ++i) {
+      const double value = parser.number(i);
+      if (value <= 0.0) parser.fail("numbers must be positive");
+      numbers.push_back(value);
+    }
+  }
+  if (numbers.size() < 2)
+    throw contract_error(context + ": need at least 2 numbers, got " +
+                         std::to_string(numbers.size()));
+  return numbers;
+}
+
+std::vector<double> read_partition_file(const std::string& path) {
+  return io::read_file(path, "partition",
+                        [](std::istream& in, const std::string& context) {
+                          return read_partition(in, context);
+                        });
+}
+
+// ---------------------------------------------------------------------------
+// TSP coordinate list
+// ---------------------------------------------------------------------------
+
+TspInstance read_tsp_coords(std::istream& in, const std::string& context) {
+  io::LineParser parser(in, context);
+  if (!parser.next())
+    throw contract_error(context + ": empty input (expected '<num_cities>')");
+  parser.require_fields(1, 1);
+  const std::size_t cities = parser.index(0);
+  if (cities < 3) parser.fail("need at least 3 cities");
+
+  std::vector<std::pair<double, double>> points;
+  points.reserve(cities);
+  for (std::size_t i = 0; i < cities; ++i) {
+    if (!parser.next())
+      parser.fail_truncated(std::to_string(cities) + " coordinate lines, got " +
+                            std::to_string(i));
+    parser.require_fields(2, 2);
+    points.emplace_back(parser.number(0), parser.number(1));
+  }
+  if (parser.next())
+    parser.fail("trailing content after " + std::to_string(cities) +
+                " coordinate lines");
+
+  TspInstance instance;
+  instance.distances.assign(cities, std::vector<double>(cities, 0.0));
+  for (std::size_t u = 0; u < cities; ++u)
+    for (std::size_t v = u + 1; v < cities; ++v) {
+      const double dx = points[u].first - points[v].first;
+      const double dy = points[u].second - points[v].second;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      instance.distances[u][v] = d;
+      instance.distances[v][u] = d;
+    }
+  return instance;
+}
+
+TspInstance read_tsp_coords_file(const std::string& path) {
+  return io::read_file(path, "tsp",
+                        [](std::istream& in, const std::string& context) {
+                          return read_tsp_coords(in, context);
+                        });
+}
+
+}  // namespace fecim::problems

@@ -1,0 +1,117 @@
+// File ingestion for externally specified COP instances.
+//
+// One tokenizer / comment-skipping / error-reporting core (io::LineParser)
+// backs every text format the project reads -- Gset Max-Cut files
+// (gset_io.hpp), the QPLIB-subset QUBO format (qubo.hpp), and the
+// family-specific formats declared here -- so every malformed input fails
+// with a fecim::contract_error naming "<context>:<line>" instead of a bare
+// contract crash deep inside a factory.
+//
+// Formats (all: blank lines skipped, '#' and '%' comment lines skipped,
+// fields whitespace-separated):
+//
+//   DIMACS coloring (.col)    c <comment> / p edge <n> <m> / e <u> <v>
+//                             (1-indexed; duplicate and mirrored edges
+//                             dedupe; weights are irrelevant to coloring)
+//   knapsack                  <num_items> <capacity>
+//                             <value> <weight>          (one line per item)
+//   partition                 whitespace-separated positive numbers,
+//                             any line layout
+//   TSP coordinate list       <num_cities>
+//                             <x> <y>                   (one line per city;
+//                             Euclidean distances)
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "problems/graph.hpp"
+#include "problems/knapsack.hpp"
+#include "problems/tsp.hpp"
+#include "util/assert.hpp"
+
+namespace fecim::problems {
+
+namespace io {
+
+/// Open `path` and hand the stream to `reader(in, path)` (the path doubles
+/// as the parser context, so diagnostics read "<path>:<line>: ...").
+/// Throws contract_error "<what>: cannot open <path>" when the open fails.
+/// One helper so every *_file reader shares the identical failure shape.
+template <typename Reader>
+auto read_file(const std::string& path, const char* what,
+               const Reader& reader) {
+  std::ifstream in(path);
+  if (!in)
+    throw contract_error(std::string(what) + ": cannot open " + path);
+  return reader(in, path);
+}
+
+/// Splits a stream into significant lines (blank and comment lines skipped),
+/// tracks physical line numbers, and parses typed fields.  Every failure
+/// throws fecim::contract_error prefixed "<context>:<line>:" so callers get
+/// actionable diagnostics for hand-edited benchmark files.
+class LineParser {
+ public:
+  /// `comment_prefixes`: a line whose first non-space character is listed
+  /// here is skipped (e.g. "#%" for Gset-style files, "c#%" for DIMACS).
+  LineParser(std::istream& in, std::string context,
+             std::string comment_prefixes = "#%");
+
+  /// Advance to the next significant line; false at end of input.
+  bool next();
+
+  std::size_t line_number() const noexcept { return line_number_; }
+  std::size_t fields() const noexcept { return fields_.size(); }
+  const std::string& field(std::size_t i) const;
+
+  /// Typed field accessors; full-token validation (no silent strtod/strtoull
+  /// garbage-to-zero), failures name the field text and the line.
+  double number(std::size_t i) const;
+  std::size_t index(std::size_t i) const;
+
+  /// Fail unless the current line has between `lo` and `hi` fields.
+  void require_fields(std::size_t lo, std::size_t hi) const;
+
+  /// Throw a contract_error for the current line: "<context>:<line>: msg".
+  [[noreturn]] void fail(const std::string& message) const;
+  /// Throw for a truncated stream (no current line to blame).
+  [[noreturn]] void fail_truncated(const std::string& expected) const;
+
+ private:
+  std::istream& in_;
+  std::string context_;
+  std::string comment_prefixes_;
+  std::size_t line_number_ = 0;
+  std::vector<std::string> fields_;
+};
+
+}  // namespace io
+
+/// DIMACS graph-coloring instance (.col).  Vertices 1-indexed in the file,
+/// 0-indexed in the Graph; duplicate/mirrored "e" lines dedupe (unit weight).
+Graph read_dimacs_coloring(std::istream& in,
+                           const std::string& context = "dimacs");
+Graph read_dimacs_coloring_file(const std::string& path);
+
+/// Knapsack instance: header "<num_items> <capacity>" then one
+/// "<value> <weight>" line per item.
+KnapsackInstance read_knapsack(std::istream& in,
+                               const std::string& context = "knapsack");
+KnapsackInstance read_knapsack_file(const std::string& path);
+void write_knapsack(const KnapsackInstance& instance, std::ostream& out);
+
+/// Number-partitioning instance: all fields of all significant lines are
+/// the (positive) numbers; at least two required.
+std::vector<double> read_partition(std::istream& in,
+                                   const std::string& context = "partition");
+std::vector<double> read_partition_file(const std::string& path);
+
+/// TSP instance from planar coordinates: "<num_cities>" then one "<x> <y>"
+/// line per city; the distance matrix is Euclidean.
+TspInstance read_tsp_coords(std::istream& in,
+                            const std::string& context = "tsp");
+TspInstance read_tsp_coords_file(const std::string& path);
+
+}  // namespace fecim::problems

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <numeric>
 
@@ -24,27 +25,25 @@ ising::BinaryVector qubo_variables(std::span<const ising::Spin> spins,
   return ising::binary_from_spins(spins.subspan(0, num_variables));
 }
 
-/// Greedy value-density packing: a feasible lower bound on the knapsack
-/// optimum, used as the reference when non-integral weights rule out DP.
-double greedy_knapsack_value(const KnapsackInstance& instance) {
-  std::vector<std::size_t> order(instance.items.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return instance.items[a].value * instance.items[b].weight >
-           instance.items[b].value * instance.items[a].weight;
-  });
-  double value = 0.0;
-  double weight = 0.0;
-  for (const auto i : order) {
-    if (weight + instance.items[i].weight > instance.capacity) continue;
-    weight += instance.items[i].weight;
-    value += instance.items[i].value;
-  }
-  return value;
+/// Shortest exact decimal for summaries ("37.5", not "37.500000" -- and a
+/// fractional capacity must not be truncated to its integer part).
+std::string compact_number(double x) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", x);
+  return buffer;
 }
 
-bool is_integral(double x) {
-  return std::fabs(x - std::round(x)) < 1e-9;
+/// -H: same variables, every coefficient and the constant negated.
+ising::QuboModel negated_qubo(const ising::QuboModel& model) {
+  const auto& q = model.q();
+  linalg::CsrMatrix::Builder builder(q.rows(), q.rows());
+  for (std::size_t r = 0; r < q.rows(); ++r) {
+    const auto cols = q.row_cols(r);
+    const auto values = q.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      builder.add(r, cols[k], -values[k]);
+  }
+  return ising::QuboModel(builder.build(), -model.constant());
 }
 
 }  // namespace
@@ -113,27 +112,20 @@ core::ProblemInstance make_knapsack_problem(std::string name,
   auto encoding = std::make_shared<const KnapsackEncoding>(
       knapsack_to_qubo(*shared_instance, penalty));
 
-  const bool integral =
-      is_integral(shared_instance->capacity) &&
-      std::all_of(shared_instance->items.begin(),
-                  shared_instance->items.end(),
-                  [](const KnapsackItem& item) {
-                    return is_integral(item.weight);
-                  });
-
   core::ProblemInstance problem;
   problem.name = std::move(name);
   problem.family = "knapsack";
   problem.summary =
       std::to_string(shared_instance->items.size()) + " items + " +
       std::to_string(encoding->num_slack_bits) + " slack bits, capacity " +
-      std::to_string(static_cast<long long>(shared_instance->capacity));
+      compact_number(shared_instance->capacity);
   problem.objective_label = "value";
   problem.model = std::make_shared<const ising::IsingModel>(
       encoding->qubo.to_ising().with_ancilla());
-  problem.reference_objective = integral
-                                    ? knapsack_optimal_value(*shared_instance)
-                                    : greedy_knapsack_value(*shared_instance);
+  // DP optimum for integral weights, greedy density bound otherwise (the
+  // selection happens inside knapsack_optimal_value, which no longer
+  // contract-crashes on fractional capacities like --capacity 37.5).
+  problem.reference_objective = knapsack_optimal_value(*shared_instance);
   problem.sense = core::ObjectiveSense::kMaximize;
   problem.decode = [shared_instance, encoding](
                        std::span<const ising::Spin> spins) {
@@ -209,6 +201,43 @@ core::ProblemInstance make_tsp_problem(std::string name, TspInstance instance,
     solution.feasible = tour.valid;
     solution.objective = tour.valid ? tour.length : 0.0;
     solution.violations = static_cast<double>(tour.violations);
+    return solution;
+  };
+  return problem;
+}
+
+core::ProblemInstance make_qubo_problem(std::string name,
+                                        QuboInstance instance,
+                                        std::size_t reference_restarts,
+                                        std::uint64_t reference_seed) {
+  auto shared_model =
+      std::make_shared<const ising::QuboModel>(std::move(instance.model));
+  const bool maximize = instance.maximize;
+
+  core::ProblemInstance problem;
+  problem.name = std::move(name);
+  problem.family = "qubo";
+  problem.summary = std::to_string(shared_model->num_variables()) +
+                    " variables, " +
+                    std::to_string(shared_model->q().nonzeros()) +
+                    " coefficients";
+  problem.objective_label = "objective";
+  // Annealers minimize Ising energy, so a maximize instance anneals -H
+  // (the energy minimum is then the domain optimum) while the decode hook
+  // and reference keep reporting in original-H units.
+  problem.model = std::make_shared<const ising::IsingModel>(
+      (maximize ? negated_qubo(*shared_model) : *shared_model)
+          .to_ising()
+          .with_ancilla());
+  problem.reference_objective = qubo_reference_value(
+      *shared_model, maximize, reference_restarts, reference_seed);
+  problem.sense = maximize ? core::ObjectiveSense::kMaximize
+                           : core::ObjectiveSense::kMinimize;
+  problem.decode = [shared_model](std::span<const ising::Spin> spins) {
+    const auto x = qubo_variables(spins, shared_model->num_variables());
+    core::DecodedSolution solution;
+    solution.objective = shared_model->value(x);
+    solution.feasible = true;  // unconstrained by definition
     return solution;
   };
   return problem;

@@ -12,6 +12,7 @@
 //   knapsack   | packed value     | maximize | total weight <= capacity
 //   partition  | |sum A - sum B|  | minimize | always feasible
 //   tsp        | tour length      | minimize | both one-hot families satisfied
+//   qubo       | H(x)             | either   | always feasible
 //
 // Encoding conventions, penalty auto-tuning and decode semantics are
 // documented in docs/problems.md.
@@ -25,6 +26,7 @@
 #include "core/problem_instance.hpp"
 #include "problems/graph.hpp"
 #include "problems/knapsack.hpp"
+#include "problems/qubo.hpp"
 #include "problems/tsp.hpp"
 
 namespace fecim::problems {
@@ -60,6 +62,16 @@ core::ProblemInstance make_partition_problem(std::string name,
 /// 2-opt heuristic tour.
 core::ProblemInstance make_tsp_problem(std::string name, TspInstance instance,
                                        double penalty = 0.0);
+
+/// Generic QUBO (read_qubo_file / random_qubo): objective is H(x) itself,
+/// sense from the instance, every assignment feasible.  Reference from
+/// qubo_reference_value() with `reference_restarts` random-start 1-opt
+/// descents.  Maximize instances anneal -H (annealers minimize energy);
+/// decode and reference stay in original-H units.
+core::ProblemInstance make_qubo_problem(std::string name,
+                                        QuboInstance instance,
+                                        std::size_t reference_restarts = 24,
+                                        std::uint64_t reference_seed = 7);
 
 /// Explicit vertex colors from a spin configuration produced by a
 /// make_coloring_problem campaign (e.g. a RunRecord's best_spins; the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "util/assert.hpp"
 
@@ -76,19 +77,51 @@ KnapsackSolution decode_knapsack(const KnapsackInstance& instance,
   return solution;
 }
 
+double knapsack_greedy_value(const KnapsackInstance& instance) {
+  std::vector<std::size_t> order(instance.items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return instance.items[a].value * instance.items[b].weight >
+           instance.items[b].value * instance.items[a].weight;
+  });
+  double value = 0.0;
+  double weight = 0.0;
+  for (const auto i : order) {
+    if (weight + instance.items[i].weight > instance.capacity) continue;
+    weight += instance.items[i].weight;
+    value += instance.items[i].value;
+  }
+  return value;
+}
+
 double knapsack_optimal_value(const KnapsackInstance& instance) {
-  // Classic DP over integer capacities; weights must be integral.
-  const auto capacity = static_cast<std::size_t>(instance.capacity);
-  FECIM_EXPECTS(std::fabs(instance.capacity -
-                          static_cast<double>(capacity)) < 1e-9);
+  const auto integral = [](double x) {
+    return std::fabs(x - std::round(x)) < 1e-9;
+  };
+  // Classic DP over integer capacities needs integral weights; a user
+  // capacity like 37.5 must not crash -- integral weights cannot use the
+  // fractional part, so flooring preserves the optimum exactly.
+  for (const auto& item : instance.items)
+    if (!integral(item.weight)) return knapsack_greedy_value(instance);
+  // The DP table is O(capacity); a file-supplied capacity like 1e15 must
+  // degrade to the greedy bound, not abort on an 8 PB allocation.
+  constexpr double kDpCapacityLimit = 16'000'000.0;  // 128 MB of doubles
+  if (instance.capacity > kDpCapacityLimit)
+    return knapsack_greedy_value(instance);
+  const auto capacity = static_cast<std::size_t>(std::floor(instance.capacity));
   std::vector<double> best(capacity + 1, 0.0);
+  double free_value = 0.0;  // zero-weight items always pack
   for (const auto& item : instance.items) {
-    const auto w = static_cast<std::size_t>(item.weight);
-    FECIM_EXPECTS(std::fabs(item.weight - static_cast<double>(w)) < 1e-9);
+    const auto w = static_cast<std::size_t>(std::llround(item.weight));
+    if (w == 0) {
+      free_value += item.value;
+      continue;
+    }
+    if (w > capacity) continue;
     for (std::size_t c = capacity; c >= w; --c)
       best[c] = std::max(best[c], best[c - w] + item.value);
   }
-  return best[capacity];
+  return best[capacity] + free_value;
 }
 
 }  // namespace fecim::problems

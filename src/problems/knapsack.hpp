@@ -51,7 +51,16 @@ KnapsackSolution decode_knapsack(const KnapsackInstance& instance,
                                  const KnapsackEncoding& encoding,
                                  std::span<const std::uint8_t> x);
 
-/// Exact DP optimum for integer weights (reference for tests/examples).
+/// Greedy value-density packing: always-feasible lower bound on the
+/// optimum, and the reference when non-integral weights rule out DP.
+double knapsack_greedy_value(const KnapsackInstance& instance);
+
+/// Best-known packed value.  Exact DP optimum when every weight is
+/// integral (a fractional capacity is floored first -- integral weights
+/// cannot use the fraction, so the optimum is unchanged); falls back to
+/// the greedy density bound for non-integral weights or capacities too
+/// large for the O(capacity) DP table, instead of dying on a contract
+/// check or an allocation failure.
 double knapsack_optimal_value(const KnapsackInstance& instance);
 
 }  // namespace fecim::problems

@@ -1,0 +1,409 @@
+// Instance-ingestion subsystem: the shared LineParser core, hardened Gset
+// I/O (comments, line-numbered diagnostics, lossless round-trip), the
+// DIMACS/knapsack/partition/TSP readers, and the QPLIB-subset QUBO format
+// with its ProblemInstance factory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "ising/qubo.hpp"
+#include "problems/gset_io.hpp"
+#include "problems/instance_io.hpp"
+#include "problems/instances.hpp"
+#include "problems/qubo.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using namespace fecim::problems;
+
+/// Run `fn`, require a contract_error, and return its message for
+/// line-number / context assertions.
+template <typename Fn>
+std::string diagnostic_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const fecim::contract_error& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected fecim::contract_error";
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Gset
+// ---------------------------------------------------------------------------
+
+TEST(GsetIoHardened, SkipsCommentAndBlankLines) {
+  std::stringstream in(
+      "% rudy-style comment\n"
+      "# hash comment\n"
+      "\n"
+      "3 2\n"
+      "  # indented comment between edges\n"
+      "1 2 1.5\n"
+      "\n"
+      "2 3 -1\n");
+  const auto g = read_gset(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2), -1.0);
+}
+
+TEST(GsetIoHardened, WeightColumnOptionalDefaultsToUnit) {
+  std::stringstream in("2 1\n1 2\n");
+  const auto g = read_gset(in);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.0);
+}
+
+TEST(GsetIoHardened, SelfLoopNamesTheLine) {
+  std::stringstream in("3 2\n1 2 1\n2 2 1\n");
+  const auto message = diagnostic_of([&] { read_gset(in); });
+  EXPECT_NE(message.find("gset:3"), std::string::npos) << message;
+  EXPECT_NE(message.find("self-loop"), std::string::npos) << message;
+}
+
+TEST(GsetIoHardened, OutOfRangeIndexNamesTheLine) {
+  std::stringstream in("# header next\n2 1\n1 5 1\n");
+  const auto message = diagnostic_of([&] { read_gset(in); });
+  EXPECT_NE(message.find("gset:3"), std::string::npos) << message;
+  EXPECT_NE(message.find("out of range"), std::string::npos) << message;
+}
+
+TEST(GsetIoHardened, GarbageFieldNamesTheLine) {
+  std::stringstream in("3 1\n1 2 fast\n");
+  const auto message = diagnostic_of([&] { read_gset(in); });
+  EXPECT_NE(message.find("gset:2"), std::string::npos) << message;
+  EXPECT_NE(message.find("'fast'"), std::string::npos) << message;
+}
+
+TEST(GsetIoHardened, TruncatedAndTrailingInputRejected) {
+  std::stringstream truncated("3 2\n1 2 1\n");
+  EXPECT_NE(diagnostic_of([&] { read_gset(truncated); })
+                .find("end of input"),
+            std::string::npos);
+  std::stringstream trailing("2 1\n1 2 1\n2 1 3\n");
+  EXPECT_NE(diagnostic_of([&] { read_gset(trailing); })
+                .find("trailing content"),
+            std::string::npos);
+}
+
+TEST(GsetIoHardened, DuplicateEdgesAccumulate) {
+  std::stringstream in("2 2\n1 2 1.5\n2 1 2.5\n");
+  const auto g = read_gset(in);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 4.0);
+}
+
+TEST(GsetIoHardened, WriteReadRoundTripIsLossless) {
+  // Weights that the old default-precision writer (6 significant digits)
+  // silently corrupted.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0 / 3.0);
+  g.add_edge(1, 2, 0.1);
+  g.add_edge(2, 3, -1234567.890123);
+  std::stringstream buffer;
+  write_gset(g, buffer);
+  const auto parsed = read_gset(buffer);
+  ASSERT_EQ(parsed.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(parsed.edge_weight(0, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(parsed.edge_weight(1, 2), 0.1);
+  EXPECT_DOUBLE_EQ(parsed.edge_weight(2, 3), -1234567.890123);
+}
+
+TEST(GsetIoHardened, GsetScaleEdgeListLoadsLinearly) {
+  // 20k edges with every edge listed twice: the seed's O(m) merge scan made
+  // this O(m^2) (minutes); the hash-indexed merge loads it instantly.  The
+  // assertion is correctness; the 60 s ctest timeout is the perf tripwire.
+  constexpr std::uint32_t n = 2000;
+  constexpr std::size_t m = 20000;
+  std::stringstream in;
+  in << n << ' ' << 2 * m << '\n';
+  for (std::size_t k = 0; k < m; ++k) {
+    const auto u = static_cast<std::uint32_t>(k % n);
+    const auto v = static_cast<std::uint32_t>((u + 1 + k % 7) % n);
+    in << (u + 1) << ' ' << (v + 1) << " 0.5\n";
+    in << (v + 1) << ' ' << (u + 1) << " 0.5\n";
+  }
+  const auto g = read_gset(in);
+  EXPECT_EQ(g.num_vertices(), n);
+  EXPECT_LE(g.num_edges(), m);  // every pair merged at least once
+  double total = 0.0;
+  for (const auto& e : g.edges()) total += e.weight;
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(m));  // 2m half-weight lines
+}
+
+// ---------------------------------------------------------------------------
+// DIMACS coloring
+// ---------------------------------------------------------------------------
+
+TEST(DimacsIo, ParsesAndDedupesMirroredEdges) {
+  std::stringstream in(
+      "c triangle plus a mirrored duplicate\n"
+      "p edge 3 4\n"
+      "e 1 2\n"
+      "e 2 3\n"
+      "e 1 3\n"
+      "e 2 1\n");
+  const auto g = read_dimacs_coloring(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);  // mirrored duplicate deduped, unit weight
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.0);
+}
+
+TEST(DimacsIo, ErrorsNameTheLine) {
+  std::stringstream no_problem_line("e 1 2\n");
+  EXPECT_NE(diagnostic_of([&] { read_dimacs_coloring(no_problem_line); })
+                .find("p edge"),
+            std::string::npos);
+
+  std::stringstream bad_index("p edge 3 1\ne 1 9\n");
+  const auto message =
+      diagnostic_of([&] { read_dimacs_coloring(bad_index); });
+  EXPECT_NE(message.find("dimacs:2"), std::string::npos) << message;
+
+  std::stringstream self_loop("p edge 3 1\ne 2 2\n");
+  EXPECT_NE(diagnostic_of([&] { read_dimacs_coloring(self_loop); })
+                .find("self-loop"),
+            std::string::npos);
+
+  std::stringstream truncated("p edge 3 2\ne 1 2\n");
+  EXPECT_NE(diagnostic_of([&] { read_dimacs_coloring(truncated); })
+                .find("end of input"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Knapsack files
+// ---------------------------------------------------------------------------
+
+TEST(KnapsackIo, ReadParsesHeaderAndItems) {
+  std::stringstream in(
+      "# value weight per line\n"
+      "3 7.5\n"
+      "10 5\n"
+      "7 4\n"
+      "4 3\n");
+  const auto instance = read_knapsack(in);
+  ASSERT_EQ(instance.items.size(), 3u);
+  EXPECT_DOUBLE_EQ(instance.capacity, 7.5);
+  EXPECT_DOUBLE_EQ(instance.items[1].value, 7.0);
+  EXPECT_DOUBLE_EQ(instance.items[1].weight, 4.0);
+}
+
+TEST(KnapsackIo, WriteReadRoundTrip) {
+  const KnapsackInstance instance{{{10.25, 5.5}, {1.0 / 3.0, 4}}, 7.125};
+  std::stringstream buffer;
+  write_knapsack(instance, buffer);
+  const auto parsed = read_knapsack(buffer);
+  ASSERT_EQ(parsed.items.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.capacity, 7.125);
+  EXPECT_DOUBLE_EQ(parsed.items[0].value, 10.25);
+  EXPECT_DOUBLE_EQ(parsed.items[1].value, 1.0 / 3.0);
+}
+
+TEST(KnapsackIo, MalformedInputsNameTheLine) {
+  std::stringstream negative_value("2 7\n-3 2\n1 1\n");
+  EXPECT_NE(diagnostic_of([&] { read_knapsack(negative_value); })
+                .find("knapsack:2"),
+            std::string::npos);
+  std::stringstream truncated("3 7\n10 5\n");
+  EXPECT_NE(diagnostic_of([&] { read_knapsack(truncated); })
+                .find("end of input"),
+            std::string::npos);
+  std::stringstream zero_capacity("1 0\n1 1\n");
+  EXPECT_NE(diagnostic_of([&] { read_knapsack(zero_capacity); })
+                .find("capacity"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Partition files
+// ---------------------------------------------------------------------------
+
+TEST(PartitionIo, LayoutInsensitiveParse) {
+  std::stringstream in("# any layout\n4 5 6\n7\n8\n");
+  const auto numbers = read_partition(in);
+  ASSERT_EQ(numbers.size(), 5u);
+  EXPECT_DOUBLE_EQ(numbers[0], 4.0);
+  EXPECT_DOUBLE_EQ(numbers[4], 8.0);
+}
+
+TEST(PartitionIo, RejectsBadInputs) {
+  std::stringstream garbage("3 x 5\n");
+  EXPECT_NE(diagnostic_of([&] { read_partition(garbage); }).find("'x'"),
+            std::string::npos);
+  std::stringstream negative("3 -4\n");
+  EXPECT_NE(diagnostic_of([&] { read_partition(negative); })
+                .find("positive"),
+            std::string::npos);
+  std::stringstream too_few("42\n");
+  EXPECT_NE(diagnostic_of([&] { read_partition(too_few); })
+                .find("at least 2"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// TSP coordinate lists
+// ---------------------------------------------------------------------------
+
+TEST(TspIo, EuclideanDistancesFromCoordinates) {
+  std::stringstream in("4\n0 0\n1 0\n1 1\n0 1\n");
+  const auto instance = read_tsp_coords(in);
+  ASSERT_EQ(instance.num_cities(), 4u);
+  EXPECT_DOUBLE_EQ(instance.distances[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(instance.distances[0][2], std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(instance.distances[2][0], std::sqrt(2.0));  // symmetric
+  EXPECT_DOUBLE_EQ(instance.distances[3][3], 0.0);
+  // Unit square: the optimal (perimeter) tour has length 4.
+  EXPECT_NEAR(tsp_heuristic(instance).length, 4.0, 1e-9);
+}
+
+TEST(TspIo, RejectsBadInputs) {
+  std::stringstream too_few("2\n0 0\n1 1\n");
+  EXPECT_NE(diagnostic_of([&] { read_tsp_coords(too_few); })
+                .find("at least 3"),
+            std::string::npos);
+  std::stringstream truncated("3\n0 0\n1 1\n");
+  EXPECT_NE(diagnostic_of([&] { read_tsp_coords(truncated); })
+                .find("end of input"),
+            std::string::npos);
+  std::stringstream trailing("3\n0 0\n1 0\n0 1\n5 5\n");
+  EXPECT_NE(diagnostic_of([&] { read_tsp_coords(trailing); })
+                .find("trailing"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// QUBO (QPLIB subset / COO triplets)
+// ---------------------------------------------------------------------------
+
+TEST(QuboIo, ParsesDirectivesHeaderAndTriplets) {
+  std::stringstream in(
+      "# 2-variable toy\n"
+      "maximize\n"
+      "constant 1.5\n"
+      "2 3\n"
+      "1 1 2\n"
+      "2 2 -1\n"
+      "1 2 3\n");
+  const auto instance = read_qubo(in);
+  EXPECT_TRUE(instance.maximize);
+  EXPECT_EQ(instance.model.num_variables(), 2u);
+  EXPECT_DOUBLE_EQ(instance.model.constant(), 1.5);
+  // H(x) = 2 x1 - x2 + 3 x1 x2 + 1.5
+  EXPECT_DOUBLE_EQ(instance.model.value(std::vector<std::uint8_t>{1, 0}),
+                   3.5);
+  EXPECT_DOUBLE_EQ(instance.model.value(std::vector<std::uint8_t>{1, 1}),
+                   5.5);
+}
+
+TEST(QuboIo, MirroredAndDuplicateTripletsAccumulate) {
+  std::stringstream in("2 3\n1 2 1\n2 1 2\n1 2 0.5\n");
+  const auto instance = read_qubo(in);
+  EXPECT_DOUBLE_EQ(instance.model.value(std::vector<std::uint8_t>{1, 1}),
+                   3.5);
+}
+
+TEST(QuboIo, WriteReadRoundTripIsLossless) {
+  const auto original = random_qubo(12, 4.0, 99);
+  std::stringstream buffer;
+  write_qubo(original, buffer);
+  const auto parsed = read_qubo(buffer);
+  EXPECT_EQ(parsed.maximize, original.maximize);
+  EXPECT_EQ(parsed.model.num_variables(), original.model.num_variables());
+  EXPECT_EQ(parsed.model.q().nonzeros(), original.model.q().nonzeros());
+  // Exact value agreement on a deterministic set of assignments.
+  std::vector<std::uint8_t> x(12, 0);
+  for (std::size_t trial = 0; trial < 32; ++trial) {
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x[i] = static_cast<std::uint8_t>((trial * 7 + i * 3) % 2);
+    EXPECT_DOUBLE_EQ(parsed.model.value(x), original.model.value(x));
+  }
+}
+
+TEST(QuboIo, MalformedInputsNameTheLine) {
+  std::stringstream empty("# only comments\n");
+  EXPECT_NE(diagnostic_of([&] { read_qubo(empty); }).find("empty input"),
+            std::string::npos);
+  std::stringstream bad_header("minimize\nfoo bar\n");
+  EXPECT_NE(diagnostic_of([&] { read_qubo(bad_header); }).find("qubo:2"),
+            std::string::npos);
+  std::stringstream out_of_range("2 1\n1 3 1\n");
+  EXPECT_NE(diagnostic_of([&] { read_qubo(out_of_range); })
+                .find("out of range"),
+            std::string::npos);
+  std::stringstream truncated("2 2\n1 2 1\n");
+  EXPECT_NE(diagnostic_of([&] { read_qubo(truncated); })
+                .find("end of input"),
+            std::string::npos);
+  std::stringstream trailing("2 1\n1 2 1\n1 1 1\n");
+  EXPECT_NE(diagnostic_of([&] { read_qubo(trailing); }).find("trailing"),
+            std::string::npos);
+}
+
+TEST(QuboIo, ReferenceValueBracketsTheOptimum) {
+  // Max independent set on C8: optimum H* = -4; every 1-opt local minimum
+  // is a maximal independent set, so the multi-restart reference lies in
+  // [H*, -3].
+  fecim::linalg::CsrMatrix::Builder builder(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    builder.add(i, i, -1.0);
+    builder.add(std::min(i, (i + 1) % 8), std::max(i, (i + 1) % 8), 2.0);
+  }
+  const fecim::ising::QuboModel model(builder.build());
+  const auto [spins, ground] =
+      model.to_ising().brute_force_ground_state();
+  EXPECT_NEAR(ground, -4.0, 1e-9);
+  const double reference = qubo_reference_value(model, false, 32, 7);
+  EXPECT_GE(reference, ground - 1e-9);
+  EXPECT_LE(reference, -3.0 + 1e-9);
+}
+
+TEST(QuboIo, RandomQuboIsSeedDeterministic) {
+  const auto a = random_qubo(32, 6.0, 11);
+  const auto b = random_qubo(32, 6.0, 11);
+  EXPECT_EQ(a.model.q().nonzeros(), b.model.q().nonzeros());
+  std::vector<std::uint8_t> x(32, 1);
+  EXPECT_DOUBLE_EQ(a.model.value(x), b.model.value(x));
+  EXPECT_EQ(a.model.q().nonzeros(), 32u + 96u);  // diagonal + 32*6/2 pairs
+}
+
+TEST(QuboProblem, MaximizeInstancesAnnealTheNegatedModel) {
+  // Annealers minimize Ising energy, so a maximize QUBO must be encoded as
+  // -H: the model's ground state has to decode to the H-MAXIMUM, not the
+  // minimum.  H = x1 + x2 - 3 x1 x2 has max 1 (either single bit) and min
+  // -1 (both bits) -- a sign-naive encoding would anneal to -1.
+  std::stringstream in("maximize\n2 3\n1 1 1\n2 2 1\n1 2 -3\n");
+  const auto problem = fecim::problems::make_qubo_problem(
+      "maximize-toy", read_qubo(in), 8, 1);
+  EXPECT_EQ(problem.sense, fecim::core::ObjectiveSense::kMaximize);
+  EXPECT_DOUBLE_EQ(problem.reference_objective, 1.0);
+  const auto [spins, energy] = problem.model->brute_force_ground_state();
+  EXPECT_DOUBLE_EQ(problem.decode(spins).objective, 1.0);
+  EXPECT_DOUBLE_EQ(energy, -1.0);  // annealed energy is -H at the optimum
+}
+
+TEST(QuboProblem, FactoryDecodesAndKeepsSense) {
+  auto instance = random_qubo(16, 4.0, 3);
+  instance.maximize = true;
+  const auto problem =
+      fecim::problems::make_qubo_problem("qubo-16", instance, 8, 3);
+  EXPECT_EQ(problem.family, "qubo");
+  EXPECT_EQ(problem.sense, fecim::core::ObjectiveSense::kMaximize);
+  fecim::core::validate_problem(problem);
+
+  // Decode evaluates H on the first n spins (ancilla stripped) and every
+  // assignment is feasible.
+  fecim::ising::SpinVector spins(problem.model->num_spins(),
+                                 fecim::ising::Spin{1});
+  const auto solution = problem.decode(spins);
+  EXPECT_TRUE(solution.feasible);
+  const std::vector<std::uint8_t> zeros(16, 0);  // sigma=+1 -> x=0
+  EXPECT_DOUBLE_EQ(solution.objective, instance.model.value(zeros));
+}
+
+}  // namespace

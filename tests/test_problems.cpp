@@ -37,6 +37,22 @@ TEST(Graph, ParallelEdgesMerge) {
   EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 3.5);
 }
 
+TEST(Graph, ManyParallelEdgesMergeViaHashIndex) {
+  // 40k inserts over 200 distinct pairs: instant with the (u,v) hash slot
+  // index, minutes with the seed's O(m) merge scan.  Adjacency queries stay
+  // coherent with merged weights.
+  Graph g(201);
+  for (int repeat = 0; repeat < 200; ++repeat)
+    for (std::uint32_t v = 1; v <= 200; ++v)
+      g.add_edge(0, v, 0.5);
+  EXPECT_EQ(g.num_edges(), 200u);
+  EXPECT_EQ(g.degree(0), 200u);
+  for (std::uint32_t v = 1; v <= 200; ++v) {
+    EXPECT_TRUE(g.has_edge(v, 0));
+    EXPECT_DOUBLE_EQ(g.edge_weight(0, v), 100.0);
+  }
+}
+
 TEST(Graph, RejectsSelfLoops) {
   Graph g(2);
   EXPECT_THROW(g.add_edge(1, 1), fecim::contract_error);
@@ -231,6 +247,34 @@ TEST(Knapsack, EncodingRecoversOptimum) {
   EXPECT_DOUBLE_EQ(solution.value, 11.0);
   // At the optimum with matching slack, H = -value.
   EXPECT_NEAR(energy, -11.0, 1e-9);
+}
+
+TEST(Knapsack, OptimalValueFloorsFractionalCapacity) {
+  // --capacity 37.5 style inputs used to die on a contract check; integral
+  // weights cannot use the fraction, so flooring preserves the optimum.
+  const KnapsackInstance fractional{{{10, 5}, {7, 4}, {4, 3}}, 7.5};
+  const KnapsackInstance floored{{{10, 5}, {7, 4}, {4, 3}}, 7.0};
+  EXPECT_DOUBLE_EQ(knapsack_optimal_value(fractional),
+                   knapsack_optimal_value(floored));
+  EXPECT_DOUBLE_EQ(knapsack_optimal_value(fractional), 11.0);
+}
+
+TEST(Knapsack, OptimalValueFallsBackToGreedyForFractionalWeights) {
+  const KnapsackInstance instance{{{10, 2.5}, {7, 4}, {4, 3}}, 7};
+  EXPECT_NO_THROW(knapsack_optimal_value(instance));
+  EXPECT_DOUBLE_EQ(knapsack_optimal_value(instance),
+                   knapsack_greedy_value(instance));
+  // The greedy bound is itself feasible, so it never exceeds total value.
+  EXPECT_LE(knapsack_greedy_value(instance), 21.0);
+}
+
+TEST(Knapsack, OptimalValueCapsDpTableSize) {
+  // A file-supplied capacity like 1e15 must degrade to the greedy bound,
+  // not abort on a petabyte DP allocation.
+  const KnapsackInstance huge{{{1, 1}}, 1e15};
+  EXPECT_NO_THROW(knapsack_optimal_value(huge));
+  EXPECT_DOUBLE_EQ(knapsack_optimal_value(huge), knapsack_greedy_value(huge));
+  EXPECT_DOUBLE_EQ(knapsack_optimal_value(huge), 1.0);
 }
 
 TEST(Knapsack, SlackCoversCapacityExactly) {

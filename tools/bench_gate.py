@@ -7,7 +7,10 @@ Compares every (n, engine) row the two files share, the sampler entry, and
 the deterministic (n, kind="analog") campaign rows (bench_hotpath emits its
 n=256 campaign rows in every mode precisely so the smoke run has baseline
 rows to land on; the "analog-noisy" rows track threads-scaling, a host
-property, and are never gated).
+property, and are never gated).  The "ingestion" entry (Gset-scale parse +
+program, new in schema v4) is likewise tracked for the perf trajectory but
+never gated: smoke and baseline run it at different instance sizes, so a
+ratio between them is meaningless.
 A row regresses when BOTH signals drop more than the tolerance below the
 baseline (default 10%, override with FECIM_BENCH_TOLERANCE=0.15 etc.):
 
@@ -86,6 +89,12 @@ def main():
         check(f"campaign n={row['n']} {kind}",
               row["speedup"], base["speedup"],
               campaign_throughput(row), campaign_throughput(base))
+
+    if "ingestion" in smoke:
+        row = smoke["ingestion"]
+        print(f"  ingestion n={row['n']} m={row['edges']}: "
+              f"{fmt(row.get('edges_per_sec_parse', 0.0))} edges/s parse"
+              " ... tracked, not gated")
 
     if "sampler" in smoke and "sampler" in baseline:
         check("normal sampler", smoke["sampler"]["speedup"],

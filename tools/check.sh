@@ -8,9 +8,11 @@
 #      regressions on both signals fail, FECIM_BENCH_TOLERANCE overrides;
 #      campaign rows are gated alongside the engine rows),
 #   4. smoke-run the quickstart example and fecim_solve on every COP family
-#      (maxcut, coloring, knapsack, partition, tsp), so the README's
-#      build-and-run instructions and the unified solver pipeline stay
-#      honest.
+#      (maxcut, coloring, knapsack, partition, tsp, qubo), both generated
+#      and file-backed (examples/data/ fixtures, one per file format) plus
+#      one --batch manifest campaign, so the README's build-and-run
+#      instructions, the unified solver pipeline, and the ingestion
+#      subsystem stay honest.
 #
 # Usage: tools/check.sh [--full-bench]
 #   --full-bench   additionally run bench_hotpath at its full sizes,
@@ -56,12 +58,30 @@ echo "check.sh: example smoke OK"
 
 # Solver smoke: every COP family end to end through the unified campaign
 # pipeline (tiny budgets -- this checks wiring, not solution quality).
-for family in maxcut coloring knapsack partition tsp; do
+for family in maxcut coloring knapsack partition tsp qubo; do
   ./build/tools/fecim_solve --problem "${family}" --nodes 48 --items 8 \
     --numbers 12 --cities 5 --iterations 500 --runs 2 --threads 2 \
     --csv >/dev/null
 done
 echo "check.sh: fecim_solve family smoke OK"
+
+# Ingestion smoke: every family loads its file format from the tracked
+# fixtures, and one --batch manifest runs a multi-instance campaign.
+declare -A fixture=(
+  [maxcut]=examples/data/maxcut_petersen.gset
+  [coloring]=examples/data/coloring_petersen.col
+  [knapsack]=examples/data/knapsack_p01.kp
+  [partition]=examples/data/partition_perfect.txt
+  [tsp]=examples/data/tsp_pentagon.xy
+  [qubo]=examples/data/qubo_mis8.qubo
+)
+for family in "${!fixture[@]}"; do
+  ./build/tools/fecim_solve --problem "${family}" --file "${fixture[$family]}" \
+    --iterations 300 --runs 2 --threads 2 --csv >/dev/null
+done
+./build/tools/fecim_solve --batch examples/data/campaign.batch \
+  --iterations 300 --runs 2 --threads 2 --csv >/dev/null
+echo "check.sh: file-backed ingestion smoke OK"
 
 if [[ "${full_bench}" == 1 ]]; then
   ./build/bench/bench_hotpath

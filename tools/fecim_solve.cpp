@@ -2,29 +2,39 @@
 // ferroelectric CiM in-situ annealer.
 //
 // usage:
-//   fecim_solve [options] [gset-file]
+//   fecim_solve [options] [instance-file]
 //
-// One solver pipeline for all five built-in COP families: the chosen family
-// is encoded into an annealer-ready Ising model (problems/instances.hpp),
-// the campaign runner executes --runs independent replicas in parallel
-// across --threads workers, and the report shows the decoded domain
-// objective plus feasibility.  A gset-file (Max-Cut only) overrides the
-// generated instance.
+// One solver pipeline for all six COP families: the chosen family is
+// encoded into an annealer-ready Ising model (problems/instances.hpp), the
+// campaign runner executes --runs independent replicas in parallel across
+// --threads workers, and the report shows the decoded domain objective plus
+// feasibility.  Every family loads external benchmark instances via
+// --file (or the positional instance-file); without a file a seeded
+// generator builds the instance.  --batch runs a whole manifest of
+// instances through one process (and one persistent thread pool).
 //
 // options:
-//   --problem F          maxcut|coloring|knapsack|partition|tsp  [maxcut]
+//   --problem F          maxcut|coloring|knapsack|partition|tsp|qubo [maxcut]
+//   --file PATH          load the instance from a file (format per family:
+//                        maxcut Gset, coloring DIMACS .col, knapsack/
+//                        partition/tsp instance_io.hpp formats, qubo
+//                        QPLIB-subset triplets)
+//   --batch MANIFEST     run every "<family> <path> [name]" line of the
+//                        manifest as its own campaign (paths resolve
+//                        relative to the manifest; one row per instance)
 //   --annealer this-work|this-work-ideal|cim-fpga|cim-asic|mesa
 //   --iterations N       annealing iterations per run        [auto by family]
-//   --runs N             independent Monte-Carlo runs        [10]
+//   --runs N             independent Monte-Carlo runs (>= 1) [10]
 //   --threads N          parallel replica workers (0 = all cores)  [0]
 //   --flips N            spins flipped per iteration (|F|)   [2]
 //   --gain X             acceptance comparator gain          [auto by family]
 //   --bits N             weight quantization bits            [8]
 //   --seed N             instance/run base seed              [1]
-//   --csv                emit a CSV row instead of the report
-// family-specific:
-//   --nodes N            maxcut/coloring graph size          [800 / 16]
-//   --degree X           coloring average degree             [2.5]
+//   --csv                emit CSV rows instead of the report
+// family-specific (generated instances only):
+//   --nodes N            maxcut/coloring graph size, qubo variables
+//                        [800 / 16 / 64]
+//   --degree X           coloring/qubo average degree        [2.5 / 8]
 //   --colors K           coloring palette (0 = greedy bound) [0]
 //   --items N            knapsack item count                 [12]
 //   --capacity W         knapsack capacity (0 = 40 % of total weight) [0]
@@ -33,17 +43,28 @@
 //   --penalty A          constraint penalty; 0 = auto-tune for knapsack
 //                        (max value + 1) and tsp (n * max distance),
 //                        fixed default 2 for coloring        [0]
+//
+// Malformed numeric flags and malformed instance files exit 2/1 with a
+// diagnostic (file errors name the offending line) instead of silently
+// parsing to zero or dying on a contract check.
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "core/annealer_factory.hpp"
 #include "core/runner.hpp"
 #include "problems/generators.hpp"
 #include "problems/gset_io.hpp"
+#include "problems/instance_io.hpp"
 #include "problems/instances.hpp"
+#include "problems/qubo.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
@@ -53,6 +74,7 @@ namespace {
 
 struct Options {
   std::string file;
+  std::string batch;
   std::string problem = "maxcut";
   std::string annealer = "this-work";
   std::size_t iterations = 0;  // 0 = auto
@@ -65,7 +87,7 @@ struct Options {
   bool csv = false;
   // Family-specific instance knobs.
   std::size_t nodes = 0;  // 0 = family default
-  double degree = 2.5;
+  double degree = 0.0;    // 0 = family default (2.5 coloring, 8 qubo)
   std::size_t colors = 0;  // 0 = greedy palette
   std::size_t items = 12;
   double capacity = 0.0;  // 0 = auto
@@ -77,8 +99,11 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [options] [gset-file]\n"
-      "  --problem F       maxcut|coloring|knapsack|partition|tsp [maxcut]\n"
+      "usage: %s [options] [instance-file]\n"
+      "  --problem F       maxcut|coloring|knapsack|partition|tsp|qubo"
+      " [maxcut]\n"
+      "  --file PATH       load the instance from a file (any family)\n"
+      "  --batch MANIFEST  run every '<family> <path> [name]' manifest line\n"
       "  --annealer KIND   this-work | this-work-ideal | cim-fpga | cim-asic"
       " | mesa\n"
       "  --iterations N  --runs N  --threads N  --flips N  --gain X\n"
@@ -89,38 +114,105 @@ struct Options {
   std::exit(2);
 }
 
+/// Reject the strtoull-parses-garbage-to-0 failure mode: the whole token
+/// must be a base-10 non-negative integer, and errors name the flag.
+std::size_t parse_size(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value =
+      (*text != '\0' && *text != '-' && *text != '+')
+          ? std::strtoull(text, &end, 10)
+          : 0;
+  if (end == nullptr || end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "fecim_solve: invalid value '%s' for %s "
+                 "(expected a non-negative integer)\n",
+                 text, flag);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(value);
+}
+
+double parse_double(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  // Reject 'nan'/'inf' too: a NaN capacity would sail past every range
+  // check downstream (NaN compares false) into undefined casts.
+  if (end == text || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(value)) {
+    std::fprintf(stderr,
+                 "fecim_solve: invalid value '%s' for %s "
+                 "(expected a finite number)\n",
+                 text, flag);
+    std::exit(2);
+  }
+  return value;
+}
+
 Options parse(int argc, char** argv) {
   Options options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage(argv[0]);
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fecim_solve: missing value for %s\n", flag);
+        std::exit(2);
+      }
       return argv[++i];
     };
-    auto next_size = [&] { return std::strtoull(next(), nullptr, 10); };
-    if (arg == "--problem") options.problem = next();
-    else if (arg == "--annealer") options.annealer = next();
-    else if (arg == "--iterations") options.iterations = next_size();
-    else if (arg == "--runs") options.runs = next_size();
-    else if (arg == "--threads") options.threads = next_size();
-    else if (arg == "--flips") options.flips = next_size();
-    else if (arg == "--gain") options.gain = std::strtod(next(), nullptr);
-    else if (arg == "--bits") options.bits = static_cast<int>(std::strtol(next(), nullptr, 10));
-    else if (arg == "--seed") options.seed = next_size();
+    auto next_size = [&](const char* flag) {
+      return parse_size(flag, next(flag));
+    };
+    auto next_double = [&](const char* flag) {
+      return parse_double(flag, next(flag));
+    };
+    if (arg == "--problem") options.problem = next("--problem");
+    else if (arg == "--file") options.file = next("--file");
+    else if (arg == "--batch") options.batch = next("--batch");
+    else if (arg == "--annealer") options.annealer = next("--annealer");
+    else if (arg == "--iterations") options.iterations = next_size("--iterations");
+    else if (arg == "--runs") options.runs = next_size("--runs");
+    else if (arg == "--threads") options.threads = next_size("--threads");
+    else if (arg == "--flips") options.flips = next_size("--flips");
+    else if (arg == "--gain") options.gain = next_double("--gain");
+    else if (arg == "--bits") options.bits = static_cast<int>(next_size("--bits"));
+    else if (arg == "--seed") options.seed = next_size("--seed");
     else if (arg == "--csv") options.csv = true;
-    else if (arg == "--nodes") options.nodes = next_size();
-    else if (arg == "--degree") options.degree = std::strtod(next(), nullptr);
-    else if (arg == "--colors") options.colors = next_size();
-    else if (arg == "--items") options.items = next_size();
-    else if (arg == "--capacity") options.capacity = std::strtod(next(), nullptr);
-    else if (arg == "--numbers") options.numbers = next_size();
-    else if (arg == "--cities") options.cities = next_size();
-    else if (arg == "--penalty") options.penalty = std::strtod(next(), nullptr);
+    else if (arg == "--nodes") options.nodes = next_size("--nodes");
+    else if (arg == "--degree") options.degree = next_double("--degree");
+    else if (arg == "--colors") options.colors = next_size("--colors");
+    else if (arg == "--items") options.items = next_size("--items");
+    else if (arg == "--capacity") options.capacity = next_double("--capacity");
+    else if (arg == "--numbers") options.numbers = next_size("--numbers");
+    else if (arg == "--cities") options.cities = next_size("--cities");
+    else if (arg == "--penalty") options.penalty = next_double("--penalty");
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else if (!arg.empty() && arg[0] == '-') usage(argv[0]);
     else options.file = arg;
   }
+  if (options.runs == 0) {
+    // 0 runs would divide 0/0 into feasible_rate and report a campaign that
+    // never ran; fail loudly instead.
+    std::fprintf(stderr, "fecim_solve: --runs must be at least 1\n");
+    std::exit(2);
+  }
+  if (options.flips == 0) {
+    std::fprintf(stderr, "fecim_solve: --flips must be at least 1\n");
+    std::exit(2);
+  }
+  if (!options.batch.empty() && !options.file.empty()) {
+    std::fprintf(stderr,
+                 "fecim_solve: --batch and --file are mutually exclusive\n");
+    std::exit(2);
+  }
   return options;
+}
+
+bool is_known_family(const std::string& family) {
+  return family == "maxcut" || family == "coloring" ||
+         family == "knapsack" || family == "partition" || family == "tsp" ||
+         family == "qubo";
 }
 
 core::AnnealerKind kind_from_name(const std::string& name) {
@@ -133,49 +225,74 @@ core::AnnealerKind kind_from_name(const std::string& name) {
   std::exit(2);
 }
 
-/// Build the requested family's instance from the CLI knobs (or the Gset
-/// file for Max-Cut).
-core::ProblemInstance make_problem(const Options& options) {
+/// Build one family's instance, from `file` when given (any family) or the
+/// seeded generators otherwise.
+core::ProblemInstance make_family_problem(const std::string& family,
+                                          const std::string& file,
+                                          const std::string& name,
+                                          const Options& options) {
   const auto seed = options.seed;
-  if (options.problem == "maxcut") {
+  const std::string instance_name = !name.empty() ? name : file;
+  if (family == "maxcut") {
     const std::size_t nodes = options.nodes > 0 ? options.nodes : 800;
     problems::Graph graph =
-        options.file.empty() ? problems::gset_like_instance(nodes, seed)
-                             : problems::read_gset_file(options.file);
-    const std::string name = options.file.empty()
-                                 ? "generated-" + std::to_string(nodes)
-                                 : options.file;
-    return problems::make_maxcut_problem(name, std::move(graph), 48, seed);
+        file.empty() ? problems::gset_like_instance(nodes, seed)
+                     : problems::read_gset_file(file);
+    return problems::make_maxcut_problem(
+        file.empty() ? "generated-" + std::to_string(nodes) : instance_name,
+        std::move(graph), 48, seed);
   }
-  if (!options.file.empty()) {
-    std::fprintf(stderr, "gset files apply to --problem maxcut only\n");
-    std::exit(2);
-  }
-  if (options.problem == "coloring") {
+  if (family == "coloring") {
     const std::size_t nodes = options.nodes > 0 ? options.nodes : 16;
-    auto graph = problems::random_graph(nodes, options.degree,
-                                        problems::WeightScheme::kUnit, seed);
+    const double degree = options.degree > 0.0 ? options.degree : 2.5;
+    problems::Graph graph =
+        file.empty()
+            ? problems::random_graph(nodes, degree,
+                                     problems::WeightScheme::kUnit, seed)
+            : problems::read_dimacs_coloring_file(file);
     return problems::make_coloring_problem(
-        "coloring-" + std::to_string(nodes), std::move(graph), options.colors,
+        file.empty() ? "coloring-" + std::to_string(nodes) : instance_name,
+        std::move(graph), options.colors,
         options.penalty > 0.0 ? options.penalty : 2.0);
   }
-  if (options.problem == "knapsack") {
+  if (family == "knapsack") {
+    auto instance =
+        file.empty()
+            ? problems::random_knapsack(options.items, seed, options.capacity)
+            : problems::read_knapsack_file(file);
     return problems::make_knapsack_problem(
-        "knapsack-" + std::to_string(options.items),
-        problems::random_knapsack(options.items, seed, options.capacity),
-        options.penalty);
+        file.empty() ? "knapsack-" + std::to_string(options.items)
+                     : instance_name,
+        std::move(instance), options.penalty);
   }
-  if (options.problem == "partition") {
+  if (family == "partition") {
+    auto numbers =
+        file.empty()
+            ? problems::random_partition_numbers(options.numbers, seed)
+            : problems::read_partition_file(file);
     return problems::make_partition_problem(
-        "partition-" + std::to_string(options.numbers),
-        problems::random_partition_numbers(options.numbers, seed));
+        file.empty() ? "partition-" + std::to_string(options.numbers)
+                     : instance_name,
+        std::move(numbers));
   }
-  if (options.problem == "tsp") {
+  if (family == "tsp") {
+    auto instance = file.empty() ? problems::random_tsp(options.cities, seed)
+                                 : problems::read_tsp_coords_file(file);
     return problems::make_tsp_problem(
-        "tsp-" + std::to_string(options.cities),
-        problems::random_tsp(options.cities, seed), options.penalty);
+        file.empty() ? "tsp-" + std::to_string(options.cities)
+                     : instance_name,
+        std::move(instance), options.penalty);
   }
-  std::fprintf(stderr, "unknown problem '%s'\n", options.problem.c_str());
+  if (family == "qubo") {
+    const std::size_t nodes = options.nodes > 0 ? options.nodes : 64;
+    const double degree = options.degree > 0.0 ? options.degree : 8.0;
+    auto instance = file.empty() ? problems::random_qubo(nodes, degree, seed)
+                                 : problems::read_qubo_file(file);
+    return problems::make_qubo_problem(
+        file.empty() ? "qubo-" + std::to_string(nodes) : instance_name,
+        std::move(instance), 24, seed);
+  }
+  std::fprintf(stderr, "unknown problem '%s'\n", family.c_str());
   std::exit(2);
 }
 
@@ -185,80 +302,99 @@ std::size_t auto_iterations(const std::string& family,
   // budget than the paper's Max-Cut size classes at equal spin count.
   if (family == "coloring" || family == "tsp") return 20000;
   if (family == "knapsack") return 30000;
-  // The paper's Max-Cut budgets by size class (partition rides along).
+  // The paper's Max-Cut budgets by size class (partition and generic QUBO
+  // ride along).
   if (num_spins <= 800) return 700;
   if (num_spins <= 1000) return 1000;
   if (num_spins <= 2000) return 10000;
   return 100000;
 }
 
-}  // namespace
+struct SolveOutcome {
+  core::CampaignResult result;
+  core::StandardSetup setup;
+  core::AnnealerKind kind = core::AnnealerKind::kThisWork;
+  std::size_t threads = 0;  ///< resolved worker count
+};
 
-int main(int argc, char** argv) {
-  const Options options = parse(argc, argv);
-
-  const auto problem = make_problem(options);
+SolveOutcome solve(const core::ProblemInstance& problem,
+                   const Options& options) {
   const bool constrained =
       problem.family == "coloring" || problem.family == "knapsack" ||
       problem.family == "tsp";
 
-  core::StandardSetup setup;
-  setup.iterations =
+  SolveOutcome outcome;
+  outcome.setup.iterations =
       options.iterations > 0
           ? options.iterations
           : auto_iterations(problem.family, problem.model->num_spins());
-  setup.flips_per_iteration = options.flips;
+  outcome.setup.flips_per_iteration = options.flips;
   // Constraint landscapes prefer a softer comparator and tighter
   // program-verify variation so penalty weights survive programming (see
   // docs/problems.md).
-  setup.acceptance_gain =
+  outcome.setup.acceptance_gain =
       options.gain > 0.0 ? options.gain : (constrained ? 4.0 : 16.0);
-  if (constrained) setup.variation = {0.01, 0.02, 0.0, 0.0};
-  setup.bits = options.bits;
+  if (constrained) outcome.setup.variation = {0.01, 0.02, 0.0, 0.0};
+  outcome.setup.bits = options.bits;
 
-  const auto kind = kind_from_name(options.annealer);
-  const auto annealer = core::make_annealer(kind, problem.model, setup);
+  outcome.kind = kind_from_name(options.annealer);
+  const auto annealer =
+      core::make_annealer(outcome.kind, problem.model, outcome.setup);
 
   core::CampaignConfig campaign;
   campaign.runs = options.runs;
   campaign.base_seed = options.seed;
   campaign.threads = options.threads;
-  const auto result = core::run_campaign(*annealer, problem, campaign);
-
-  // best_objective is NaN with zero feasible runs; mirror that for the mean
-  // so the CSV never shows a literal 0 that would read as a perfect
-  // imbalance or an empty packing.
-  const double best = result.best_objective(problem.sense);
-  const bool none_feasible = result.objective.empty();
-  const double mean_objective =
-      none_feasible ? std::numeric_limits<double>::quiet_NaN()
-                    : result.objective.mean();
+  outcome.result = core::run_campaign(*annealer, problem, campaign);
   // Report the resolved worker count (threads=0 means "all cores"), never
   // the raw config value.
-  const std::size_t threads =
+  outcome.threads =
       util::resolved_parallel_threads(options.runs, options.threads);
-  if (options.csv) {
-    std::printf(
-        "instance,family,annealer,runs,iterations,threads,best_objective,"
-        "mean_objective,reference,feasible_rate,success_rate,energy_j,"
-        "time_s\n");
-    std::printf("%s,%s,%s,%zu,%zu,%zu,%.6g,%.6g,%.6g,%.3f,%.3f,%.6g,%.6g\n",
-                problem.name.c_str(), problem.family.c_str(),
-                options.annealer.c_str(), options.runs, setup.iterations,
-                threads, best, mean_objective,
-                problem.reference_objective, result.feasible_rate,
-                result.success_rate, result.energy.mean(),
-                result.time.mean());
-    return 0;
-  }
+  return outcome;
+}
 
+/// best_objective is NaN with zero feasible runs; mirror that for the mean
+/// so the CSV never shows a literal 0 that would read as a perfect
+/// imbalance or an empty packing.
+double safe_mean_objective(const core::CampaignResult& result) {
+  return result.objective.empty()
+             ? std::numeric_limits<double>::quiet_NaN()
+             : result.objective.mean();
+}
+
+void print_csv_header() {
+  std::printf(
+      "instance,family,annealer,runs,iterations,threads,best_objective,"
+      "mean_objective,reference,feasible_rate,success_rate,energy_j,"
+      "time_s\n");
+}
+
+void print_csv_row(const core::ProblemInstance& problem,
+                   const SolveOutcome& outcome, const Options& options) {
+  const auto& result = outcome.result;
+  std::printf("%s,%s,%s,%zu,%zu,%zu,%.6g,%.6g,%.6g,%.3f,%.3f,%.6g,%.6g\n",
+              problem.name.c_str(), problem.family.c_str(),
+              options.annealer.c_str(), options.runs,
+              outcome.setup.iterations, outcome.threads,
+              result.best_objective(problem.sense),
+              safe_mean_objective(result), problem.reference_objective,
+              result.feasible_rate, result.success_rate,
+              result.energy.mean(), result.time.mean());
+}
+
+void print_report(const core::ProblemInstance& problem,
+                  const SolveOutcome& outcome, const Options& options) {
+  const auto& result = outcome.result;
+  const double best = result.best_objective(problem.sense);
+  core::CampaignConfig defaults;
   std::printf("instance   : %s [%s] (%s; %zu spins)\n", problem.name.c_str(),
               problem.family.c_str(), problem.summary.c_str(),
               problem.model->num_spins());
   std::printf("annealer   : %s, %zu iterations x %zu runs (%zu threads), "
               "|F|=%zu, gain=%.1f, k=%d bits\n",
-              core::annealer_kind_name(kind), setup.iterations, options.runs,
-              threads, options.flips, setup.acceptance_gain, options.bits);
+              core::annealer_kind_name(outcome.kind),
+              outcome.setup.iterations, options.runs, outcome.threads,
+              options.flips, outcome.setup.acceptance_gain, options.bits);
   if (result.objective.empty()) {
     std::printf("%-11s: no feasible run (mean violations %.1f)\n",
                 problem.objective_label.c_str(), result.violations.mean());
@@ -272,12 +408,111 @@ int main(int argc, char** argv) {
               result.feasible_rate * 100.0);
   std::printf("success    : %.0f %% of runs within %.0f %% of reference\n",
               result.success_rate * 100.0,
-              (1.0 - campaign.success_threshold) * 100.0);
+              (1.0 - defaults.success_threshold) * 100.0);
   std::printf("hw cost    : %s, %s per run (mean)\n",
               util::si_format(result.energy.mean(), "J").c_str(),
               util::si_format(result.time.mean(), "s").c_str());
   std::printf("adc events : %llu conversions total across runs\n",
               static_cast<unsigned long long>(
                   result.total_ledger.adc_conversions));
+}
+
+struct BatchEntry {
+  std::string family;
+  std::string path;
+  std::string name;
+};
+
+/// Manifest: "<family> <path> [name]" per significant line; paths resolve
+/// relative to the manifest's own directory.
+std::vector<BatchEntry> read_batch_manifest(const std::string& path) {
+  return problems::io::read_file(
+      path, "batch", [](std::istream& in, const std::string& context) {
+        problems::io::LineParser parser(in, context);
+        const auto base = std::filesystem::path(context).parent_path();
+        std::vector<BatchEntry> entries;
+        while (parser.next()) {
+          parser.require_fields(2, 3);
+          BatchEntry entry;
+          entry.family = parser.field(0);
+          // Validate at parse time: a typo'd family must fail with the
+          // manifest line before any campaign runs, not mid-batch after
+          // real work.
+          if (!is_known_family(entry.family))
+            parser.fail("unknown problem family '" + entry.family + "'");
+          std::filesystem::path file(parser.field(1));
+          if (file.is_relative()) file = base / file;
+          entry.path = file.string();
+          if (parser.fields() == 3) entry.name = parser.field(2);
+          entries.push_back(std::move(entry));
+        }
+        if (entries.empty())
+          throw contract_error("batch: " + context + " lists no instances");
+        return entries;
+      });
+}
+
+int run_batch(const Options& options) {
+  const auto entries = read_batch_manifest(options.batch);
+  // All campaigns in the batch share the process-wide persistent worker
+  // pool (util::parallel_for), so thread spawn cost is paid once, not once
+  // per instance.
+  if (options.csv) print_csv_header();
+  util::Table table({"instance", "family", "spins", "best", "mean",
+                     "reference", "feas%", "succ%", "time/run"});
+  for (const auto& entry : entries) {
+    const auto problem =
+        make_family_problem(entry.family, entry.path, entry.name, options);
+    const auto outcome = solve(problem, options);
+    if (options.csv) {
+      print_csv_row(problem, outcome, options);
+      continue;
+    }
+    table.row()
+        .add(problem.name)
+        .add(problem.family)
+        .add(problem.model->num_spins())
+        .add(outcome.result.best_objective(problem.sense), 4)
+        .add(safe_mean_objective(outcome.result), 4)
+        .add(problem.reference_objective, 4)
+        .add(outcome.result.feasible_rate * 100.0, 0)
+        .add(outcome.result.success_rate * 100.0, 0)
+        .add(outcome.result.time.mean(), 6);
+  }
+  if (!options.csv) {
+    std::printf("batch      : %zu instances from %s\n", entries.size(),
+                options.batch.c_str());
+    std::printf("%s\n", table.str().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse(argc, argv);
+  try {
+    if (!options.batch.empty()) return run_batch(options);
+
+    const auto problem =
+        make_family_problem(options.problem, options.file, "", options);
+    const auto outcome = solve(problem, options);
+    if (options.csv) {
+      print_csv_header();
+      print_csv_row(problem, outcome, options);
+    } else {
+      print_report(problem, outcome, options);
+    }
+  } catch (const contract_error& error) {
+    // Parser and contract diagnostics (malformed files name the offending
+    // line) exit cleanly instead of aborting through std::terminate.
+    std::fprintf(stderr, "fecim_solve: %s\n", error.what());
+    return 1;
+  } catch (const std::exception& error) {
+    // Anything else (allocation failure on an oversized instance,
+    // filesystem errors) still deserves a diagnostic, not a raw terminate.
+    std::fprintf(stderr, "fecim_solve: %s\n", error.what());
+    return 1;
+  }
   return 0;
 }
