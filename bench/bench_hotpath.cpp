@@ -8,7 +8,10 @@
 //      "analog-noisy" (Vth spread + read noise + ADC noise) tracks the
 //      stochastic path: counter-keyed ziggurat streams (batched per column)
 //      vs the reference kernel computing the identical keyed draws
-//      scalar-wise.
+//      scalar-wise.  "analog-noisy-tiled" (schema v5) runs the same noisy
+//      regime over a 4-tile row grid (n/4-row tiles), timing the per-tile
+//      conversion walk with digital partial-sum accumulation against the
+//      tile-aware reference.
 //   2. Normal-sampler throughput: the counter-keyed ziggurat
 //      (NoiseStream::normal_fill) vs the sequential Box-Muller in
 //      Rng::normal() it replaced on the noisy hot path.
@@ -128,8 +131,10 @@ struct AnalogWorkload {
 };
 
 AnalogWorkload make_analog_workload(const ising::IsingModel& model,
-                                    std::size_t iterations, bool noisy) {
+                                    std::size_t iterations, bool noisy,
+                                    const crossbar::TileShape& tiles = {}) {
   auto config = analog_config(noisy);
+  config.tiles = tiles;
   const crossbar::QuantizedCouplings quantized(model.couplings(),
                                                config.mapping.bits);
   const crossbar::CrossbarMapping mapping(
@@ -137,7 +142,8 @@ AnalogWorkload make_analog_workload(const ising::IsingModel& model,
   AnalogWorkload workload{
       config,
       std::make_shared<const crossbar::ProgrammedArray>(
-          quantized, mapping, config.device, config.variation, 0x5eed),
+          quantized, mapping, config.device, config.variation, 0x5eed,
+          tiles),
       core::BgAnnealingSchedule([&] {
         auto schedule_config = config.schedule;
         schedule_config.total_iterations = iterations;
@@ -191,16 +197,19 @@ double measure_analog(const AnalogWorkload& workload, std::size_t iterations,
 }
 
 EngineRow bench_analog_engine(std::size_t n, std::size_t iterations,
-                              bool noisy) {
+                              bool noisy,
+                              const crossbar::TileShape& tiles = {}) {
   const auto model = bench_model(n, 1000 + n);
-  auto workload = make_analog_workload(model, iterations, noisy);
+  auto workload = make_analog_workload(model, iterations, noisy, tiles);
 
   crossbar::AnalogCrossbarEngine engine(workload.array,
                                         workload.config.analog);
   const double i_on_max =
       workload.array->on_current(workload.array->device_params().vbg_max);
 
-  EngineRow row{n, noisy ? "analog-noisy" : "analog", 0.0, 0.0, 0.0};
+  std::string name = noisy ? "analog-noisy" : "analog";
+  if (!tiles.monolithic()) name += "-tiled";
+  EngineRow row{n, std::move(name), 0.0, 0.0, 0.0};
   engine.begin_run(42);
   row.optimized_per_sec = measure_analog(
       workload, iterations,
@@ -213,6 +222,7 @@ EngineRow bench_analog_engine(std::size_t n, std::size_t iterations,
       [&](const ising::FlipSet& flips, const crossbar::AnnealSignal& signal) {
         return crossbar::reference::analog_evaluate(
                    *workload.array, engine.adc(), engine.ir_attenuation(),
+                   engine.band_attenuations(),
                    i_on_max, workload.spins, flips, signal, noise)
             .e_inc;
       });
@@ -412,7 +422,7 @@ double legacy_insitu_run(const ising::IsingModel& model,
     const auto point = workload.schedule.at(it);
     const auto flips = ising::random_flip_set(model.num_flippable(), 2, rng);
     const auto evaluation = crossbar::reference::analog_evaluate(
-        *workload.array, probe.adc(), probe.ir_attenuation(), i_on_max, spins,
+        *workload.array, probe.adc(), probe.ir_attenuation(), probe.band_attenuations(), i_on_max, spins,
         flips, {point.factor, point.vbg}, noise);
     if (acceptance.accept(4.0 * evaluation.e_inc, rng)) {
       energy += model.delta_energy(spins, flips);
@@ -542,7 +552,7 @@ void write_json(const std::string& path, const std::string& mode,
     std::printf("cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"schema\": \"fecim-bench-hotpath-v4\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"fecim-bench-hotpath-v5\",\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", mode.c_str());
   std::fprintf(f, "  \"hardware_threads\": %zu,\n", util::worker_threads());
   std::fprintf(f,
@@ -622,8 +632,14 @@ int main() {
   for (const auto n : sizes) {
     engines.push_back(bench_analog_engine(n, engine_iterations, false));
     engines.push_back(bench_analog_engine(n, engine_iterations / 4, true));
+    // Tile-partitioned noisy sweep: 4 row bands (n/4-row tiles) exercise
+    // the per-tile conversion walk the TilePlan execution model added --
+    // n=1024 is the tracked size class, the n=256 smoke row gives check.sh
+    // a baseline row to gate against.
+    engines.push_back(bench_analog_engine(n, engine_iterations / 4, true,
+                                          crossbar::TileShape{n / 4, 0}));
     engines.push_back(bench_ideal_annealer(n, engine_iterations));
-    for (auto it = engines.end() - 3; it != engines.end(); ++it)
+    for (auto it = engines.end() - 4; it != engines.end(); ++it)
       table.row()
           .add(it->n)
           .add(it->engine)

@@ -21,6 +21,7 @@ std::unique_ptr<Annealer> make_annealer(
       config.flips_per_iteration = setup.flips_per_iteration;
       config.acceptance_gain = setup.acceptance_gain;
       config.mapping = mapping;
+      config.tiles = setup.tiles;
       config.device = setup.device;
       config.variation = setup.variation;
       config.trace = setup.trace;
@@ -36,6 +37,7 @@ std::unique_ptr<Annealer> make_annealer(
       config.iterations = setup.iterations;
       config.flips_per_iteration = setup.baseline_flips;
       config.mapping = mapping;
+      config.tiles = setup.tiles;
       config.exp_unit = kind == AnnealerKind::kCimFpga ? cost::ExpUnit::kFpga
                                                        : cost::ExpUnit::kAsic;
       config.trace = setup.trace;
@@ -47,6 +49,7 @@ std::unique_ptr<Annealer> make_annealer(
       config.base.iterations = setup.iterations;
       config.base.flips_per_iteration = setup.baseline_flips;
       config.base.mapping = mapping;
+      config.base.tiles = setup.tiles;
       config.base.exp_unit = cost::ExpUnit::kFpga;
       // MESA re-ladders the temperature per epoch; use the budget-normalized
       // schedule within each epoch.

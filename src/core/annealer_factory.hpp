@@ -26,6 +26,11 @@ struct StandardSetup {
   double acceptance_gain = 16.0;         ///< comparator scaling (in-situ)
   int bits = 8;                          ///< weight quantization
   std::size_t mux_ratio = 8;
+  /// Physical tile grid (max rows/columns per tile, 0 = unbounded =
+  /// monolithic).  Applies to every annealer kind: the in-situ engines
+  /// execute over the grid (per-tile sensing, digital partial-sum
+  /// accumulation), the direct-E baselines account for it.
+  crossbar::TileShape tiles{};
   device::DgFefetParams device{};
   /// Mild programming variation + read noise by default: the evaluation's
   /// robustness claim is made *with* device non-idealities on.

@@ -58,7 +58,8 @@ AnnealResult DirectEAnnealer::run(std::uint64_t seed) const {
   const std::size_t n = model_->num_spins();
 
   crossbar::IdealCrossbarEngine engine(*model_, mapping_,
-                                       crossbar::Accounting::kDirectFullArray);
+                                       crossbar::Accounting::kDirectFullArray,
+                                       config_.tiles);
   // Every applied flip set is reported back via on_flips_applied(), so the
   // engine serves each evaluation from its local-field cache instead of
   // re-walking CSR rows.

@@ -13,6 +13,7 @@
 #include "core/annealer.hpp"
 #include "core/schedule.hpp"
 #include "crossbar/mapping.hpp"
+#include "crossbar/tiling.hpp"
 
 namespace fecim::core {
 
@@ -30,6 +31,9 @@ struct DirectEConfig {
   ClassicSchedule::Kind schedule_kind = ClassicSchedule::Kind::kFixedDecay;
   double decay_per_iteration = 0.999;
   crossbar::MappingConfig mapping{};
+  /// Physical tile grid for the hardware event accounting (0 = monolithic);
+  /// the baselines' arithmetic is exact either way.
+  crossbar::TileShape tiles{};
   cost::ExpUnit exp_unit = cost::ExpUnit::kFpga;
   /// Pipelined implementations [18] evaluate e^(-dE/T) unconditionally every
   /// iteration (branchless datapath) and select afterwards; set false to

@@ -43,14 +43,17 @@ InSituCimAnnealer::InSituCimAnnealer(
                                                  config_.mapping.bits);
     array_ = std::make_shared<const crossbar::ProgrammedArray>(
         quantized, mapping_, config_.device, config_.variation,
-        config_.array_seed);
-    // Solve the IR-drop ladder once here: the array is immutable, so every
-    // per-run engine instance reuses the same attenuation instead of
-    // re-running the MNA solve (which scales with physical rows).
+        config_.array_seed, config_.tiles);
+    // Solve the IR-drop ladders once here: the array is immutable, so every
+    // per-run engine instance reuses the same logical and per-tile
+    // attenuations instead of re-running the MNA solves (which scale with
+    // physical rows).
     if (config_.analog.model_ir_drop &&
         config_.analog.cached_ir_attenuation <= 0.0) {
       const crossbar::AnalogCrossbarEngine probe(array_, config_.analog);
       config_.analog.cached_ir_attenuation = probe.ir_attenuation();
+      config_.analog.cached_band_ir_attenuation.assign(
+          probe.band_attenuations().begin(), probe.band_attenuations().end());
     }
   }
 }
@@ -141,7 +144,7 @@ AnnealResult InSituCimAnnealer::run(std::uint64_t seed) const {
                                                               config_.analog);
   } else {
     auto ideal = std::make_unique<crossbar::IdealCrossbarEngine>(
-        *model_, mapping_, crossbar::Accounting::kInSitu);
+        *model_, mapping_, crossbar::Accounting::kInSitu, config_.tiles);
     // This loop reports every applied flip set back through
     // on_flips_applied(), so the engine may serve evaluations from its
     // incrementally-maintained local-field cache.

@@ -56,6 +56,12 @@ struct InSituConfig {
   double parity_mix = -1.0;
   BgAnnealingSchedule::Config schedule{};  ///< total_iterations overridden
   crossbar::MappingConfig mapping{};
+  /// Physical tile grid the crossbar is realized on (max rows/columns per
+  /// tile, 0 = unbounded).  The all-zero default keeps the historical
+  /// monolithic execution; a bounded shape makes both engines sweep the
+  /// row bands of the grid with digital partial-sum accumulation (see
+  /// docs/tiling.md).
+  crossbar::TileShape tiles{};
 
   enum class EngineKind {
     kAnalog,  ///< DG FeFET currents + variation + ADC (default)

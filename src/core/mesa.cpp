@@ -41,7 +41,8 @@ AnnealResult MesaAnnealer::run(std::uint64_t seed) const {
           : 0;
 
   crossbar::IdealCrossbarEngine engine(*model_, mapping_,
-                                       crossbar::Accounting::kDirectFullArray);
+                                       crossbar::Accounting::kDirectFullArray,
+                                       config_.base.tiles);
   const MetropolisAcceptance acceptance;
 
   AnnealResult result;

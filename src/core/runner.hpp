@@ -78,7 +78,11 @@ struct CampaignResult {
   util::RunningStats exp_energy;  ///< e^x share of run energy [J]
   double success_rate = 0.0;      ///< fraction feasible AND within threshold
   double feasible_rate = 0.0;     ///< fraction of runs satisfying constraints
-  crossbar::CostLedger total_ledger;  ///< summed over all runs
+  /// Summed over all runs.  Includes the tile-grid events
+  /// (adc_conversions per (tile, column), tile_activations,
+  /// partial_sum_updates) when the annealer executes over a bounded
+  /// crossbar::TileShape -- see docs/tiling.md.
+  crossbar::CostLedger total_ledger;
   std::vector<RunRecord> per_run;     ///< per-run records in run order
 
   /// Index into per_run of the best feasible run (sense-aware), or

@@ -28,6 +28,8 @@ AnalogCrossbarEngine::AnalogCrossbarEngine(
   FECIM_EXPECTS(array_ != nullptr);
   i_on_max_ = array_->on_current(array_->device_params().vbg_max);
   FECIM_EXPECTS(i_on_max_ > 0.0);
+  const auto bands = array_->bands();
+  band_attenuation_.assign(bands.size(), 1.0);
   if (config_.model_ir_drop) {
     if (config_.cached_ir_attenuation > 0.0) {
       attenuation_ = config_.cached_ir_attenuation;
@@ -37,9 +39,30 @@ AnalogCrossbarEngine::AnalogCrossbarEngine(
           array_->device_params().read_vdl, config_.wire);
       attenuation_ = est.ir_attenuation;
     }
+    if (config_.cached_band_ir_attenuation.size() == bands.size()) {
+      band_attenuation_ = config_.cached_band_ir_attenuation;
+    } else {
+      // At most two distinct band heights under the balanced split (full
+      // bands plus one remainder), so at most two extra MNA solves; a
+      // monolithic array reuses the logical attenuation outright.
+      for (std::size_t b = 0; b < bands.size(); ++b) {
+        if (bands[b].rows() == array_->mapping().physical_rows()) {
+          band_attenuation_[b] = attenuation_;
+        } else if (b > 0 && bands[b].rows() == bands[b - 1].rows()) {
+          band_attenuation_[b] = band_attenuation_[b - 1];
+        } else {
+          band_attenuation_[b] =
+              circuit::estimate_line_parasitics(
+                  bands[b].rows(), i_on_max_,
+                  array_->device_params().read_vdl, config_.wire)
+                  .ir_attenuation;
+        }
+      }
+    }
   }
   noise_ = ReadoutNoise::for_run(0);
   workspace_.flip_mask.assign(array_->mapping().num_spins(), 0);
+  workspace_.band_acc.assign(bands.size(), 0.0);
 }
 
 void AnalogCrossbarEngine::begin_run(std::uint64_t run_seed) {
@@ -61,21 +84,29 @@ EincResult AnalogCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
   }
   const double i_on = cached_i_on_;
   const double read_noise_rel = array_->variation_params().read_noise_rel;
-  // Association mirrors the per-cell form: (i_on * att) * sum and
-  // ((rel * i_on) * att) * sqrt(sq_sum), keeping results bit-identical.
-  const double current_scale = i_on * attenuation_;
-  const double noise_scale = (read_noise_rel * i_on) * attenuation_;
   const bool adc_noisy = adc_.params().noise_lsb_rms > 0.0;
   const bool deterministic_readout = read_noise_rel <= 0.0 && !adc_noisy;
+  // Association mirrors the per-cell form: (i_on * att) * sum and
+  // ((rel * i_on) * att) * sqrt(sq_sum), keeping results bit-identical.
+  // Deterministic readout evaluates at the logical-array calibration point
+  // (attenuation_); stochastic conversions use each band's own attenuation.
+  const double current_scale = i_on * attenuation_;
+
+  const auto bands = array_->bands();
+  const std::size_t num_bands = bands.size();
 
   EincResult result;
   EngineTrace& trace = result.trace;
   trace.crossbar_passes = 4;
+  trace.tile_ir_attenuation = band_attenuation_[0];
 
-  // Digital accumulator of signed, bit-weighted ADC codes.
+  // Digital accumulator of signed, bit-weighted ADC codes (deterministic
+  // shared-conversion path; the stochastic path accumulates per band into
+  // ws.band_acc for the per-tile calibration).
   double accumulator = 0.0;
 
   auto& ws = workspace_;
+  for (auto& acc : ws.band_acc) acc = 0.0;
   // Validate before marking so a contract throw cannot leave stale bits in
   // the reusable mask (contract_error is catchable; a dirty mask would
   // silently corrupt every later evaluation).
@@ -87,81 +118,148 @@ EincResult AnalogCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
   const auto all_mults = array_->multipliers();
   const std::size_t slots = static_cast<std::size_t>(bits) * 2;
 
+  // One sweep over each distinct cell list of a (band, column) accumulates
+  // both row-polarity passes into ws.sum (index 0 = +1 pass, 1 = -1): an
+  // unflipped row contributes to exactly one polarity, and the
+  // per-polarity addition order stays the column's cell order.
+  // `base_spins`/`base_mask` point at the band's first row, so the
+  // band-relative cached rows index them directly (a monolithic band
+  // starts at row 0).
+  const auto accumulate_classes =
+      [&](std::span<const ProgrammedArray::SegmentClass> classes,
+          const ising::Spin* base_spins, const std::uint8_t* base_mask) {
+        for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+          const auto& cls = classes[ci];
+          if (cls.all_unit) {
+            // Branchless: spins are random +-1, so per-cell branches
+            // mispredict half the time; counting live and positive cells
+            // with masks keeps the loop vectorizable.
+            std::uint32_t live = 0;
+            std::uint32_t count_pos = 0;
+            for (std::uint32_t k = cls.begin; k < cls.end; ++k) {
+              const auto row = cache_rows[k];
+              const std::uint32_t unflipped = base_mask[row] == 0 ? 1u : 0u;
+              live += unflipped;
+              count_pos += unflipped & (base_spins[row] > 0 ? 1u : 0u);
+            }
+            const std::uint32_t count_neg = live - count_pos;
+            ws.sum[0][ci] = static_cast<double>(count_pos);
+            ws.sum[1][ci] = static_cast<double>(count_neg);
+          } else {
+            double sum_pos = 0.0;
+            double sum_neg = 0.0;
+            for (std::uint32_t k = cls.begin; k < cls.end; ++k) {
+              const auto row = cache_rows[k];
+              if (base_mask[row]) continue;
+              const double m = cache_mults[k];
+              if (base_spins[row] > 0)
+                sum_pos += m;
+              else
+                sum_neg += m;
+            }
+            ws.sum[0][ci] = sum_pos;
+            ws.sum[1][ci] = sum_neg;
+          }
+        }
+      };
+
   for (const auto j : flips) {
     // sigma_c_j = -sigma_j (the flipped value); its sign selects the
     // DL-polarity pass this column participates in.
     const int q = -static_cast<int>(spins[j]);
 
-    const auto segments = array_->column_segments(j);
+    const std::uint32_t total_present =
+        array_->column_total_present_segments(j);
     const std::size_t column_conversions =
-        2 * static_cast<std::size_t>(array_->column_present_segments(j));
-    if (deterministic_readout) {
-      // One sweep over each distinct cell list accumulates both
-      // row-polarity passes: an unflipped row contributes to exactly one
-      // polarity, and the per-polarity addition order stays the column's
-      // cell order.
-      const auto classes = array_->column_classes(j);
-      for (std::size_t ci = 0; ci < classes.size(); ++ci) {
-        const auto& cls = classes[ci];
-        if (cls.all_unit) {
-          // Branchless: spins are random +-1, so per-cell branches
-          // mispredict half the time; counting live and positive cells
-          // with masks keeps the loop vectorizable.
-          std::uint32_t live = 0;
-          std::uint32_t count_pos = 0;
-          for (std::uint32_t k = cls.begin; k < cls.end; ++k) {
-            const auto row = cache_rows[k];
-            const std::uint32_t unflipped = ws.flip_mask[row] == 0 ? 1u : 0u;
-            live += unflipped;
-            count_pos += unflipped & (spins[row] > 0 ? 1u : 0u);
-          }
-          const std::uint32_t count_neg = live - count_pos;
-          ws.sum[0][ci] = static_cast<double>(count_pos);
-          ws.sum[1][ci] = static_cast<double>(count_neg);
-        } else {
-          double sum_pos = 0.0;
-          double sum_neg = 0.0;
-          for (std::uint32_t k = cls.begin; k < cls.end; ++k) {
-            const auto row = cache_rows[k];
-            if (ws.flip_mask[row]) continue;
-            const double m = cache_mults[k];
-            if (spins[row] > 0)
-              sum_pos += m;
-            else
-              sum_neg += m;
-          }
-          ws.sum[0][ci] = sum_pos;
-          ws.sum[1][ci] = sum_neg;
-        }
-      }
+        2 * static_cast<std::size_t>(total_present);
+    trace.tile_activations += array_->column_active_bands(j);
+    trace.partial_sum_updates +=
+        2 * static_cast<std::size_t>(total_present -
+                                     array_->column_union_present_segments(j));
 
-      // No stochastic term anywhere in the sensing chain: segments sharing
-      // a class see the same current, hence the same code, so one
-      // conversion per class plus the precomputed per-class net weight
-      // replaces the per-segment shift-and-add.  Codes and weights are
-      // integers (< 2^53 in every partial sum), so this association is
-      // bit-identical to the per-segment order.  The ledger still counts
-      // one conversion per physical column sensed, and the noise cursor
-      // still advances so the indexing stays aligned with implementations
-      // that convert per segment.
-      const auto weights = array_->column_class_weights(j);
-      for (const int p : {+1, -1}) {  // row-polarity (FG) passes
-        const int bank = p > 0 ? 0 : 1;
-        double column_acc = 0.0;
-        for (std::size_t ci = 0; ci < classes.size(); ++ci) {
-          const std::uint32_t code =
-              adc_.convert_ideal(current_scale * ws.sum[bank][ci]);
-          column_acc += weights[ci] * static_cast<double>(code);
+    if (deterministic_readout) {
+      // No stochastic term anywhere in the sensing chain: the partial
+      // currents are exact functions of the programmed cells, so the
+      // digital merge of the per-tile partial sums reconstructs the
+      // logical-array conversion, and the engine evaluates the shared
+      // quantizer once per logical segment (for a monolithic band: once
+      // per segment class, fanning the code out through the precomputed
+      // per-class net weight).  The ledger still counts one conversion per
+      // (tile, physical column) sensed, and the noise cursor still
+      // advances by that count so the indexing stays aligned with
+      // implementations that convert per tile segment.
+      if (num_bands == 1) {
+        const auto classes = array_->column_classes(0, j);
+        accumulate_classes(classes, spins.data(), ws.flip_mask.data());
+
+        // Segments sharing a class see the same current, hence the same
+        // code, so one conversion per class plus the precomputed per-class
+        // net weight replaces the per-segment shift-and-add.  Codes and
+        // weights are integers (< 2^53 in every partial sum), so this
+        // association is bit-identical to the per-segment order.
+        const auto weights = array_->column_class_weights(0, j);
+        for (const int p : {+1, -1}) {  // row-polarity (FG) passes
+          const int bank = p > 0 ? 0 : 1;
+          double column_acc = 0.0;
+          for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+            const std::uint32_t code =
+                adc_.convert_ideal(current_scale * ws.sum[bank][ci]);
+            column_acc += weights[ci] * static_cast<double>(code);
+          }
+          accumulator += static_cast<double>(p * q) * column_acc;
         }
-        accumulator += static_cast<double>(p * q) * column_acc;
-        trace.adc_conversions += array_->column_present_segments(j);
+      } else {
+        // Multi-tile grid: per band, accumulate the band's class sums and
+        // scatter them through the band's segment refs into the
+        // per-logical-segment totals (exact for integer multiplier sums --
+        // the "integer regrouping" the tiled equivalence suite pins), then
+        // convert each logical segment once.
+        std::uint32_t union_mask = 0;
+        for (std::size_t b = 0; b < static_cast<std::size_t>(bits); ++b) {
+          ws.det_sum[0][0][b] = ws.det_sum[0][1][b] = 0.0;
+          ws.det_sum[1][0][b] = ws.det_sum[1][1][b] = 0.0;
+        }
+        for (std::size_t band = 0; band < num_bands; ++band) {
+          if (array_->column_present_segments(band, j) == 0) continue;
+          const auto row0 = bands[band].row_begin;
+          accumulate_classes(array_->column_classes(band, j),
+                             spins.data() + row0,
+                             ws.flip_mask.data() + row0);
+          const auto segments = array_->column_segments(band, j);
+          for (std::size_t s = 0; s < slots; ++s) {
+            if (!segments[s].present) continue;
+            const std::size_t b = s >> 1;
+            const std::size_t plane = s & 1;
+            ws.det_sum[0][plane][b] += ws.sum[0][segments[s].cls];
+            ws.det_sum[1][plane][b] += ws.sum[1][segments[s].cls];
+            union_mask |= 1u << s;
+          }
+        }
+        for (const int p : {+1, -1}) {  // row-polarity (FG) passes
+          const int bank = p > 0 ? 0 : 1;
+          std::int64_t pass_acc = 0;
+          for (std::size_t s = 0; s < slots; ++s) {
+            if (!((union_mask >> s) & 1u)) continue;
+            const std::size_t b = s >> 1;
+            const std::size_t plane = s & 1;
+            const std::uint32_t code = adc_.convert_ideal(
+                current_scale * ws.det_sum[bank][plane][b]);
+            const auto shifted = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(code) << b);
+            pass_acc += plane == 0 ? shifted : -shifted;
+          }
+          accumulator +=
+              static_cast<double>(p * q) * static_cast<double>(pass_acc);
+        }
       }
+      trace.adc_conversions += column_conversions;
       noise_.next_conversion += column_conversions;
       continue;
     }
 
-    // Stochastic readout sweep: device variation de-dupes to nothing (every
-    // multiplier is distinct), so walk the column's cells once against the
+    // Stochastic readout sweep, one row band (tile) at a time: device
+    // variation de-dupes to nothing (every multiplier is distinct), so walk
+    // the band's contiguous sub-range of the column's cells against the
     // entry-major multiplier storage -- one row/flip/spin gather per cell,
     // and a branch-free unit-stride inner bit loop (absent bits store
     // multiplier 0, filtered cells select 0.0, and +0.0 terms never change
@@ -169,99 +267,113 @@ EincResult AnalogCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
     // per-segment walk of the reference kernel; addition order per segment
     // is the column's cell order either way).
     const auto view = array_->column(j);
-    for (std::size_t b = 0; b < static_cast<std::size_t>(bits); ++b) {
-      ws.nsum[0][0][b] = ws.nsum[0][1][b] = 0.0;
-      ws.nsum[1][0][b] = ws.nsum[1][1][b] = 0.0;
-      ws.nsq[0][0][b] = ws.nsq[0][1][b] = 0.0;
-      ws.nsq[1][0][b] = ws.nsq[1][1][b] = 0.0;
-    }
-    for (std::size_t k = 0; k < view.rows.size(); ++k) {
-      const auto row = view.rows[k];
-      const double live = ws.flip_mask[row] == 0 ? 1.0 : 0.0;
-      const double sel_pos = spins[row] > 0 ? live : 0.0;
-      const double sel_neg = live - sel_pos;
-      const std::size_t plane = view.magnitudes[k] < 0 ? 1 : 0;
-      const float* entry_mults =
-          all_mults.data() +
-          (view.first_entry + k) * static_cast<std::size_t>(bits);
-      double* sum_pos = ws.nsum[0][plane];
-      double* sum_neg = ws.nsum[1][plane];
-      double* sq_pos = ws.nsq[0][plane];
-      double* sq_neg = ws.nsq[1][plane];
-      if (read_noise_rel > 0.0) {
-        for (int b = 0; b < bits; ++b) {
-          const double m = entry_mults[b];
-          const double m_pos = m * sel_pos;
-          const double m_neg = m * sel_neg;
-          sum_pos[b] += m_pos;
-          sum_neg[b] += m_neg;
-          sq_pos[b] += m_pos * m_pos;
-          sq_neg[b] += m_neg * m_neg;
-        }
-      } else {
-        // ADC-noise-only regime (the default config): the squared sums are
-        // never read, so skip half the sweep's arithmetic.
-        for (int b = 0; b < bits; ++b) {
-          const double m = entry_mults[b];
-          sum_pos[b] += m * sel_pos;
-          sum_neg[b] += m * sel_neg;
-        }
-      }
-    }
+    for (std::size_t band = 0; band < num_bands; ++band) {
+      const std::uint32_t band_present =
+          array_->column_present_segments(band, j);
+      if (band_present == 0) continue;  // tile stores nothing: no conversion
+      const auto range = array_->column_band_cells(band, j);
+      const auto segments = array_->column_segments(band, j);
+      const double att_b = band_attenuation_[band];
+      const double current_scale_b = i_on * att_b;
+      const double noise_scale_b = (read_noise_rel * i_on) * att_b;
 
-    // Batch this column's keyed draws -- conversion indices
-    // [next_conversion, next_conversion + column_conversions) in the
-    // canonical polarity/bit/plane order -- then consume them in sequence.
-    // The batched values equal element-wise keyed draws, so any regrouping
-    // of this loop (or a future parallel version) sees identical noise.
-    // Each conversion takes ONE draw scaled by its total input-referred
-    // sigma (read noise + ADC noise in quadrature, see readout_sigma),
-    // precomputed per segment so the sqrt stays out of the polarity passes.
-    noise_.conversion.normal_fill(noise_.next_conversion,
-                                  {ws.z, column_conversions});
-    const double sigma_adc = adc_.noise_sigma_current();
-    const double noise_var_scale = noise_scale * noise_scale;
-    const double adc_variance = sigma_adc * sigma_adc;
-    for (std::size_t s = 0; s < slots; ++s) {
-      if (!segments[s].present) continue;
-      const std::size_t b = s >> 1;
-      const std::size_t plane = s & 1;
-      if (read_noise_rel > 0.0) {
-        ws.nsigma[0][plane][b] = readout_sigma(
-            noise_var_scale * ws.nsq[0][plane][b], adc_variance);
-        ws.nsigma[1][plane][b] = readout_sigma(
-            noise_var_scale * ws.nsq[1][plane][b], adc_variance);
-      } else {
-        ws.nsigma[0][plane][b] = sigma_adc;
-        ws.nsigma[1][plane][b] = sigma_adc;
+      for (std::size_t b = 0; b < static_cast<std::size_t>(bits); ++b) {
+        ws.nsum[0][0][b] = ws.nsum[0][1][b] = 0.0;
+        ws.nsum[1][0][b] = ws.nsum[1][1][b] = 0.0;
+        ws.nsq[0][0][b] = ws.nsq[0][1][b] = 0.0;
+        ws.nsq[1][0][b] = ws.nsq[1][1][b] = 0.0;
       }
-    }
-    std::size_t conversion = 0;
-    for (const int p : {+1, -1}) {  // row-polarity (FG) passes
-      const int bank = p > 0 ? 0 : 1;
-      // Codes and bit weights are integers, so the per-pass shift-and-add
-      // runs in int64 (max |sum| < 2^34) and joins the double accumulator
-      // once per pass -- exact, hence bit-identical to the per-segment
-      // double adds.
-      std::int64_t pass_acc = 0;
+      for (std::size_t k = range.begin; k < range.end; ++k) {
+        const auto row = view.rows[k];
+        const double live = ws.flip_mask[row] == 0 ? 1.0 : 0.0;
+        const double sel_pos = spins[row] > 0 ? live : 0.0;
+        const double sel_neg = live - sel_pos;
+        const std::size_t plane = view.magnitudes[k] < 0 ? 1 : 0;
+        const float* entry_mults =
+            all_mults.data() +
+            (view.first_entry + k) * static_cast<std::size_t>(bits);
+        double* sum_pos = ws.nsum[0][plane];
+        double* sum_neg = ws.nsum[1][plane];
+        double* sq_pos = ws.nsq[0][plane];
+        double* sq_neg = ws.nsq[1][plane];
+        if (read_noise_rel > 0.0) {
+          for (int b = 0; b < bits; ++b) {
+            const double m = entry_mults[b];
+            const double m_pos = m * sel_pos;
+            const double m_neg = m * sel_neg;
+            sum_pos[b] += m_pos;
+            sum_neg[b] += m_neg;
+            sq_pos[b] += m_pos * m_pos;
+            sq_neg[b] += m_neg * m_neg;
+          }
+        } else {
+          // ADC-noise-only regime (the default config): the squared sums
+          // are never read, so skip half the sweep's arithmetic.
+          for (int b = 0; b < bits; ++b) {
+            const double m = entry_mults[b];
+            sum_pos[b] += m * sel_pos;
+            sum_neg[b] += m * sel_neg;
+          }
+        }
+      }
+
+      // Batch this (column, tile)'s keyed draws -- conversion indices
+      // [next_conversion, next_conversion + band_conversions) in the
+      // canonical band/polarity/bit/plane order -- then consume them in
+      // sequence.  The batched values equal element-wise keyed draws, so
+      // any regrouping of this loop (or a future tile-parallel version)
+      // sees identical noise.  Each conversion takes ONE draw scaled by its
+      // total input-referred sigma (read noise + ADC noise in quadrature,
+      // see readout_sigma), precomputed per segment so the sqrt stays out
+      // of the polarity passes.
+      const std::size_t band_conversions =
+          2 * static_cast<std::size_t>(band_present);
+      noise_.conversion.normal_fill(noise_.next_conversion,
+                                    {ws.z, band_conversions});
+      const double sigma_adc = adc_.noise_sigma_current();
+      const double noise_var_scale = noise_scale_b * noise_scale_b;
+      const double adc_variance = sigma_adc * sigma_adc;
       for (std::size_t s = 0; s < slots; ++s) {
         if (!segments[s].present) continue;
         const std::size_t b = s >> 1;
         const std::size_t plane = s & 1;
-        const double current =
-            current_scale * ws.nsum[bank][plane][b] +
-            ws.nsigma[bank][plane][b] * ws.z[conversion];
-        const std::uint32_t code = adc_.convert_ideal(current);
-        const auto shifted =
-            static_cast<std::int64_t>(static_cast<std::uint64_t>(code) << b);
-        pass_acc += plane == 0 ? shifted : -shifted;
-        ++conversion;
+        if (read_noise_rel > 0.0) {
+          ws.nsigma[0][plane][b] = readout_sigma(
+              noise_var_scale * ws.nsq[0][plane][b], adc_variance);
+          ws.nsigma[1][plane][b] = readout_sigma(
+              noise_var_scale * ws.nsq[1][plane][b], adc_variance);
+        } else {
+          ws.nsigma[0][plane][b] = sigma_adc;
+          ws.nsigma[1][plane][b] = sigma_adc;
+        }
       }
-      accumulator +=
-          static_cast<double>(p * q) * static_cast<double>(pass_acc);
+      std::size_t conversion = 0;
+      for (const int p : {+1, -1}) {  // row-polarity (FG) passes
+        const int bank = p > 0 ? 0 : 1;
+        // Codes and bit weights are integers, so the per-pass shift-and-add
+        // runs in int64 (max |sum| < 2^34) and joins the double accumulator
+        // once per pass -- exact, hence bit-identical to the per-segment
+        // double adds.
+        std::int64_t pass_acc = 0;
+        for (std::size_t s = 0; s < slots; ++s) {
+          if (!segments[s].present) continue;
+          const std::size_t b = s >> 1;
+          const std::size_t plane = s & 1;
+          const double current =
+              current_scale_b * ws.nsum[bank][plane][b] +
+              ws.nsigma[bank][plane][b] * ws.z[conversion];
+          const std::uint32_t code = adc_.convert_ideal(current);
+          const auto shifted = static_cast<std::int64_t>(
+              static_cast<std::uint64_t>(code) << b);
+          pass_acc += plane == 0 ? shifted : -shifted;
+          ++conversion;
+        }
+        ws.band_acc[band] +=
+            static_cast<double>(p * q) * static_cast<double>(pass_acc);
+      }
+      noise_.next_conversion += band_conversions;
     }
     trace.adc_conversions += column_conversions;
-    noise_.next_conversion += column_conversions;
   }
 
   for (const auto f : flips) ws.flip_mask[f] = 0;
@@ -269,10 +381,23 @@ EincResult AnalogCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
   // Fixed digital calibration: codes carry I_on(vbg) * attenuation / LSB;
   // dividing by I_on(vbg_max) * attenuation re-expresses the result as
   // (sigma_r^T J_hat sigma_c) * [I_on(vbg) / I_on(vbg_max)], i.e. the raw
-  // VMV times the hardware realization of f(T).
-  const double to_einc =
-      couplings.scale() * adc_.lsb_current() / (i_on_max_ * attenuation_);
-  result.e_inc = accumulator * to_einc;
+  // VMV times the hardware realization of f(T).  The stochastic path
+  // calibrates each tile's code sum by that tile's own attenuation; the
+  // deterministic path divides the shared logical-array factor back out.
+  if (deterministic_readout) {
+    const double to_einc =
+        couplings.scale() * adc_.lsb_current() / (i_on_max_ * attenuation_);
+    result.e_inc = accumulator * to_einc;
+  } else {
+    double e_inc = 0.0;
+    for (std::size_t band = 0; band < num_bands; ++band) {
+      const double to_einc_band =
+          couplings.scale() * adc_.lsb_current() /
+          (i_on_max_ * band_attenuation_[band]);
+      e_inc += ws.band_acc[band] * to_einc_band;
+    }
+    result.e_inc = e_inc;
+  }
   const double f_hw = i_on / i_on_max_;
   result.raw_vmv = f_hw > 0.0 ? result.e_inc / f_hw : 0.0;
 

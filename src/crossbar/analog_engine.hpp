@@ -12,16 +12,32 @@
 // annealing factor f(T) happens *in situ*; the digital back end only scales
 // by the fixed calibration constant  scale * LSB / I_on(V_BG_max).
 //
-// Hot path: the engine walks the array's precomputed bit-plane column cache
-// (one pass over each distinct segment class accumulates both row
-// polarities) instead of decoding magnitudes per cell per call, and tracks
-// flip membership through a reusable per-engine workspace bitmask.  Readout
-// noise comes from counter-keyed streams (ReadoutNoise) indexed by the
-// canonical conversion order, batched per column through the ziggurat
-// sampler -- no sequential RNG anywhere in the sensing chain.  All of it is
-// floating-point-identical to the direct per-cell evaluation;
-// tests/test_perf_equivalence.cpp pins that equivalence against
-// crossbar/reference_kernels.hpp.
+// Tiled execution: the array realizes its logical rows as a grid of
+// physical tiles (ProgrammedArray::bands()); the engine sweeps the row
+// bands, senses each band's partial column currents with that band's own
+// IR-drop attenuation, and accumulates the per-tile results digitally into
+// per-logical-column sums.  Stochastic readout performs one genuine ADC
+// conversion (one keyed draw, one quantization, per-tile calibration) per
+// (tile, present physical column) in the canonical cursor order, so noisy
+// results are a pure function of (run seed, tile shape).  Deterministic
+// readout accumulates the exact per-tile partial sums digitally and
+// evaluates the shared quantizer once per logical segment at the
+// logical-array calibration point -- the tile-grid counterpart of the
+// per-class shared conversion below -- which makes the deterministic result
+// partition-invariant (bit-identical across tile shapes whenever the
+// partial sums regroup exactly, i.e. integer multiplier sums) while the
+// ledger still counts every physical per-tile conversion.
+//
+// Hot path: the engine walks the array's precomputed per-band bit-plane
+// column cache (one pass over each distinct segment class accumulates both
+// row polarities) instead of decoding magnitudes per cell per call, and
+// tracks flip membership through a reusable per-engine workspace bitmask.
+// Readout noise comes from counter-keyed streams (ReadoutNoise) indexed by
+// the canonical conversion order, batched per (column, tile) through the
+// ziggurat sampler -- no sequential RNG anywhere in the sensing chain.  All
+// of it is floating-point-identical to the direct per-cell evaluation;
+// tests/test_perf_equivalence.cpp and tests/test_tiled_engine.cpp pin that
+// equivalence against crossbar/reference_kernels.hpp.
 #pragma once
 
 #include <memory>
@@ -41,11 +57,18 @@ struct AnalogEngineConfig {
   double full_scale_cells = 64.0;
   bool model_ir_drop = true;
   circuit::WireTech wire{};
-  /// Precomputed IR-drop attenuation for this (array, wire) pair; <= 0
-  /// means solve the MNA ladder at construction.  Campaign annealers solve
-  /// it once and stamp it here so per-run engine instances are cheap -- the
-  /// array is immutable, so the factor cannot change between runs.
+  /// Precomputed IR-drop attenuation of the *logical* (monolithic) array
+  /// for this (array, wire) pair; <= 0 means solve the MNA ladder at
+  /// construction.  Campaign annealers solve it once and stamp it here so
+  /// per-run engine instances are cheap -- the array is immutable, so the
+  /// factor cannot change between runs.  This is also the deterministic
+  /// readout's calibration point (see file comment).
   double cached_ir_attenuation = 0.0;
+  /// Precomputed per-row-band attenuations (index = band).  Used when the
+  /// size matches the array's band count; otherwise solved at construction
+  /// (one MNA solve per distinct band height -- at most two under the
+  /// balanced split).
+  std::vector<double> cached_band_ir_attenuation;
 };
 
 class AnalogCrossbarEngine final : public EincEngine {
@@ -66,8 +89,17 @@ class AnalogCrossbarEngine final : public EincEngine {
   }
 
   const circuit::SarAdc& adc() const noexcept { return adc_; }
-  /// IR-drop attenuation factor applied to all column currents.
+  /// IR-drop attenuation of the logical (monolithic) array -- the fixed
+  /// digital calibration point.
   double ir_attenuation() const noexcept { return attenuation_; }
+  /// Per-row-band (tile) IR-drop attenuations; band_attenuations()[0] is
+  /// the nominal (full-height) tile and equals ir_attenuation() for a
+  /// monolithic array.
+  std::span<const double> band_attenuations() const noexcept {
+    return band_attenuation_;
+  }
+  /// Nominal per-tile attenuation (the full-height band).
+  double tile_attenuation() const noexcept { return band_attenuation_[0]; }
   /// Current stochastic readout state (streams + conversion cursor); the
   /// equivalence tests use it to check cursor lockstep with the reference.
   const ReadoutNoise& readout_noise() const noexcept { return noise_; }
@@ -75,24 +107,30 @@ class AnalogCrossbarEngine final : public EincEngine {
  private:
   /// Reusable per-engine scratch so evaluate() performs no heap allocation.
   /// Deterministic readout accumulates per segment class (`sum`, index 0 =
-  /// +1 row-polarity pass, 1 = -1; a column has at most bits * 2 <= 32
-  /// distinct classes).  Stochastic readout accumulates per physical
-  /// segment, laid out [bank][plane][bit] so the per-cell sweep's inner bit
-  /// loop is branch-free and unit-stride; `z` holds the column's batched
-  /// per-conversion draws (<= 2 passes * 32 segments).
+  /// +1 row-polarity pass, 1 = -1; a (band, column) has at most
+  /// bits * 2 <= 32 distinct classes) and, on >1-band grids, merges the
+  /// band partial sums into `det_sum` before the shared conversion.
+  /// Stochastic readout accumulates per physical segment, laid out
+  /// [bank][plane][bit] so the per-cell sweep's inner bit loop is
+  /// branch-free and unit-stride; `z` holds one band's batched
+  /// per-conversion draws (<= 2 passes * 32 segments); `band_acc`
+  /// accumulates each band's signed code sums for the per-tile calibration.
   struct EvalWorkspace {
     std::vector<std::uint8_t> flip_mask;
     double sum[2][32];
+    double det_sum[2][2][16];  ///< [bank][plane][bit] cross-band totals
     double nsum[2][2][16];    ///< [bank][plane][bit] current sums
     double nsq[2][2][16];     ///< [bank][plane][bit] squared-multiplier sums
     double nsigma[2][2][16];  ///< [bank][plane][bit] total readout sigma
     double z[64];             ///< batched standard-normal conversion draws
+    std::vector<double> band_acc;  ///< per-band signed code accumulators
   };
 
   std::shared_ptr<const ProgrammedArray> array_;
   AnalogEngineConfig config_;
   circuit::SarAdc adc_;
-  double attenuation_ = 1.0;
+  double attenuation_ = 1.0;              ///< logical-array calibration
+  std::vector<double> band_attenuation_;  ///< per row band (tile)
   double i_on_max_ = 0.0;
   // on_current() evaluates the EKV transistor model; the DAC-quantized V_BG
   // schedule repeats levels for long stretches, so memoize the last level.

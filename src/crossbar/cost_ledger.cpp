@@ -12,6 +12,8 @@ void CostLedger::merge(const CostLedger& other) noexcept {
   exp_evaluations += other.exp_evaluations;
   spin_updates += other.spin_updates;
   crossbar_passes += other.crossbar_passes;
+  tile_activations += other.tile_activations;
+  partial_sum_updates += other.partial_sum_updates;
 }
 
 void merge_trace(CostLedger& ledger, const EngineTrace& trace) noexcept {
@@ -20,6 +22,8 @@ void merge_trace(CostLedger& ledger, const EngineTrace& trace) noexcept {
   ledger.row_drives += trace.row_drives;
   ledger.column_drives += trace.column_drives;
   ledger.crossbar_passes += trace.crossbar_passes;
+  ledger.tile_activations += trace.tile_activations;
+  ledger.partial_sum_updates += trace.partial_sum_updates;
 }
 
 }  // namespace fecim::crossbar

@@ -17,6 +17,10 @@ struct CostLedger {
   std::uint64_t exp_evaluations = 0;    ///< e^x unit invocations (baselines)
   std::uint64_t spin_updates = 0;       ///< digital solution-register writes
   std::uint64_t crossbar_passes = 0;    ///< polarity passes issued
+  std::uint64_t tile_activations = 0;   ///< (tile, column) sense activations
+  /// Digital accumulator merges of per-tile partial codes into logical
+  /// column sums; 0 for a monolithic array (nothing to merge).
+  std::uint64_t partial_sum_updates = 0;
 
   void merge(const CostLedger& other) noexcept;
 };
@@ -29,6 +33,13 @@ struct EngineTrace {
   std::uint64_t row_drives = 0;
   std::uint64_t column_drives = 0;
   std::uint64_t crossbar_passes = 0;
+  std::uint64_t tile_activations = 0;
+  std::uint64_t partial_sum_updates = 0;
+  /// Per-tile source-line IR attenuation the sensed currents experienced
+  /// (factor in (0, 1]; 1 = lossless).  A >1-tile grid senses over shorter
+  /// lines, so this sits strictly above the monolithic counterpart.  Not an
+  /// event counter: merge_trace leaves it to the trace.
+  double tile_ir_attenuation = 1.0;
 };
 
 void merge_trace(CostLedger& ledger, const EngineTrace& trace) noexcept;

@@ -55,13 +55,19 @@ struct EincResult {
 /// (readout_sigma below is the shared formula).
 ///
 /// Conversion indices are assigned canonically -- flips in flip-set order,
-/// row polarity +1 then -1, bit ascending, + plane before - plane, counting
-/// only present segments -- so any two implementations that walk the same
-/// flip sets assign the same index to the same physical conversion, and the
-/// noise they see is bit-identical regardless of evaluation order, batching,
-/// or which draws they elide.  `next_conversion` advances by the number of
-/// conversions in each evaluation (even fully deterministic ones, which keep
-/// the cursor aligned without computing any draw).
+/// row band (tile) ascending, row polarity +1 then -1, bit ascending,
+/// + plane before - plane, counting only segments present in that band's
+/// tile -- so any two implementations that walk the same flip sets over the
+/// same tile grid assign the same index to the same physical conversion,
+/// and the noise they see is bit-identical regardless of evaluation order,
+/// batching, or which draws they elide.  A monolithic array has one band,
+/// which reduces the walk to the historical flip/polarity/bit/plane order;
+/// a >1-tile grid performs more conversions per column (one per present
+/// (tile, physical column)), so noisy results are a pure function of
+/// (seed, tile shape) and deliberately differ between tile shapes.
+/// `next_conversion` advances by the number of conversions in each
+/// evaluation (even fully deterministic ones, which keep the cursor aligned
+/// without computing any draw).
 struct ReadoutNoise {
   util::NoiseStream conversion;  ///< total input-referred (kReadoutNoise)
   std::uint64_t next_conversion = 0;

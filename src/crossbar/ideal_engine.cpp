@@ -6,9 +6,11 @@ namespace fecim::crossbar {
 
 IdealCrossbarEngine::IdealCrossbarEngine(const ising::IsingModel& model,
                                          CrossbarMapping mapping,
-                                         Accounting accounting)
+                                         Accounting accounting,
+                                         const TileShape& tiles)
     : model_(&model), mapping_(std::move(mapping)), accounting_(accounting) {
   FECIM_EXPECTS(mapping_.num_spins() == model.num_spins());
+  grid_rows_ = plan_row_bands(mapping_.physical_rows(), tiles.rows).size();
 }
 
 EincResult IdealCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
@@ -30,19 +32,26 @@ EincResult IdealCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
   const auto planes = static_cast<std::uint64_t>(mapping_.planes());
 
   // Positive/negative inputs are handled in separate passes (Sec. 3.3):
-  // each active column is sensed once per row-polarity pass, i.e. twice.
+  // each active column is sensed once per row-polarity pass, i.e. twice --
+  // per row band of the tile grid, with the per-tile codes digitally merged
+  // (tiles sense concurrently, so mux slot cycles do not scale with bands).
+  const auto bands = static_cast<std::uint64_t>(grid_rows_);
   EngineTrace& trace = result.trace;
   trace.crossbar_passes = 4;
   if (accounting_ == Accounting::kInSitu) {
-    trace.adc_conversions = 2 * t * bits * planes;
+    trace.adc_conversions = 2 * t * bits * planes * bands;
     trace.mux_slot_cycles = 2 * mapping_.slots_for_flips(flips);
     trace.row_drives = 2 * (n - t);
     trace.column_drives = 2 * t * bits * planes;
+    trace.tile_activations = t * bands;
+    trace.partial_sum_updates = 2 * t * bits * planes * (bands - 1);
   } else {
-    trace.adc_conversions = 2 * n * bits * planes;
+    trace.adc_conversions = 2 * n * bits * planes * bands;
     trace.mux_slot_cycles = 2 * mapping_.slots_full_array();
     trace.row_drives = 2 * n;
     trace.column_drives = 2 * n * bits * planes;
+    trace.tile_activations = n * bands;
+    trace.partial_sum_updates = 2 * n * bits * planes * (bands - 1);
   }
   return result;
 }

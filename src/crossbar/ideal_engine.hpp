@@ -25,6 +25,7 @@
 
 #include "crossbar/engine.hpp"
 #include "crossbar/mapping.hpp"
+#include "crossbar/tiling.hpp"
 #include "ising/ising_model.hpp"
 #include "ising/local_field.hpp"
 
@@ -34,9 +35,16 @@ enum class Accounting { kInSitu, kDirectFullArray };
 
 class IdealCrossbarEngine final : public EincEngine {
  public:
-  /// `model` must outlive the engine.
+  /// `model` must outlive the engine.  `tiles` selects the physical tile
+  /// grid the event accounting assumes (default monolithic): arithmetic is
+  /// exact either way, but a >1-tile grid converts each sensed column once
+  /// per row band and digitally merges the per-tile partial sums, so
+  /// adc_conversions / tile_activations / partial_sum_updates scale with
+  /// the band count.  Lacking a programmed-cell map, the ideal engine
+  /// charges every band (dense-tile accounting) -- an upper bound the
+  /// analog engine's sparsity-aware trace refines.
   IdealCrossbarEngine(const ising::IsingModel& model, CrossbarMapping mapping,
-                      Accounting accounting);
+                      Accounting accounting, const TileShape& tiles = {});
 
   EincResult evaluate(std::span<const ising::Spin> spins,
                       const ising::FlipSet& flips,
@@ -62,10 +70,14 @@ class IdealCrossbarEngine final : public EincEngine {
 
   const CrossbarMapping& mapping() const noexcept { return mapping_; }
 
+  /// Row bands of the assumed tile grid (1 = monolithic).
+  std::size_t grid_rows() const noexcept { return grid_rows_; }
+
  private:
   const ising::IsingModel* model_;
   CrossbarMapping mapping_;
   Accounting accounting_;
+  std::size_t grid_rows_ = 1;
   bool use_cache_ = false;
   ising::LocalFieldCache cache_;
 };

@@ -1,5 +1,7 @@
 #include "crossbar/programmed_array.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 
@@ -11,11 +13,13 @@ ProgrammedArray::ProgrammedArray(const QuantizedCouplings& couplings,
                                  const CrossbarMapping& mapping,
                                  const device::DgFefetParams& device_params,
                                  const device::VariationParams& variation,
-                                 std::uint64_t seed)
+                                 std::uint64_t seed, const TileShape& tiles)
     : couplings_(couplings),
       mapping_(mapping),
       device_params_(device_params),
-      variation_(variation) {
+      variation_(variation),
+      tiles_(tiles),
+      bands_(plan_row_bands(mapping.physical_rows(), tiles.rows)) {
   FECIM_EXPECTS(mapping_.num_spins() == couplings_.num_spins());
   FECIM_EXPECTS(mapping_.bits() == couplings_.bits());
 
@@ -28,7 +32,9 @@ ProgrammedArray::ProgrammedArray(const QuantizedCouplings& couplings,
     // Counter-keyed programming variation: cell c's fault roll and V_TH
     // offset are draws at index c of the kCellFault / kCellVth streams, so
     // a cell's programmed state is independent of array size and sampling
-    // order (and reproducible in isolation for debugging).
+    // order (and reproducible in isolation for debugging).  The tile shape
+    // never enters the cell index, so re-tiling an array does not reprogram
+    // it: the same seed yields the same cells for every TileShape.
     const util::NoiseStream fault_stream(seed, util::stream_site::kCellFault);
     const util::NoiseStream vth_stream(seed, util::stream_site::kCellVth);
     // Subthreshold translation of a V_TH offset into a current factor:
@@ -73,16 +79,26 @@ ProgrammedArray::ProgrammedArray(const QuantizedCouplings& couplings,
   build_column_cache();
 }
 
+TilePlan ProgrammedArray::plan(const circuit::WireTech& wire) const {
+  return plan_tiles(mapping_, tiles_, on_current(device_params_.vbg_max),
+                    device_params_.read_vdl, wire);
+}
+
 void ProgrammedArray::build_column_cache() {
   const auto bits = static_cast<std::size_t>(couplings_.bits());
   const std::size_t n = couplings_.num_spins();
+  const std::size_t num_bands = bands_.size();
   FECIM_EXPECTS(bits >= 1 && bits <= 16);
 
-  segments_.assign(n * bits * 2, SegmentRef{});
-  class_ptr_.assign(n + 1, 0);
+  segments_.assign(num_bands * n * bits * 2, SegmentRef{});
+  class_ptr_.assign(num_bands * n + 1, 0);
   classes_.clear();
   class_weights_.clear();
-  present_count_.assign(n, 0);
+  present_count_.assign(num_bands * n, 0);
+  present_total_.assign(n, 0);
+  present_union_.assign(n, 0);
+  active_bands_.assign(n, 0);
+  band_cell_ptr_.assign(n * (num_bands + 1), 0);
   cache_rows_.clear();
   cache_mults_.clear();
   // Heuristic reserve: with segment-class dedup the common cases (unit
@@ -93,76 +109,109 @@ void ProgrammedArray::build_column_cache() {
   cache_rows_.reserve(couplings_.nonzeros());
   cache_mults_.reserve(couplings_.nonzeros());
 
-  std::vector<std::uint32_t> stage_rows;
-  std::vector<float> stage_mults;
-
+  // Cells within a column are stored in ascending row order, so each row
+  // band owns one contiguous sub-range of the column's cells: resolve the
+  // band boundaries once per column for the stochastic per-cell sweep.
   for (std::size_t j = 0; j < n; ++j) {
     const auto view = column(j);
-    const std::size_t class_base = classes_.size();
-    for (std::size_t b = 0; b < bits; ++b) {
-      for (int plane = 0; plane < 2; ++plane) {
-        stage_rows.clear();
-        stage_mults.clear();
-        bool present = false;
-        bool all_unit = true;
-        for (std::size_t k = 0; k < view.rows.size(); ++k) {
-          const std::int32_t mag = view.magnitudes[k];
-          const auto abs_mag = static_cast<std::uint32_t>(std::abs(mag));
-          if (!(abs_mag & (1u << b))) continue;
-          if ((mag < 0 ? 1 : 0) != plane) continue;
-          present = true;
-          const float m = multipliers_[(view.first_entry + k) * bits + b];
-          if (m == 0.0F) continue;  // stuck-off: exact +0.0 contribution
-          stage_rows.push_back(view.rows[k]);
-          stage_mults.push_back(m);
-          all_unit &= m == 1.0F;
-        }
-        auto& seg = segments_[(j * bits + b) * 2 + static_cast<std::size_t>(plane)];
-        seg.present = present ? 1 : 0;
-        if (!present) continue;
-
-        // Dedupe against this column's existing classes: identical cell
-        // lists (common under coarse quantization, universal for unit
-        // weights) share one accumulation per evaluation.
-        std::size_t cls = classes_.size();
-        for (std::size_t ci = class_base; ci < classes_.size(); ++ci) {
-          const auto& cand = classes_[ci];
-          const std::size_t len = cand.end - cand.begin;
-          if (len != stage_rows.size()) continue;
-          bool match = true;
-          for (std::size_t e = 0; e < len && match; ++e) {
-            match = cache_rows_[cand.begin + e] == stage_rows[e] &&
-                    cache_mults_[cand.begin + e] == stage_mults[e];
-          }
-          if (match) {
-            cls = ci;
-            break;
-          }
-        }
-        if (cls == classes_.size()) {
-          SegmentClass fresh;
-          fresh.begin = static_cast<std::uint32_t>(cache_rows_.size());
-          cache_rows_.insert(cache_rows_.end(), stage_rows.begin(),
-                             stage_rows.end());
-          cache_mults_.insert(cache_mults_.end(), stage_mults.begin(),
-                              stage_mults.end());
-          fresh.end = static_cast<std::uint32_t>(cache_rows_.size());
-          fresh.all_unit = all_unit ? 1 : 0;
-          classes_.push_back(fresh);
-          class_weights_.push_back(0.0);
-        }
-        // A column has at most bits * 2 <= 32 segments, so at most 32
-        // distinct classes -- the engine's accumulator banks rely on this.
-        const std::size_t local = cls - class_base;
-        FECIM_ASSERT(local < 32);
-        seg.cls = static_cast<std::uint8_t>(local);
-        class_weights_[cls] +=
-            (plane == 0 ? 1.0 : -1.0) * static_cast<double>(1u << b);
-        ++present_count_[j];
-      }
+    auto* ptr = band_cell_ptr_.data() + j * (num_bands + 1);
+    std::size_t k = 0;
+    for (std::size_t b = 0; b < num_bands; ++b) {
+      ptr[b] = static_cast<std::uint32_t>(k);
+      while (k < view.rows.size() && view.rows[k] < bands_[b].row_end) ++k;
     }
-    class_ptr_[j + 1] = static_cast<std::uint32_t>(classes_.size());
+    ptr[num_bands] = static_cast<std::uint32_t>(k);
+    FECIM_ASSERT(k == view.rows.size());
   }
+
+  std::vector<std::uint32_t> stage_rows;
+  std::vector<float> stage_mults;
+  // Per-column scratch tracking the union of present segments over bands.
+  std::vector<std::uint32_t> union_mask(n, 0);
+
+  for (std::size_t band = 0; band < num_bands; ++band) {
+    const std::uint32_t row0 = bands_[band].row_begin;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t slot = band * n + j;
+      const auto view = column(j);
+      const auto range = column_band_cells(band, j);
+      const std::size_t class_base = classes_.size();
+      bool band_active = false;
+      for (std::size_t b = 0; b < bits; ++b) {
+        for (int plane = 0; plane < 2; ++plane) {
+          stage_rows.clear();
+          stage_mults.clear();
+          bool present = false;
+          bool all_unit = true;
+          for (std::size_t k = range.begin; k < range.end; ++k) {
+            const std::int32_t mag = view.magnitudes[k];
+            const auto abs_mag = static_cast<std::uint32_t>(std::abs(mag));
+            if (!(abs_mag & (1u << b))) continue;
+            if ((mag < 0 ? 1 : 0) != plane) continue;
+            present = true;
+            const float m = multipliers_[(view.first_entry + k) * bits + b];
+            if (m == 0.0F) continue;  // stuck-off: exact +0.0 contribution
+            stage_rows.push_back(view.rows[k] - row0);  // band-relative
+            stage_mults.push_back(m);
+            all_unit &= m == 1.0F;
+          }
+          auto& seg =
+              segments_[(slot * bits + b) * 2 + static_cast<std::size_t>(plane)];
+          seg.present = present ? 1 : 0;
+          if (!present) continue;
+          band_active = true;
+          union_mask[j] |= 1u << (b * 2 + static_cast<std::size_t>(plane));
+
+          // Dedupe against this (band, column)'s existing classes: identical
+          // cell lists (common under coarse quantization, universal for unit
+          // weights) share one accumulation per evaluation.
+          std::size_t cls = classes_.size();
+          for (std::size_t ci = class_base; ci < classes_.size(); ++ci) {
+            const auto& cand = classes_[ci];
+            const std::size_t len = cand.end - cand.begin;
+            if (len != stage_rows.size()) continue;
+            bool match = true;
+            for (std::size_t e = 0; e < len && match; ++e) {
+              match = cache_rows_[cand.begin + e] == stage_rows[e] &&
+                      cache_mults_[cand.begin + e] == stage_mults[e];
+            }
+            if (match) {
+              cls = ci;
+              break;
+            }
+          }
+          if (cls == classes_.size()) {
+            SegmentClass fresh;
+            fresh.begin = static_cast<std::uint32_t>(cache_rows_.size());
+            cache_rows_.insert(cache_rows_.end(), stage_rows.begin(),
+                               stage_rows.end());
+            cache_mults_.insert(cache_mults_.end(), stage_mults.begin(),
+                                stage_mults.end());
+            fresh.end = static_cast<std::uint32_t>(cache_rows_.size());
+            fresh.all_unit = all_unit ? 1 : 0;
+            classes_.push_back(fresh);
+            class_weights_.push_back(0.0);
+          }
+          // A (band, column) has at most bits * 2 <= 32 segments, so at most
+          // 32 distinct classes -- the engine's accumulator banks rely on
+          // this.
+          const std::size_t local = cls - class_base;
+          FECIM_ASSERT(local < 32);
+          seg.cls = static_cast<std::uint8_t>(local);
+          class_weights_[cls] +=
+              (plane == 0 ? 1.0 : -1.0) * static_cast<double>(1u << b);
+          ++present_count_[slot];
+        }
+      }
+      class_ptr_[slot + 1] = static_cast<std::uint32_t>(classes_.size());
+      present_total_[j] += present_count_[slot];
+      if (band_active) ++active_bands_[j];
+    }
+  }
+
+  for (std::size_t j = 0; j < n; ++j)
+    present_union_[j] =
+        static_cast<std::uint32_t>(std::popcount(union_mask[j]));
 
   cache_rows_.shrink_to_fit();
   cache_mults_.shrink_to_fit();

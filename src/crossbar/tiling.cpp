@@ -4,6 +4,27 @@
 
 namespace fecim::crossbar {
 
+std::vector<TileBand> plan_row_bands(std::size_t logical_rows,
+                                     std::size_t max_rows) {
+  FECIM_EXPECTS(logical_rows > 0);
+  if (max_rows == 0 || max_rows >= logical_rows)
+    return {TileBand{0, static_cast<std::uint32_t>(logical_rows)}};
+
+  // Balance the load: distribute rows evenly instead of filling bands to
+  // the maximum and leaving a ragged remainder band.
+  const std::size_t grid_rows = (logical_rows + max_rows - 1) / max_rows;
+  const std::size_t band_rows = (logical_rows + grid_rows - 1) / grid_rows;
+  std::vector<TileBand> bands;
+  bands.reserve(grid_rows);
+  for (std::size_t begin = 0; begin < logical_rows; begin += band_rows) {
+    const std::size_t end = std::min(begin + band_rows, logical_rows);
+    bands.push_back(TileBand{static_cast<std::uint32_t>(begin),
+                             static_cast<std::uint32_t>(end)});
+  }
+  FECIM_ENSURES(bands.size() == grid_rows);
+  return bands;
+}
+
 TilePlan plan_tiles(const CrossbarMapping& mapping,
                     const TileConstraints& constraints,
                     double max_cell_current, double drive_voltage) {
@@ -14,15 +35,12 @@ TilePlan plan_tiles(const CrossbarMapping& mapping,
   plan.logical_rows = mapping.physical_rows();
   plan.logical_columns = mapping.physical_columns();
 
-  plan.grid_rows =
-      (plan.logical_rows + constraints.max_rows - 1) / constraints.max_rows;
+  const auto bands = plan_row_bands(plan.logical_rows, constraints.max_rows);
+  plan.grid_rows = bands.size();
   plan.grid_columns = (plan.logical_columns + constraints.max_columns - 1) /
                       constraints.max_columns;
   plan.num_tiles = plan.grid_rows * plan.grid_columns;
-  // Balance the load: distribute rows/columns evenly instead of filling
-  // tiles to the maximum and leaving a ragged remainder tile.
-  plan.tile_rows =
-      (plan.logical_rows + plan.grid_rows - 1) / plan.grid_rows;
+  plan.tile_rows = bands.front().rows();
   plan.tile_columns =
       (plan.logical_columns + plan.grid_columns - 1) / plan.grid_columns;
 
@@ -37,6 +55,18 @@ TilePlan plan_tiles(const CrossbarMapping& mapping,
   FECIM_ENSURES(plan.tile_ir_attenuation >=
                 plan.monolithic_ir_attenuation - 1e-12);
   return plan;
+}
+
+TilePlan plan_tiles(const CrossbarMapping& mapping, const TileShape& shape,
+                    double max_cell_current, double drive_voltage,
+                    const circuit::WireTech& wire) {
+  TileConstraints constraints;
+  constraints.max_rows =
+      shape.rows > 0 ? shape.rows : mapping.physical_rows();
+  constraints.max_columns =
+      shape.cols > 0 ? shape.cols : mapping.physical_columns();
+  constraints.wire = wire;
+  return plan_tiles(mapping, constraints, max_cell_current, drive_voltage);
 }
 
 }  // namespace fecim::crossbar

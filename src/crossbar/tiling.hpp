@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "circuit/parasitics.hpp"
 #include "crossbar/mapping.hpp"
@@ -20,6 +22,34 @@ struct TileConstraints {
   std::size_t max_columns = 1024;
   circuit::WireTech wire{};
 };
+
+/// User-facing tile request plumbed from the campaign/CLI layer down to the
+/// programmed array: maximum physical rows/columns per tile, 0 = unbounded.
+/// The all-zero default therefore reproduces the historical monolithic
+/// execution exactly, for every instance size.
+struct TileShape {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  bool monolithic() const noexcept { return rows == 0 && cols == 0; }
+};
+
+/// One horizontal band of the tile grid: the physical rows
+/// [row_begin, row_end) a tile stack owns.  Row indices inside a band's
+/// column cache are stored relative to `row_begin`.
+struct TileBand {
+  std::uint32_t row_begin = 0;
+  std::uint32_t row_end = 0;
+
+  std::uint32_t rows() const noexcept { return row_end - row_begin; }
+};
+
+/// Balanced partition of `logical_rows` rows into bands of at most
+/// `max_rows` (0 = unbounded -> one band).  Shared by plan_tiles and
+/// ProgrammedArray so the planner and the execution path can never disagree
+/// about band boundaries.
+std::vector<TileBand> plan_row_bands(std::size_t logical_rows,
+                                     std::size_t max_rows);
 
 struct TilePlan {
   std::size_t logical_rows = 0;
@@ -47,5 +77,10 @@ struct TilePlan {
 TilePlan plan_tiles(const CrossbarMapping& mapping,
                     const TileConstraints& constraints,
                     double max_cell_current, double drive_voltage);
+
+/// Same plan from a TileShape request (0 = unbounded on either axis).
+TilePlan plan_tiles(const CrossbarMapping& mapping, const TileShape& shape,
+                    double max_cell_current, double drive_voltage,
+                    const circuit::WireTech& wire = {});
 
 }  // namespace fecim::crossbar

@@ -8,6 +8,7 @@
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <sstream>
 
 #include "util/assert.hpp"
 
@@ -272,6 +273,168 @@ TspInstance read_tsp_coords_file(const std::string& path) {
                         [](std::istream& in, const std::string& context) {
                           return read_tsp_coords(in, context);
                         });
+}
+
+// ---------------------------------------------------------------------------
+// TSPLIB (EUC_2D subset)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string trim_copy(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])))
+    ++begin;
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])))
+    --end;
+  return text.substr(begin, end - begin);
+}
+
+/// Split a TSPLIB specification line into (key, value).  The format allows
+/// "KEY : value", "KEY: value" and "KEY:value"; section markers like
+/// NODE_COORD_SECTION and EOF carry no colon and no value.
+void split_spec_line(const io::LineParser& parser, std::string& key,
+                     std::string& value) {
+  std::string line = parser.field(0);
+  for (std::size_t i = 1; i < parser.fields(); ++i)
+    line += " " + parser.field(i);
+  const auto colon = line.find(':');
+  if (colon == std::string::npos) {
+    key = parser.field(0);
+    value = trim_copy(line.substr(key.size()));
+  } else {
+    key = trim_copy(line.substr(0, colon));
+    value = trim_copy(line.substr(colon + 1));
+  }
+}
+
+}  // namespace
+
+TspInstance read_tsplib(std::istream& in, const std::string& context) {
+  io::LineParser parser(in, context);
+
+  std::size_t dimension = 0;
+  bool have_dimension = false;
+  bool have_weight_type = false;
+  for (;;) {
+    if (!parser.next())
+      parser.fail_truncated("NODE_COORD_SECTION");
+    std::string key;
+    std::string value;
+    split_spec_line(parser, key, value);
+    if (key == "NODE_COORD_SECTION") break;
+    if (key == "EOF")
+      parser.fail("EOF before NODE_COORD_SECTION");
+    if (key == "DIMENSION") {
+      // Match io::LineParser::index(): reject a leading sign explicitly --
+      // strtoull legally wraps "-4" to a huge value with no ERANGE, which
+      // would turn a malformed header into an allocation failure instead
+      // of a line-numbered diagnostic.
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long parsed =
+          (!value.empty() && value[0] != '-' && value[0] != '+')
+              ? std::strtoull(value.c_str(), &end, 10)
+              : 0;
+      if (end == nullptr || end != value.c_str() + value.size() ||
+          end == value.c_str() || errno == ERANGE)
+        parser.fail("DIMENSION '" + value +
+                    "' is not a non-negative integer");
+      dimension = static_cast<std::size_t>(parsed);
+      have_dimension = true;
+    } else if (key == "EDGE_WEIGHT_TYPE") {
+      if (value != "EUC_2D")
+        parser.fail("unsupported EDGE_WEIGHT_TYPE '" + value +
+                    "' (only EUC_2D is supported)");
+      have_weight_type = true;
+    } else if (key == "TYPE") {
+      if (value != "TSP")
+        parser.fail("unsupported TYPE '" + value + "' (only TSP)");
+    }
+    // NAME, COMMENT and any other specification keys are irrelevant to the
+    // distance matrix; skip them so real TSPLIB files load unmodified.
+  }
+  if (!have_dimension)
+    parser.fail("NODE_COORD_SECTION before DIMENSION");
+  if (!have_weight_type)
+    parser.fail("NODE_COORD_SECTION before EDGE_WEIGHT_TYPE (EUC_2D)");
+  if (dimension < 3) parser.fail("need at least 3 cities");
+
+  std::vector<std::pair<double, double>> points(dimension);
+  std::vector<std::uint8_t> seen(dimension, 0);
+  for (std::size_t i = 0; i < dimension; ++i) {
+    if (!parser.next())
+      parser.fail_truncated(std::to_string(dimension) +
+                            " node coordinate lines, got " +
+                            std::to_string(i));
+    parser.require_fields(3, 3);
+    const std::size_t id = parser.index(0);
+    if (id < 1 || id > dimension)
+      parser.fail("node id " + std::to_string(id) + " outside 1.." +
+                  std::to_string(dimension));
+    if (seen[id - 1])
+      parser.fail("duplicate node id " + std::to_string(id));
+    seen[id - 1] = 1;
+    points[id - 1] = {parser.number(1), parser.number(2)};
+  }
+  if (parser.next()) {
+    std::string key;
+    std::string value;
+    split_spec_line(parser, key, value);
+    if (key != "EOF" || parser.next())
+      parser.fail("trailing content after NODE_COORD_SECTION");
+  }
+
+  TspInstance instance;
+  instance.distances.assign(dimension, std::vector<double>(dimension, 0.0));
+  for (std::size_t u = 0; u < dimension; ++u)
+    for (std::size_t v = u + 1; v < dimension; ++v) {
+      const double dx = points[u].first - points[v].first;
+      const double dy = points[u].second - points[v].second;
+      // TSPLIB EUC_2D: nint(sqrt(dx^2 + dy^2)).  The rounding is part of
+      // the format -- published optimal tour lengths assume it.
+      const double d = std::floor(std::sqrt(dx * dx + dy * dy) + 0.5);
+      instance.distances[u][v] = d;
+      instance.distances[v][u] = d;
+    }
+  return instance;
+}
+
+TspInstance read_tsplib_file(const std::string& path) {
+  return io::read_file(path, "tsplib",
+                        [](std::istream& in, const std::string& context) {
+                          return read_tsplib(in, context);
+                        });
+}
+
+TspInstance read_tsp_file(const std::string& path) {
+  return io::read_file(
+      path, "tsp", [](std::istream& in, const std::string& context) {
+        // Sniff the first significant token, then rewind and parse the
+        // same buffer -- one in-memory copy, no per-format re-read.
+        std::stringstream source;
+        source << in.rdbuf();
+        bool tsplib = false;
+        {
+          io::LineParser sniff(source, context);
+          if (sniff.next()) {
+            std::string head = sniff.field(0);
+            if (const auto colon = head.find(':');
+                colon != std::string::npos)
+              head = head.substr(0, colon);
+            tsplib = head == "NAME" || head == "TYPE" || head == "COMMENT" ||
+                     head == "DIMENSION" || head == "EDGE_WEIGHT_TYPE" ||
+                     head == "NODE_COORD_SECTION";
+          }
+        }
+        source.clear();
+        source.seekg(0);
+        return tsplib ? read_tsplib(source, context)
+                      : read_tsp_coords(source, context);
+      });
 }
 
 }  // namespace fecim::problems

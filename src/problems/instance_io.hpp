@@ -20,6 +20,9 @@
 //   TSP coordinate list       <num_cities>
 //                             <x> <y>                   (one line per city;
 //                             Euclidean distances)
+//   TSPLIB (EUC_2D subset)    "<KEY> : <value>" specification headers,
+//                             NODE_COORD_SECTION with "<id> <x> <y>" lines
+//                             (published TSPLIB instances load unmodified)
 #pragma once
 
 #include <fstream>
@@ -113,5 +116,22 @@ std::vector<double> read_partition_file(const std::string& path);
 TspInstance read_tsp_coords(std::istream& in,
                             const std::string& context = "tsp");
 TspInstance read_tsp_coords_file(const std::string& path);
+
+/// TSPLIB instance, EUC_2D subset: "<KEY> : <value>" specification headers
+/// (NAME/COMMENT and unknown keys are skipped; DIMENSION and
+/// EDGE_WEIGHT_TYPE : EUC_2D are required, TYPE must be TSP when present),
+/// then NODE_COORD_SECTION with one "<id> <x> <y>" line per city (ids
+/// 1..DIMENSION, any order, each exactly once) and an optional EOF
+/// terminator.  Distances follow the TSPLIB EUC_2D definition
+/// nint(sqrt(dx^2 + dy^2)) -- rounded to the nearest integer, so published
+/// optima compare exactly.
+TspInstance read_tsplib(std::istream& in,
+                        const std::string& context = "tsplib");
+TspInstance read_tsplib_file(const std::string& path);
+
+/// Load a TSP instance from either supported on-disk format, sniffing the
+/// content: a file opening with a TSPLIB specification keyword parses as
+/// TSPLIB, anything else as the plain coordinate list.
+TspInstance read_tsp_file(const std::string& path);
 
 }  // namespace fecim::problems

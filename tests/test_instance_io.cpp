@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -275,6 +277,151 @@ TEST(TspIo, RejectsBadInputs) {
   EXPECT_NE(diagnostic_of([&] { read_tsp_coords(trailing); })
                 .find("trailing"),
             std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// TSPLIB (EUC_2D subset)
+// ---------------------------------------------------------------------------
+
+const char* const kTsplibSquare =
+    "NAME : square4\n"
+    "COMMENT : unit-ish square, with a colon: in the comment\n"
+    "TYPE : TSP\n"
+    "DIMENSION : 4\n"
+    "EDGE_WEIGHT_TYPE : EUC_2D\n"
+    "NODE_COORD_SECTION\n"
+    "1 0 0\n"
+    "2 3 0\n"
+    "3 3 4\n"
+    "4 0 4\n"
+    "EOF\n";
+
+TEST(TsplibIo, ParsesHeadersAndRoundsEuc2dDistances) {
+  std::stringstream in(kTsplibSquare);
+  const auto instance = read_tsplib(in);
+  ASSERT_EQ(instance.num_cities(), 4u);
+  EXPECT_DOUBLE_EQ(instance.distances[0][1], 3.0);
+  EXPECT_DOUBLE_EQ(instance.distances[1][2], 4.0);
+  // TSPLIB EUC_2D rounds to the nearest integer: sqrt(3^2 + 4^2) = 5.
+  EXPECT_DOUBLE_EQ(instance.distances[0][2], 5.0);
+  EXPECT_DOUBLE_EQ(instance.distances[2][0], 5.0);  // symmetric
+  // 3-4-5 rectangle perimeter tour.
+  EXPECT_NEAR(tsp_heuristic(instance).length, 14.0, 1e-9);
+}
+
+TEST(TsplibIo, NintRoundingIsPartOfTheFormat) {
+  // d(1,2) = sqrt(2) ~ 1.414 -> 1; d(1,3) = sqrt(8) ~ 2.83 -> 3.
+  std::stringstream in(
+      "DIMENSION: 3\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n"
+      "1 0 0\n2 1 1\n3 2 2\nEOF\n");
+  const auto instance = read_tsplib(in);
+  EXPECT_DOUBLE_EQ(instance.distances[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(instance.distances[0][2], 3.0);
+}
+
+TEST(TsplibIo, AcceptsOutOfOrderIdsAndNoEofTerminator) {
+  std::stringstream in(
+      "DIMENSION : 3\n"
+      "EDGE_WEIGHT_TYPE : EUC_2D\n"
+      "NODE_COORD_SECTION\n"
+      "3 0 4\n"
+      "1 0 0\n"
+      "2 3 0\n");
+  const auto instance = read_tsplib(in);
+  ASSERT_EQ(instance.num_cities(), 3u);
+  EXPECT_DOUBLE_EQ(instance.distances[0][1], 3.0);  // ids landed in place
+  EXPECT_DOUBLE_EQ(instance.distances[0][2], 4.0);
+  EXPECT_DOUBLE_EQ(instance.distances[1][2], 5.0);
+}
+
+TEST(TsplibIo, MalformedInputsNameTheLine) {
+  std::stringstream geo(
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : GEO\nNODE_COORD_SECTION\n");
+  const auto geo_diag = diagnostic_of([&] { read_tsplib(geo, "t.tsp"); });
+  EXPECT_NE(geo_diag.find("t.tsp:2"), std::string::npos);
+  EXPECT_NE(geo_diag.find("GEO"), std::string::npos);
+
+  // strtoull would wrap "-4" to a huge value; the reader must reject the
+  // sign with a line-numbered diagnostic, not die allocating 2^64 points.
+  std::stringstream negative(
+      "DIMENSION : -4\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n");
+  const auto neg_diag =
+      diagnostic_of([&] { read_tsplib(negative, "n.tsp"); });
+  EXPECT_NE(neg_diag.find("n.tsp:1"), std::string::npos);
+  EXPECT_NE(neg_diag.find("not a non-negative integer"), std::string::npos);
+
+  std::stringstream no_dim(
+      "EDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n1 0 0\n");
+  EXPECT_NE(diagnostic_of([&] { read_tsplib(no_dim); })
+                .find("before DIMENSION"),
+            std::string::npos);
+
+  std::stringstream no_type("DIMENSION : 3\nNODE_COORD_SECTION\n1 0 0\n");
+  EXPECT_NE(diagnostic_of([&] { read_tsplib(no_type); })
+                .find("EDGE_WEIGHT_TYPE"),
+            std::string::npos);
+
+  std::stringstream atsp(
+      "TYPE : ATSP\nDIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\n");
+  EXPECT_NE(diagnostic_of([&] { read_tsplib(atsp); })
+                .find("unsupported TYPE"),
+            std::string::npos);
+
+  std::stringstream truncated(
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+      "1 0 0\n2 1 1\n");
+  EXPECT_NE(diagnostic_of([&] { read_tsplib(truncated); })
+                .find("end of input"),
+            std::string::npos);
+
+  std::stringstream duplicate(
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+      "1 0 0\n1 1 1\n3 2 2\n");
+  const auto dup_diag =
+      diagnostic_of([&] { read_tsplib(duplicate, "d.tsp"); });
+  EXPECT_NE(dup_diag.find("d.tsp:5"), std::string::npos);
+  EXPECT_NE(dup_diag.find("duplicate node id 1"), std::string::npos);
+
+  std::stringstream out_of_range(
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+      "1 0 0\n2 1 1\n7 2 2\n");
+  EXPECT_NE(diagnostic_of([&] { read_tsplib(out_of_range); })
+                .find("outside 1..3"),
+            std::string::npos);
+
+  std::stringstream trailing(
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+      "1 0 0\n2 1 1\n3 2 2\nEOF\n5 5 5\n");
+  EXPECT_NE(diagnostic_of([&] { read_tsplib(trailing); })
+                .find("trailing"),
+            std::string::npos);
+}
+
+TEST(TsplibIo, SniffingLoaderHandlesBothFormats) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path();
+  const auto tsplib_path = (dir / "fecim_sniff_test.tsp").string();
+  const auto coords_path = (dir / "fecim_sniff_test.xy").string();
+  {
+    std::ofstream out(tsplib_path);
+    out << kTsplibSquare;
+  }
+  {
+    std::ofstream out(coords_path);
+    out << "4\n0 0\n3 0\n3 4\n0 4\n";
+  }
+  const auto from_tsplib = read_tsp_file(tsplib_path);
+  const auto from_coords = read_tsp_file(coords_path);
+  ASSERT_EQ(from_tsplib.num_cities(), 4u);
+  ASSERT_EQ(from_coords.num_cities(), 4u);
+  // Same geometry; TSPLIB rounds, the plain list keeps exact distances --
+  // both integral on a 3-4-5 rectangle.
+  for (std::size_t u = 0; u < 4; ++u)
+    for (std::size_t v = 0; v < 4; ++v)
+      EXPECT_DOUBLE_EQ(from_tsplib.distances[u][v],
+                       from_coords.distances[u][v]);
+  fs::remove(tsplib_path);
+  fs::remove(coords_path);
 }
 
 // ---------------------------------------------------------------------------

@@ -105,7 +105,8 @@ void expect_analog_equivalence(const ising::IsingModel& model, int bits,
 
     const auto optimized = engine.evaluate(spins, flips, signal);
     const auto reference = crossbar::reference::analog_evaluate(
-        *array, engine.adc(), engine.ir_attenuation(), i_on_max, spins, flips,
+        *array, engine.adc(), engine.ir_attenuation(),
+                   engine.band_attenuations(), i_on_max, spins, flips,
         signal, noise_ref);
 
     ASSERT_EQ(optimized.e_inc, reference.e_inc);
@@ -206,7 +207,7 @@ TEST(AnalogEngineEquivalence, KeyedNoiseReplaysOutOfOrder) {
   for (int k = 0; k < kCalls; ++k) {
     cursor_at[k] = forward.next_conversion;
     e_forward[k] = crossbar::reference::analog_evaluate(
-                       *array, probe.adc(), probe.ir_attenuation(), i_on_max,
+                       *array, probe.adc(), probe.ir_attenuation(), probe.band_attenuations(), i_on_max,
                        spin_sets[k], flip_sets[k], signals[k], forward)
                        .e_inc;
   }
@@ -214,7 +215,7 @@ TEST(AnalogEngineEquivalence, KeyedNoiseReplaysOutOfOrder) {
     auto replay = crossbar::ReadoutNoise::for_run(77);
     replay.next_conversion = cursor_at[k];
     const double e_replay = crossbar::reference::analog_evaluate(
-                                *array, probe.adc(), probe.ir_attenuation(),
+                                *array, probe.adc(), probe.ir_attenuation(), probe.band_attenuations(),
                                 i_on_max, spin_sets[k], flip_sets[k],
                                 signals[k], replay)
                                 .e_inc;
@@ -374,7 +375,7 @@ core::AnnealResult seed_insitu_analog_run(const core::InSituCimAnnealer& anneale
     const auto flips = ising::random_flip_set(
         model.num_flippable(), config.flips_per_iteration, rng);
     const auto evaluation = crossbar::reference::analog_evaluate(
-        *array, probe.adc(), probe.ir_attenuation(), i_on_max, spins, flips,
+        *array, probe.adc(), probe.ir_attenuation(), probe.band_attenuations(), i_on_max, spins, flips,
         {point.factor, point.vbg}, noise);
     crossbar::merge_trace(result.ledger, evaluation.trace);
     ++result.ledger.iterations;

@@ -7,12 +7,14 @@
 namespace {
 
 using fecim::crossbar::CrossbarMapping;
+using fecim::crossbar::plan_row_bands;
 using fecim::crossbar::plan_tiles;
 using fecim::crossbar::TileConstraints;
+using fecim::crossbar::TileShape;
 
 TEST(Tiling, SmallArrayFitsOneTile) {
   const CrossbarMapping mapping(100, 1, {8, 8, true});  // 100 x 800
-  const auto plan = plan_tiles(mapping, {}, 1e-5, 1.0);
+  const auto plan = plan_tiles(mapping, TileConstraints{}, 1e-5, 1.0);
   EXPECT_EQ(plan.num_tiles, 1u);
   EXPECT_EQ(plan.partial_sums_per_column(), 1u);
   EXPECT_DOUBLE_EQ(plan.tile_ir_attenuation, plan.monolithic_ir_attenuation);
@@ -22,7 +24,7 @@ TEST(Tiling, PaperScaleInstanceTiles) {
   // 3000 spins x 8 bits = 3000 x 24000 bit-cells -> 3 x 24 grid of
   // 1024-bounded tiles.
   const CrossbarMapping mapping(3000, 1, {8, 8, true});
-  const auto plan = plan_tiles(mapping, {}, 1e-5, 1.0);
+  const auto plan = plan_tiles(mapping, TileConstraints{}, 1e-5, 1.0);
   EXPECT_EQ(plan.grid_rows, 3u);
   EXPECT_EQ(plan.grid_columns, 24u);
   EXPECT_EQ(plan.num_tiles, 72u);
@@ -35,14 +37,14 @@ TEST(Tiling, PaperScaleInstanceTiles) {
 
 TEST(Tiling, CoverageIsComplete) {
   const CrossbarMapping mapping(777, 2, {6, 8, true});
-  const auto plan = plan_tiles(mapping, {}, 1e-5, 1.0);
+  const auto plan = plan_tiles(mapping, TileConstraints{}, 1e-5, 1.0);
   EXPECT_GE(plan.tile_rows * plan.grid_rows, plan.logical_rows);
   EXPECT_GE(plan.tile_columns * plan.grid_columns, plan.logical_columns);
 }
 
 TEST(Tiling, TilingImprovesIrDrop) {
   const CrossbarMapping mapping(3000, 1, {8, 8, true});
-  const auto plan = plan_tiles(mapping, {}, 1e-5, 1.0);
+  const auto plan = plan_tiles(mapping, TileConstraints{}, 1e-5, 1.0);
   EXPECT_GT(plan.tile_ir_attenuation, plan.monolithic_ir_attenuation);
   EXPECT_LE(plan.tile_ir_attenuation, 1.0);
 }
@@ -65,6 +67,99 @@ TEST(Tiling, ValidatesConstraints) {
   TileConstraints bad;
   bad.max_rows = 0;
   EXPECT_THROW(plan_tiles(mapping, bad, 1e-5, 1.0), fecim::contract_error);
+}
+
+// ---------------------------------------------------------------------------
+// plan_tiles / plan_row_bands edge cases: exact divisibility, remainder
+// bands, and constraints larger than the logical array.
+// ---------------------------------------------------------------------------
+
+TEST(Tiling, ExactlyDivisibleLogicalSize) {
+  // 2048 rows / 512-row tiles: no remainder anywhere, four equal bands.
+  const CrossbarMapping mapping(2048, 1, {8, 8, true});
+  TileConstraints constraints;
+  constraints.max_rows = 512;
+  constraints.max_columns = 2048;
+  const auto plan = plan_tiles(mapping, constraints, 1e-5, 1.0);
+  EXPECT_EQ(plan.grid_rows, 4u);
+  EXPECT_EQ(plan.tile_rows, 512u);
+  EXPECT_EQ(plan.tile_rows * plan.grid_rows, plan.logical_rows);
+  // 2048 * 8 bits = 16384 columns / 2048 -> exactly 8 column bands.
+  EXPECT_EQ(plan.grid_columns, 8u);
+  EXPECT_EQ(plan.tile_columns * plan.grid_columns, plan.logical_columns);
+
+  const auto bands = plan_row_bands(2048, 512);
+  ASSERT_EQ(bands.size(), 4u);
+  for (const auto& band : bands) EXPECT_EQ(band.rows(), 512u);
+}
+
+TEST(Tiling, SingleRowRemainderBand) {
+  // 1025 rows under a 512 cap: the balanced split still never leaves a
+  // one-row runt (ceil(1025/3) = 342 -> bands 342/342/341), and the band
+  // list covers the row range exactly, in order, without overlap.
+  const auto bands = plan_row_bands(1025, 512);
+  ASSERT_EQ(bands.size(), 3u);
+  EXPECT_EQ(bands[0].rows(), 342u);
+  EXPECT_EQ(bands[1].rows(), 342u);
+  EXPECT_EQ(bands[2].rows(), 341u);
+  std::size_t covered = 0;
+  std::uint32_t cursor = 0;
+  for (const auto& band : bands) {
+    EXPECT_EQ(band.row_begin, cursor);
+    EXPECT_LT(band.row_begin, band.row_end);
+    cursor = band.row_end;
+    covered += band.rows();
+  }
+  EXPECT_EQ(covered, 1025u);
+
+  // A genuinely pathological request (cap = n - 1) costs one extra band of
+  // about half the rows, never a single-row band.
+  const auto nearly = plan_row_bands(1025, 1024);
+  ASSERT_EQ(nearly.size(), 2u);
+  EXPECT_EQ(nearly[0].rows(), 513u);
+  EXPECT_EQ(nearly[1].rows(), 512u);
+}
+
+TEST(Tiling, ConstraintsLargerThanLogicalArrayDegenerate) {
+  // Caps beyond the logical extent must degenerate to one monolithic tile.
+  const CrossbarMapping mapping(96, 1, {8, 8, true});  // 96 x 768
+  TileConstraints roomy;
+  roomy.max_rows = 4096;
+  roomy.max_columns = 1 << 20;
+  const auto plan = plan_tiles(mapping, roomy, 1e-5, 1.0);
+  EXPECT_EQ(plan.num_tiles, 1u);
+  EXPECT_EQ(plan.grid_rows, 1u);
+  EXPECT_EQ(plan.grid_columns, 1u);
+  EXPECT_EQ(plan.tile_rows, 96u);
+  EXPECT_EQ(plan.tile_columns, 768u);
+  EXPECT_DOUBLE_EQ(plan.tile_ir_attenuation, plan.monolithic_ir_attenuation);
+
+  const auto bands = plan_row_bands(96, 4096);
+  ASSERT_EQ(bands.size(), 1u);
+  EXPECT_EQ(bands[0].row_begin, 0u);
+  EXPECT_EQ(bands[0].row_end, 96u);
+}
+
+TEST(Tiling, TileShapeOverloadMatchesConstraints) {
+  const CrossbarMapping mapping(1000, 2, {8, 8, true});
+  TileShape shape;
+  shape.rows = 256;
+  shape.cols = 4096;
+  const auto from_shape = plan_tiles(mapping, shape, 1e-5, 1.0);
+  TileConstraints constraints;
+  constraints.max_rows = 256;
+  constraints.max_columns = 4096;
+  const auto from_constraints = plan_tiles(mapping, constraints, 1e-5, 1.0);
+  EXPECT_EQ(from_shape.grid_rows, from_constraints.grid_rows);
+  EXPECT_EQ(from_shape.grid_columns, from_constraints.grid_columns);
+  EXPECT_EQ(from_shape.tile_rows, from_constraints.tile_rows);
+  EXPECT_DOUBLE_EQ(from_shape.tile_ir_attenuation,
+                   from_constraints.tile_ir_attenuation);
+
+  // The all-zero shape is the documented monolithic default.
+  EXPECT_TRUE(TileShape{}.monolithic());
+  const auto monolithic = plan_tiles(mapping, TileShape{}, 1e-5, 1.0);
+  EXPECT_EQ(monolithic.num_tiles, 1u);
 }
 
 }  // namespace

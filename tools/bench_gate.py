@@ -7,10 +7,14 @@ Compares every (n, engine) row the two files share, the sampler entry, and
 the deterministic (n, kind="analog") campaign rows (bench_hotpath emits its
 n=256 campaign rows in every mode precisely so the smoke run has baseline
 rows to land on; the "analog-noisy" rows track threads-scaling, a host
-property, and are never gated).  The "ingestion" entry (Gset-scale parse +
-program, new in schema v4) is likewise tracked for the perf trajectory but
-never gated: smoke and baseline run it at different instance sizes, so a
-ratio between them is meaningless.
+property, and are never gated).  The "analog-noisy-tiled" engine rows
+(schema v5: the noisy sweep over a 4-tile row grid with per-tile ADC
+conversions and digital partial-sum accumulation) gate exactly like the
+other engine rows -- the smoke run emits its n=256 tiled row so the tiled
+hot path is regression-gated alongside the monolithic one.  The
+"ingestion" entry (Gset-scale parse + program, new in schema v4) is
+tracked for the perf trajectory but never gated: smoke and baseline run it
+at different instance sizes, so a ratio between them is meaningless.
 A row regresses when BOTH signals drop more than the tolerance below the
 baseline (default 10%, override with FECIM_BENCH_TOLERANCE=0.15 etc.):
 

@@ -6,7 +6,8 @@
 #   3. smoke-run the hot-path benchmark and gate its speedups against the
 #      tracked baseline in BENCH_hotpath.json (tools/bench_gate.py; >10%
 #      regressions on both signals fail, FECIM_BENCH_TOLERANCE overrides;
-#      campaign rows are gated alongside the engine rows),
+#      campaign rows and the tiled analog-noisy row are gated alongside the
+#      engine rows),
 #   4. smoke-run the quickstart example and fecim_solve on every COP family
 #      (maxcut, coloring, knapsack, partition, tsp, qubo), both generated
 #      and file-backed (examples/data/ fixtures, one per file format) plus
@@ -65,6 +66,13 @@ for family in maxcut coloring knapsack partition tsp qubo; do
 done
 echo "check.sh: fecim_solve family smoke OK"
 
+# Tiled-execution smoke: one campaign over a 4-band tile grid exercises the
+# TilePlan path end to end (per-tile conversions, partial-sum accumulation,
+# the --tile-rows/--tile-cols plumbing).
+./build/tools/fecim_solve --nodes 96 --tile-rows 24 --tile-cols 512 \
+  --iterations 500 --runs 2 --threads 2 --csv >/dev/null
+echo "check.sh: tiled execution smoke OK"
+
 # Ingestion smoke: every family loads its file format from the tracked
 # fixtures, and one --batch manifest runs a multi-instance campaign.
 declare -A fixture=(
@@ -73,10 +81,12 @@ declare -A fixture=(
   [knapsack]=examples/data/knapsack_p01.kp
   [partition]=examples/data/partition_perfect.txt
   [tsp]=examples/data/tsp_pentagon.xy
+  [tsplib]=examples/data/tsp_ulysses5.tsp
   [qubo]=examples/data/qubo_mis8.qubo
 )
 for family in "${!fixture[@]}"; do
-  ./build/tools/fecim_solve --problem "${family}" --file "${fixture[$family]}" \
+  problem="${family%lib}"  # the tsplib fixture loads through --problem tsp
+  ./build/tools/fecim_solve --problem "${problem}" --file "${fixture[$family]}" \
     --iterations 300 --runs 2 --threads 2 --csv >/dev/null
 done
 ./build/tools/fecim_solve --batch examples/data/campaign.batch \

@@ -17,8 +17,8 @@
 //   --problem F          maxcut|coloring|knapsack|partition|tsp|qubo [maxcut]
 //   --file PATH          load the instance from a file (format per family:
 //                        maxcut Gset, coloring DIMACS .col, knapsack/
-//                        partition/tsp instance_io.hpp formats, qubo
-//                        QPLIB-subset triplets)
+//                        partition instance_io.hpp formats, tsp coordinate
+//                        list or TSPLIB EUC_2D, qubo QPLIB-subset triplets)
 //   --batch MANIFEST     run every "<family> <path> [name]" line of the
 //                        manifest as its own campaign (paths resolve
 //                        relative to the manifest; one row per instance)
@@ -29,6 +29,9 @@
 //   --flips N            spins flipped per iteration (|F|)   [2]
 //   --gain X             acceptance comparator gain          [auto by family]
 //   --bits N             weight quantization bits            [8]
+//   --tile-rows N        max physical rows per crossbar tile
+//                        (0 = monolithic array)              [0]
+//   --tile-cols N        max physical columns per tile       [0]
 //   --seed N             instance/run base seed              [1]
 //   --csv                emit CSV rows instead of the report
 // family-specific (generated instances only):
@@ -83,6 +86,8 @@ struct Options {
   std::size_t flips = 2;
   double gain = 0.0;  // 0 = auto (16 unconstrained, 4 constrained)
   int bits = 8;
+  std::size_t tile_rows = 0;  // 0 = monolithic
+  std::size_t tile_cols = 0;
   std::uint64_t seed = 1;
   bool csv = false;
   // Family-specific instance knobs.
@@ -107,7 +112,7 @@ struct Options {
       "  --annealer KIND   this-work | this-work-ideal | cim-fpga | cim-asic"
       " | mesa\n"
       "  --iterations N  --runs N  --threads N  --flips N  --gain X\n"
-      "  --bits N  --seed N  --csv\n"
+      "  --bits N  --tile-rows N  --tile-cols N  --seed N  --csv\n"
       "family-specific: --nodes N --degree X --colors K --items N\n"
       "  --capacity W --numbers N --cities N --penalty A\n",
       argv0);
@@ -177,6 +182,8 @@ Options parse(int argc, char** argv) {
     else if (arg == "--flips") options.flips = next_size("--flips");
     else if (arg == "--gain") options.gain = next_double("--gain");
     else if (arg == "--bits") options.bits = static_cast<int>(next_size("--bits"));
+    else if (arg == "--tile-rows") options.tile_rows = next_size("--tile-rows");
+    else if (arg == "--tile-cols") options.tile_cols = next_size("--tile-cols");
     else if (arg == "--seed") options.seed = next_size("--seed");
     else if (arg == "--csv") options.csv = true;
     else if (arg == "--nodes") options.nodes = next_size("--nodes");
@@ -277,7 +284,7 @@ core::ProblemInstance make_family_problem(const std::string& family,
   }
   if (family == "tsp") {
     auto instance = file.empty() ? problems::random_tsp(options.cities, seed)
-                                 : problems::read_tsp_coords_file(file);
+                                 : problems::read_tsp_file(file);
     return problems::make_tsp_problem(
         file.empty() ? "tsp-" + std::to_string(options.cities)
                      : instance_name,
@@ -336,6 +343,10 @@ SolveOutcome solve(const core::ProblemInstance& problem,
       options.gain > 0.0 ? options.gain : (constrained ? 4.0 : 16.0);
   if (constrained) outcome.setup.variation = {0.01, 0.02, 0.0, 0.0};
   outcome.setup.bits = options.bits;
+  // Tile-partitioned execution: bound the physical tile (0 = monolithic);
+  // the engines sweep the tile grid and accumulate partial sums digitally.
+  outcome.setup.tiles = crossbar::TileShape{options.tile_rows,
+                                            options.tile_cols};
 
   outcome.kind = kind_from_name(options.annealer);
   const auto annealer =
@@ -415,6 +426,19 @@ void print_report(const core::ProblemInstance& problem,
   std::printf("adc events : %llu conversions total across runs\n",
               static_cast<unsigned long long>(
                   result.total_ledger.adc_conversions));
+  if (!outcome.setup.tiles.monolithic()) {
+    const auto bands = crossbar::plan_row_bands(
+        problem.model->num_spins(), outcome.setup.tiles.rows);
+    std::printf("tiling     : tile caps %zu rows x %zu cols (0 = unbounded), "
+                "%zu row bands, %llu tile activations, "
+                "%llu partial-sum merges\n",
+                outcome.setup.tiles.rows, outcome.setup.tiles.cols,
+                bands.size(),
+                static_cast<unsigned long long>(
+                    result.total_ledger.tile_activations),
+                static_cast<unsigned long long>(
+                    result.total_ledger.partial_sum_updates));
+  }
 }
 
 struct BatchEntry {
