@@ -31,8 +31,12 @@
 //      allocations, thread spawn per call, merge mutex); "analog-noisy"
 //      measures replica-parallel scaling of the stochastic path
 //      (threads=N vs threads=1 -- legal since counter-keyed noise streams
-//      unbound runs from a shared RNG).  The n=256 rows run in every mode
-//      so check.sh smoke passes always have baseline rows to gate on.
+//      unbound runs from a shared RNG).  "analog-lifecycle" reruns the
+//      deterministic campaign with an armed (never-tripping) run deadline
+//      against the token-free path, pinning the amortized cancellation
+//      poll's overhead at ~1.0x (PERF.md invariant).  The n=256 rows run in
+//      every mode so check.sh smoke passes always have baseline rows to
+//      gate on.
 //
 // Emits machine-readable JSON (default BENCH_hotpath.json; FECIM_BENCH_OUT
 // overrides) so the perf trajectory is tracked across PRs.
@@ -541,6 +545,51 @@ CampaignRow bench_noisy_campaign(std::size_t n, std::size_t runs,
   return row;
 }
 
+/// Lifecycle-overhead row: the identical deterministic campaign with and
+/// without an active CancellationToken (a generous run deadline arms the
+/// amortized in-loop poll; the token-free run reduces it to one predictable
+/// branch per kCancellationCheckStride iterations).  The speedup is the
+/// no-token/with-token wall-clock ratio -- PERF.md pins it at ~1.0, i.e. the
+/// run lifecycle costs under a percent of campaign throughput, and the bench
+/// gate fails the build if token overhead ever grows past its tolerance.
+CampaignRow bench_lifecycle_campaign(std::size_t n, std::size_t runs,
+                                     std::size_t iterations) {
+  const auto instance = campaign_instance(n);
+
+  CampaignRow row;
+  row.n = n;
+  row.kind = "analog-lifecycle";
+  row.runs = runs;
+  row.iterations = iterations;
+  row.threads = util::worker_threads();
+
+  auto config = analog_config(/*noisy=*/false);
+  config.iterations = iterations;
+  config.flips_per_iteration = 2;
+  config.flip_selection = core::InSituConfig::FlipSelection::kRandom;
+  const core::InSituCimAnnealer annealer(instance.model, config);
+
+  core::CampaignConfig plain;
+  plain.runs = runs;
+  core::CampaignConfig with_deadlines = plain;
+  with_deadlines.run_timeout_seconds = 3600.0;  // never trips; polls stay hot
+
+  double plain_energy = 0.0;
+  row.legacy_seconds = best_of_three_seconds([&] {
+    const auto result = core::run_campaign(annealer, instance, plain);
+    plain_energy = result.per_run.front().best_energy;
+  });
+  row.optimized_seconds = best_of_three_seconds([&] {
+    const auto result = core::run_campaign(annealer, instance, with_deadlines);
+    // An untripped deadline must not perturb the run stream.
+    if (result.per_run.front().best_energy != plain_energy)
+      std::printf("(lifecycle campaign determinism mismatch)\n");
+  });
+
+  row.speedup = row.legacy_seconds / row.optimized_seconds;
+  return row;
+}
+
 // ---------------------------------------------------------------------------
 
 void write_json(const std::string& path, const std::string& mode,
@@ -666,15 +715,18 @@ int main() {
     for (const auto n : campaign_sizes) {
       campaigns.push_back(bench_campaign(n, runs, iterations));
       campaigns.push_back(bench_noisy_campaign(n, runs, iterations / 4));
+      campaigns.push_back(bench_lifecycle_campaign(n, runs, iterations));
     }
     for (const auto& row : campaigns) {
+      const char* reference_label = "legacy";
+      if (row.kind == "analog-noisy") reference_label = "serial";
+      if (row.kind == "analog-lifecycle") reference_label = "no-token";
       std::printf(
           "campaign n=%zu %s runs=%zu iters=%zu threads=%zu: optimized "
           "%.3fs, %s %.3fs, speedup %.2fx\n",
           row.n, row.kind.c_str(), row.runs, row.iterations, row.threads,
-          row.optimized_seconds,
-          row.kind == "analog-noisy" ? "serial" : "legacy",
-          row.legacy_seconds, row.speedup);
+          row.optimized_seconds, reference_label, row.legacy_seconds,
+          row.speedup);
     }
   }
 

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/run_lifecycle.hpp"
 #include "cost/components.hpp"
 #include "crossbar/cost_ledger.hpp"
 #include "ising/ising_model.hpp"
@@ -52,7 +53,18 @@ class Annealer {
   virtual ~Annealer() = default;
 
   /// Execute one independent annealing run.  Thread-safe.
-  virtual AnnealResult run(std::uint64_t seed) const = 0;
+  AnnealResult run(std::uint64_t seed) const {
+    return run(seed, CancellationToken::none());
+  }
+
+  /// Execute one run under a cooperative cancellation token: the sweep loop
+  /// polls the token every kCancellationCheckStride iterations (including
+  /// iteration 0) and aborts by throwing run_timeout_error /
+  /// run_cancelled_error.  An inactive token must cost no more than one
+  /// predictable branch per stride (pinned by the "analog-lifecycle" bench
+  /// row).  Thread-safe.
+  virtual AnnealResult run(std::uint64_t seed,
+                           const CancellationToken& token) const = 0;
 
   /// Exponential-unit hardware this annealer carries (for cost translation).
   virtual cost::ExpUnit exp_unit() const noexcept = 0;

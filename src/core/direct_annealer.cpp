@@ -53,7 +53,8 @@ DirectEAnnealer::DirectEAnnealer(std::shared_ptr<const ising::IsingModel> model,
                                              config_.flips_per_iteration);
 }
 
-AnnealResult DirectEAnnealer::run(std::uint64_t seed) const {
+AnnealResult DirectEAnnealer::run(std::uint64_t seed,
+                                  const CancellationToken& token) const {
   util::Rng rng(seed);
   const std::size_t n = model_->num_spins();
 
@@ -87,7 +88,12 @@ AnnealResult DirectEAnnealer::run(std::uint64_t seed) const {
     result.ledger_trajectory.reserve(config_.iterations / stride + 1);
   }
 
+  // Amortized cancellation poll (see PERF.md invariant 6).
+  const bool check_cancellation = token.active();
+
   for (std::size_t it = 0; it < config_.iterations; ++it) {
+    if (check_cancellation && (it & (kCancellationCheckStride - 1)) == 0)
+      token.raise_if_stopped();
     const double temperature = schedule.temperature(it);
     ising::random_flip_set_into(flips, model_->num_flippable(),
                                 config_.flips_per_iteration, rng);

@@ -47,7 +47,9 @@ class DirectEAnnealer final : public Annealer {
   DirectEAnnealer(std::shared_ptr<const ising::IsingModel> model,
                   DirectEConfig config);
 
-  AnnealResult run(std::uint64_t seed) const override;
+  using Annealer::run;
+  AnnealResult run(std::uint64_t seed,
+                   const CancellationToken& token) const override;
 
   cost::ExpUnit exp_unit() const noexcept override { return config_.exp_unit; }
   std::string_view name() const noexcept override {

@@ -131,7 +131,8 @@ void InSituCimAnnealer::cluster_flip_set(util::Rng& rng,
   for (const auto f : flips) member[f] = 0;
 }
 
-AnnealResult InSituCimAnnealer::run(std::uint64_t seed) const {
+AnnealResult InSituCimAnnealer::run(std::uint64_t seed,
+                                    const CancellationToken& token) const {
   util::Rng rng(seed);
   const std::size_t n = model_->num_spins();
   const bool analog = config_.engine == InSituConfig::EngineKind::kAnalog;
@@ -183,7 +184,14 @@ AnnealResult InSituCimAnnealer::run(std::uint64_t seed) const {
   ising::SweepFlipGenerator sweep(model_->num_flippable(),
                                   config_.flips_per_iteration);
 
+  // Amortized cancellation poll: one predictable branch per iteration when
+  // the token is inactive, a clock read every kCancellationCheckStride
+  // iterations when it is (see PERF.md invariant 6).
+  const bool check_cancellation = token.active();
+
   for (std::size_t it = 0; it < config_.iterations; ++it) {
+    if (check_cancellation && (it & (kCancellationCheckStride - 1)) == 0)
+      token.raise_if_stopped();
     const auto point = schedule_.at(it);
     if (point.vbg != previous_vbg) {
       ++result.ledger.bg_dac_updates;

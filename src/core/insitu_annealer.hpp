@@ -84,7 +84,9 @@ class InSituCimAnnealer final : public Annealer {
   InSituCimAnnealer(std::shared_ptr<const ising::IsingModel> model,
                     InSituConfig config);
 
-  AnnealResult run(std::uint64_t seed) const override;
+  using Annealer::run;
+  AnnealResult run(std::uint64_t seed,
+                   const CancellationToken& token) const override;
 
   cost::ExpUnit exp_unit() const noexcept override {
     return cost::ExpUnit::kNone;  // fractional factor realized in situ

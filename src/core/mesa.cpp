@@ -30,7 +30,8 @@ MesaAnnealer::MesaAnnealer(std::shared_ptr<const ising::IsingModel> model,
   t_start_ = probe.calibrated_t_start();
 }
 
-AnnealResult MesaAnnealer::run(std::uint64_t seed) const {
+AnnealResult MesaAnnealer::run(std::uint64_t seed,
+                               const CancellationToken& token) const {
   util::Rng rng(seed);
   const std::size_t n = model_->num_spins();
   const std::size_t base_per_epoch =
@@ -52,6 +53,11 @@ AnnealResult MesaAnnealer::run(std::uint64_t seed) const {
   result.best_spins = spins;
   result.best_energy = energy;
 
+  // Amortized cancellation poll; `global_it` strides across epoch
+  // boundaries so the poll cadence matches the single-schedule annealers.
+  const bool check_cancellation = token.active();
+  std::uint64_t global_it = 0;
+
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     // Each epoch restarts from the incumbent best with a reheated (but
     // decaying) temperature ladder.
@@ -66,7 +72,10 @@ AnnealResult MesaAnnealer::run(std::uint64_t seed) const {
         {epoch_t_start, epoch_t_start * config_.base.t_end_fraction,
          per_epoch, config_.base.schedule_kind});
 
-    for (std::size_t it = 0; it < per_epoch; ++it) {
+    for (std::size_t it = 0; it < per_epoch; ++it, ++global_it) {
+      if (check_cancellation &&
+          (global_it & (kCancellationCheckStride - 1)) == 0)
+        token.raise_if_stopped();
       const double temperature = schedule.temperature(it);
       const auto flips = ising::random_flip_set(
           model_->num_flippable(), config_.base.flips_per_iteration, rng);

@@ -23,7 +23,9 @@ class MesaAnnealer final : public Annealer {
   MesaAnnealer(std::shared_ptr<const ising::IsingModel> model,
                MesaConfig config);
 
-  AnnealResult run(std::uint64_t seed) const override;
+  using Annealer::run;
+  AnnealResult run(std::uint64_t seed,
+                   const CancellationToken& token) const override;
 
   cost::ExpUnit exp_unit() const noexcept override {
     return config_.base.exp_unit;

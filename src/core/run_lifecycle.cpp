@@ -1,0 +1,56 @@
+#include "core/run_lifecycle.hpp"
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fecim::core {
+
+const char* run_status_name(RunStatus status) noexcept {
+  switch (status) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kFailed:
+      return "failed";
+    case RunStatus::kTimedOut:
+      return "timed-out";
+    case RunStatus::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+RunStatus parse_run_status(const std::string& name) {
+  if (name == "ok") return RunStatus::kOk;
+  if (name == "failed") return RunStatus::kFailed;
+  if (name == "timed-out") return RunStatus::kTimedOut;
+  if (name == "cancelled") return RunStatus::kCancelled;
+  FECIM_EXPECTS(false && "unknown run status name");
+  return RunStatus::kFailed;  // unreachable
+}
+
+const CancellationToken& CancellationToken::none() noexcept {
+  static const CancellationToken token;
+  return token;
+}
+
+void CancellationToken::raise_if_stopped() const {
+  switch (status()) {
+    case RunStatus::kCancelled:
+      throw run_cancelled_error("campaign time limit reached");
+    case RunStatus::kTimedOut:
+      throw run_timeout_error("run deadline exceeded");
+    default:
+      return;
+  }
+}
+
+std::uint64_t run_attempt_seed(std::uint64_t seed, std::uint32_t attempt) {
+  if (attempt == 0) return seed;
+  // Golden-ratio stride separates attempt streams before the SplitMix64
+  // finalizer; distinct attempts of the same run never share a stream.
+  std::uint64_t state =
+      seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(attempt);
+  return util::splitmix64(state);
+}
+
+}  // namespace fecim::core

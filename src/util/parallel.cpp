@@ -18,6 +18,22 @@ namespace {
 /// it participates); nested parallel_for calls detect it and run inline.
 thread_local bool tl_in_parallel_region = false;
 
+std::vector<std::string> describe_errors(
+    const std::vector<std::exception_ptr>& errors) {
+  std::vector<std::string> messages;
+  messages.reserve(errors.size());
+  for (const auto& error : errors) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      messages.emplace_back(e.what());
+    } catch (...) {
+      messages.emplace_back("unknown exception");
+    }
+  }
+  return messages;
+}
+
 /// One parallel_for invocation.  Heap-owned via shared_ptr so a worker that
 /// wakes late (after the caller returned) can still inspect the claim
 /// counters safely; it then finds the index range exhausted and never
@@ -31,8 +47,9 @@ struct Job {
   std::atomic<std::size_t> done{0};          ///< indices fully processed
   std::atomic<std::size_t> slots{0};         ///< participation tickets
   std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex mutex;                          ///< guards error + completion cv
+  std::size_t failure_count = 0;             ///< guarded by mutex
+  std::vector<std::exception_ptr> errors;    ///< first kMaxMessages, guarded
+  std::mutex mutex;                          ///< guards errors + completion cv
   std::condition_variable completed;
 };
 
@@ -48,7 +65,9 @@ void execute(Job& job) {
         (*job.body)(i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(job.mutex);
-        if (!job.error) job.error = std::current_exception();
+        ++job.failure_count;
+        if (job.errors.size() < parallel_error::kMaxMessages)
+          job.errors.push_back(std::current_exception());
         job.failed.store(true, std::memory_order_relaxed);
       }
     }
@@ -107,7 +126,12 @@ class ThreadPool {
       const std::lock_guard<std::mutex> lock(mutex_);
       job_.reset();
     }
-    if (job->error) std::rethrow_exception(job->error);
+    // All workers are done with the job here, so the error fields need no
+    // lock.  One failure rethrows the original exception; concurrent
+    // failures aggregate so none is silently dropped.
+    if (job->failure_count == 1) std::rethrow_exception(job->errors.front());
+    if (job->failure_count > 1)
+      throw parallel_error(job->failure_count, describe_errors(job->errors));
   }
 
  private:
@@ -157,7 +181,28 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+std::string compose_parallel_error_message(
+    std::size_t failures, const std::vector<std::string>& messages) {
+  std::string text = std::to_string(failures) + " parallel task" +
+                     (failures == 1 ? "" : "s") + " failed";
+  const char* separator = ": ";
+  for (const auto& message : messages) {
+    text += separator;
+    text += message;
+    separator = "; ";
+  }
+  if (failures > messages.size())
+    text += "; " + std::to_string(failures - messages.size()) + " more";
+  return text;
+}
+
 }  // namespace
+
+parallel_error::parallel_error(std::size_t failures,
+                               std::vector<std::string> messages)
+    : std::runtime_error(compose_parallel_error_message(failures, messages)),
+      failures_(failures),
+      messages_(std::move(messages)) {}
 
 std::size_t resolved_parallel_threads(std::size_t count, std::size_t threads) {
   if (threads == 0) threads = worker_threads();

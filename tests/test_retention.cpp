@@ -77,6 +77,48 @@ TEST(Retention, AnnealingRunOutlivesRetention) {
   EXPECT_EQ(model.refreshes_needed(5.5e-3, 3.2e6), 0u);
 }
 
+TEST(Retention, ZeroReadRateWithPureReadDisturbNeverRefreshes) {
+  // Decay-free device whose only loss mechanism is read disturb: at zero
+  // reads per second nothing ever degrades, so the refresh interval must be
+  // infinite instead of the bisection looping or dividing by zero.
+  const RetentionModel model({0.0, 1.0, 1e-9, 0.5});
+  EXPECT_TRUE(std::isinf(model.seconds_until_refresh(0.0)));
+  EXPECT_EQ(model.refreshes_needed(1e12, 0.0), 0u);
+  // With reads flowing the same device does wear out.
+  EXPECT_TRUE(std::isfinite(model.seconds_until_refresh(1e6)));
+}
+
+TEST(Retention, ExactRefreshBoundary) {
+  // A campaign exactly as long as the refresh interval needs no refresh
+  // (the margin reaches the threshold as the campaign ends); any longer
+  // needs one.  Pins the >= comparison in refreshes_needed.
+  const RetentionModel model({0.05, 1.0, 0.0, 0.8});
+  const double interval = model.seconds_until_refresh(0.0);
+  ASSERT_TRUE(std::isfinite(interval));
+  EXPECT_EQ(model.refreshes_needed(interval, 0.0), 0u);
+  EXPECT_EQ(model.refreshes_needed(interval * 1.001, 0.0), 1u);
+  EXPECT_EQ(model.refreshes_needed(interval * 2.001, 0.0), 2u);
+}
+
+TEST(Retention, ExtremeElapsedStaysClamped) {
+  // Near-overflow elapsed times and read counts must saturate at 0, not go
+  // negative or NaN -- cost models feed campaign-scale numbers in here.
+  const RetentionModel model;
+  const double huge = 1e300;
+  EXPECT_DOUBLE_EQ(model.polarization_fraction(huge), 0.0);
+  EXPECT_DOUBLE_EQ(model.memory_window_fraction(huge), 0.0);
+  const std::uint64_t max_reads = ~std::uint64_t{0};
+  EXPECT_DOUBLE_EQ(model.polarization_fraction(0.0, max_reads), 0.0);
+  EXPECT_DOUBLE_EQ(model.polarization_fraction(huge, max_reads), 0.0);
+}
+
+TEST(Retention, NegativeInputsViolateContracts) {
+  const RetentionModel model;
+  EXPECT_THROW(model.polarization_fraction(-1.0), fecim::contract_error);
+  EXPECT_THROW(model.seconds_until_refresh(-1.0), fecim::contract_error);
+  EXPECT_THROW(model.refreshes_needed(-1.0, 0.0), fecim::contract_error);
+}
+
 TEST(Retention, ValidatesParams) {
   EXPECT_THROW(RetentionModel({-0.1, 1.0, 0.0, 0.5}), fecim::contract_error);
   EXPECT_THROW(RetentionModel({0.02, 0.0, 0.0, 0.5}), fecim::contract_error);

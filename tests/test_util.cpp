@@ -234,6 +234,53 @@ TEST(ParallelFor, ZeroCountIsNoop) {
   fecim::util::parallel_for(0, [](std::size_t) { FAIL(); }, 4);
 }
 
+TEST(ParallelFor, SingleFailureRethrowsOriginalType) {
+  // One failing task rethrows the original exception unchanged -- callers
+  // catching a specific type (contract_error, run_error, ...) keep working.
+  EXPECT_THROW(
+      fecim::util::parallel_for(
+          8, [](std::size_t i) { if (i == 3) FECIM_EXPECTS(false); }, 2),
+      fecim::contract_error);
+}
+
+TEST(ParallelFor, ConcurrentFailuresAggregate) {
+  // Two tasks rendezvous on an atomic barrier, then both throw: neither
+  // can win the old first-exception race, so both messages must survive in
+  // the composite parallel_error.
+  std::atomic<int> arrived{0};
+  try {
+    fecim::util::parallel_for(
+        2,
+        [&](std::size_t i) {
+          arrived.fetch_add(1);
+          while (arrived.load() < 2) std::this_thread::yield();
+          throw std::runtime_error("task " + std::to_string(i) + " failed");
+        },
+        2);
+    FAIL() << "parallel_for should have thrown";
+  } catch (const fecim::util::parallel_error& e) {
+    EXPECT_EQ(e.failures(), 2u);
+    ASSERT_EQ(e.messages().size(), 2u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 parallel tasks failed"), std::string::npos);
+    EXPECT_NE(what.find("task 0 failed"), std::string::npos);
+    EXPECT_NE(what.find("task 1 failed"), std::string::npos);
+  }
+}
+
+TEST(ParallelFor, PoolSurvivesThrowingJob) {
+  // A failed job must leave the shared pool usable: the next parallel_for
+  // still visits every index (no stuck workers, no poisoned job slot).
+  try {
+    fecim::util::parallel_for(
+        8, [](std::size_t) { throw std::runtime_error("poison"); }, 4);
+  } catch (const std::runtime_error&) {
+  }
+  std::vector<std::atomic<int>> counts(256);
+  fecim::util::parallel_for(256, [&](std::size_t i) { ++counts[i]; }, 4);
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
 TEST(Contracts, ExpectsThrowsContractError) {
   EXPECT_THROW(FECIM_EXPECTS(false), fecim::contract_error);
   EXPECT_NO_THROW(FECIM_EXPECTS(true));

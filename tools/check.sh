@@ -15,22 +15,37 @@
 #      instructions, the unified solver pipeline, and the ingestion
 #      subsystem stay honest.
 #
-# Usage: tools/check.sh [--full-bench]
+# Usage: tools/check.sh [--full-bench] [--sanitize]
 #   --full-bench   additionally run bench_hotpath at its full sizes,
 #                  rewriting BENCH_hotpath.json in the repo root (do this
 #                  when a PR intentionally moves hot-path performance).
+#   --sanitize     build the asan-ubsan preset (address + undefined-behavior
+#                  sanitizers, no recovery) and run the tier-1 tests under
+#                  it, then exit -- a separate mode because sanitized
+#                  binaries are too slow for the bench gate to be
+#                  meaningful.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
 
 full_bench=0
+sanitize=0
 for arg in "$@"; do
   case "${arg}" in
     --full-bench) full_bench=1 ;;
+    --sanitize) sanitize=1 ;;
     *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
   esac
 done
+
+if [[ "${sanitize}" == 1 ]]; then
+  cmake --preset asan-ubsan
+  cmake --build build-asan -j"$(nproc)"
+  ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
+  echo "check.sh: sanitized test suite OK"
+  exit 0
+fi
 
 if [[ -f CMakePresets.json ]]; then
   cmake --preset release
@@ -92,6 +107,38 @@ done
 ./build/tools/fecim_solve --batch examples/data/campaign.batch \
   --iterations 300 --runs 2 --threads 2 --csv >/dev/null
 echo "check.sh: file-backed ingestion smoke OK"
+
+# Fault-tolerance smoke (docs/robustness.md): a journaled campaign resumed
+# from its complete journal reproduces the CSV byte for byte; an injected
+# failure degrades the campaign instead of killing it; a batch with one
+# malformed instance exits non-zero but still reports every row.
+ft_journal="build/smoke_journal.txt"
+rm -f "${ft_journal}"
+./build/tools/fecim_solve --nodes 48 --iterations 400 --runs 4 --threads 2 \
+  --journal "${ft_journal}" --csv > build/smoke_ft_run.csv
+./build/tools/fecim_solve --nodes 48 --iterations 400 --runs 4 --threads 2 \
+  --journal "${ft_journal}" --resume --csv > build/smoke_ft_resume.csv
+cmp build/smoke_ft_run.csv build/smoke_ft_resume.csv
+./build/tools/fecim_solve --nodes 48 --iterations 400 --runs 4 --threads 2 \
+  --inject-fail 1 --retries 0 --csv | grep -q ",0.750," \
+  || { echo "check.sh: injected failure did not degrade completed_rate" >&2; exit 1; }
+ft_batch_dir="build/smoke_ft_batch"
+mkdir -p "${ft_batch_dir}"
+echo "not a gset file" > "${ft_batch_dir}/bad.gset"
+printf 'maxcut %s good\nmaxcut %s bad\n' \
+  "${repo_root}/examples/data/maxcut_petersen.gset" \
+  "${ft_batch_dir}/bad.gset" > "${ft_batch_dir}/manifest.batch"
+if ./build/tools/fecim_solve --batch "${ft_batch_dir}/manifest.batch" \
+  --iterations 300 --runs 2 --threads 2 --csv > "${ft_batch_dir}/out.csv" \
+  2>/dev/null; then
+  echo "check.sh: batch with a malformed instance should exit non-zero" >&2
+  exit 1
+fi
+grep -q '^good,' "${ft_batch_dir}/out.csv" \
+  || { echo "check.sh: surviving batch row missing" >&2; exit 1; }
+grep -q '^bad,.*,failed$' "${ft_batch_dir}/out.csv" \
+  || { echo "check.sh: failed batch row missing" >&2; exit 1; }
+echo "check.sh: fault-tolerance smoke OK"
 
 if [[ "${full_bench}" == 1 ]]; then
   ./build/bench/bench_hotpath

@@ -34,6 +34,19 @@
 //   --tile-cols N        max physical columns per tile       [0]
 //   --seed N             instance/run base seed              [1]
 //   --csv                emit CSV rows instead of the report
+// run lifecycle (docs/robustness.md):
+//   --success-threshold T success = within (1-T) of reference, T in (0,1] [0.9]
+//   --run-timeout S      per-run wall-clock deadline in seconds (0 = none);
+//                        an expired run is recorded timed-out   [0]
+//   --time-limit S       campaign wall-clock limit in seconds (0 = none);
+//                        runs past it are recorded cancelled    [0]
+//   --retries N          extra attempts for a failed run, reseeded
+//                        deterministically via (seed, attempt)  [0]
+//   --journal PATH       append-only per-run checkpoint journal
+//   --resume             skip runs already in --journal (bit-identical
+//                        campaign result)
+//   --inject-fail LIST   test hook: comma-separated run indices that throw
+//   --inject-hang LIST   test hook: run indices whose deadline pre-expires
 // family-specific (generated instances only):
 //   --nodes N            maxcut/coloring graph size, qubo variables
 //                        [800 / 16 / 64]
@@ -90,6 +103,15 @@ struct Options {
   std::size_t tile_cols = 0;
   std::uint64_t seed = 1;
   bool csv = false;
+  // Run lifecycle (docs/robustness.md).
+  double success_threshold = 0.9;
+  double run_timeout = 0.0;  // seconds, 0 = none
+  double time_limit = 0.0;   // seconds, 0 = none
+  std::size_t retries = 0;
+  std::string journal;
+  bool resume = false;
+  std::vector<std::size_t> inject_fail;
+  std::vector<std::size_t> inject_hang;
   // Family-specific instance knobs.
   std::size_t nodes = 0;  // 0 = family default
   double degree = 0.0;    // 0 = family default (2.5 coloring, 8 qubo)
@@ -113,6 +135,8 @@ struct Options {
       " | mesa\n"
       "  --iterations N  --runs N  --threads N  --flips N  --gain X\n"
       "  --bits N  --tile-rows N  --tile-cols N  --seed N  --csv\n"
+      "run lifecycle: --success-threshold T --run-timeout S --time-limit S\n"
+      "  --retries N --journal PATH --resume --inject-fail L --inject-hang L\n"
       "family-specific: --nodes N --degree X --colors K --items N\n"
       "  --capacity W --numbers N --cities N --penalty A\n",
       argv0);
@@ -138,21 +162,42 @@ std::size_t parse_size(const char* flag, const char* text) {
   return static_cast<std::size_t>(value);
 }
 
-double parse_double(const char* flag, const char* text) {
+/// Reject non-numeric text (end-pointer check), 'nan'/'inf' (a NaN capacity
+/// would sail past every range check downstream -- NaN compares false --
+/// into undefined casts), and out-of-range magnitudes: every double flag
+/// has a physically sensible [lo, hi] window, and a value outside it is a
+/// typo that deserves a diagnostic naming the flag, not a silent campaign
+/// with an absurd penalty.
+double parse_double(const char* flag, const char* text, double lo, double hi) {
   errno = 0;
   char* end = nullptr;
   const double value = std::strtod(text, &end);
-  // Reject 'nan'/'inf' too: a NaN capacity would sail past every range
-  // check downstream (NaN compares false) into undefined casts.
   if (end == text || *end != '\0' || errno == ERANGE ||
-      !std::isfinite(value)) {
+      !std::isfinite(value) || value < lo || value > hi) {
     std::fprintf(stderr,
                  "fecim_solve: invalid value '%s' for %s "
-                 "(expected a finite number)\n",
-                 text, flag);
+                 "(expected a finite number in [%g, %g])\n",
+                 text, flag, lo, hi);
     std::exit(2);
   }
   return value;
+}
+
+/// Comma-separated non-negative run indices, e.g. "0,2,5".
+std::vector<std::size_t> parse_run_list(const char* flag, const char* text) {
+  std::vector<std::size_t> runs;
+  const std::string list(text);
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string token =
+        list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    runs.push_back(parse_size(flag, token.c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return runs;
 }
 
 Options parse(int argc, char** argv) {
@@ -169,8 +214,8 @@ Options parse(int argc, char** argv) {
     auto next_size = [&](const char* flag) {
       return parse_size(flag, next(flag));
     };
-    auto next_double = [&](const char* flag) {
-      return parse_double(flag, next(flag));
+    auto next_double = [&](const char* flag, double lo, double hi) {
+      return parse_double(flag, next(flag), lo, hi);
     };
     if (arg == "--problem") options.problem = next("--problem");
     else if (arg == "--file") options.file = next("--file");
@@ -180,20 +225,39 @@ Options parse(int argc, char** argv) {
     else if (arg == "--runs") options.runs = next_size("--runs");
     else if (arg == "--threads") options.threads = next_size("--threads");
     else if (arg == "--flips") options.flips = next_size("--flips");
-    else if (arg == "--gain") options.gain = next_double("--gain");
+    else if (arg == "--gain") options.gain = next_double("--gain", 0.0, 1e6);
     else if (arg == "--bits") options.bits = static_cast<int>(next_size("--bits"));
     else if (arg == "--tile-rows") options.tile_rows = next_size("--tile-rows");
     else if (arg == "--tile-cols") options.tile_cols = next_size("--tile-cols");
     else if (arg == "--seed") options.seed = next_size("--seed");
     else if (arg == "--csv") options.csv = true;
+    else if (arg == "--success-threshold")
+      options.success_threshold =
+          next_double("--success-threshold", 1e-9, 1.0);
+    else if (arg == "--run-timeout")
+      options.run_timeout = next_double("--run-timeout", 0.0, 1e9);
+    else if (arg == "--time-limit")
+      options.time_limit = next_double("--time-limit", 0.0, 1e9);
+    else if (arg == "--retries") options.retries = next_size("--retries");
+    else if (arg == "--journal") options.journal = next("--journal");
+    else if (arg == "--resume") options.resume = true;
+    else if (arg == "--inject-fail")
+      options.inject_fail = parse_run_list("--inject-fail",
+                                           next("--inject-fail"));
+    else if (arg == "--inject-hang")
+      options.inject_hang = parse_run_list("--inject-hang",
+                                           next("--inject-hang"));
     else if (arg == "--nodes") options.nodes = next_size("--nodes");
-    else if (arg == "--degree") options.degree = next_double("--degree");
+    else if (arg == "--degree")
+      options.degree = next_double("--degree", 0.0, 1e6);
     else if (arg == "--colors") options.colors = next_size("--colors");
     else if (arg == "--items") options.items = next_size("--items");
-    else if (arg == "--capacity") options.capacity = next_double("--capacity");
+    else if (arg == "--capacity")
+      options.capacity = next_double("--capacity", 0.0, 1e15);
     else if (arg == "--numbers") options.numbers = next_size("--numbers");
     else if (arg == "--cities") options.cities = next_size("--cities");
-    else if (arg == "--penalty") options.penalty = next_double("--penalty");
+    else if (arg == "--penalty")
+      options.penalty = next_double("--penalty", 0.0, 1e12);
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else if (!arg.empty() && arg[0] == '-') usage(argv[0]);
     else options.file = arg;
@@ -213,6 +277,35 @@ Options parse(int argc, char** argv) {
                  "fecim_solve: --batch and --file are mutually exclusive\n");
     std::exit(2);
   }
+  if (options.resume && options.journal.empty()) {
+    std::fprintf(stderr, "fecim_solve: --resume requires --journal\n");
+    std::exit(2);
+  }
+  if (!options.batch.empty() &&
+      (!options.journal.empty() || !options.inject_fail.empty() ||
+       !options.inject_hang.empty())) {
+    // A journal checkpoints one campaign and injection indexes one
+    // campaign's runs; neither is meaningful across a manifest of
+    // campaigns.
+    std::fprintf(stderr,
+                 "fecim_solve: --journal/--inject-* do not combine with "
+                 "--batch\n");
+    std::exit(2);
+  }
+  for (const auto run : options.inject_fail)
+    if (run >= options.runs) {
+      std::fprintf(stderr,
+                   "fecim_solve: --inject-fail index %zu out of range "
+                   "(runs = %zu)\n", run, options.runs);
+      std::exit(2);
+    }
+  for (const auto run : options.inject_hang)
+    if (run >= options.runs) {
+      std::fprintf(stderr,
+                   "fecim_solve: --inject-hang index %zu out of range "
+                   "(runs = %zu)\n", run, options.runs);
+      std::exit(2);
+    }
   return options;
 }
 
@@ -355,7 +448,15 @@ SolveOutcome solve(const core::ProblemInstance& problem,
   core::CampaignConfig campaign;
   campaign.runs = options.runs;
   campaign.base_seed = options.seed;
+  campaign.success_threshold = options.success_threshold;
   campaign.threads = options.threads;
+  campaign.run_timeout_seconds = options.run_timeout;
+  campaign.time_limit_seconds = options.time_limit;
+  campaign.retries = options.retries;
+  campaign.journal_path = options.journal;
+  campaign.resume = options.resume;
+  campaign.inject.fail_runs = options.inject_fail;
+  campaign.inject.hang_runs = options.inject_hang;
   outcome.result = core::run_campaign(*annealer, problem, campaign);
   // Report the resolved worker count (threads=0 means "all cores"), never
   // the raw config value.
@@ -376,28 +477,29 @@ double safe_mean_objective(const core::CampaignResult& result) {
 void print_csv_header() {
   std::printf(
       "instance,family,annealer,runs,iterations,threads,best_objective,"
-      "mean_objective,reference,feasible_rate,success_rate,energy_j,"
-      "time_s\n");
+      "mean_objective,reference,completed_rate,feasible_rate,success_rate,"
+      "energy_j,time_s,status\n");
 }
 
 void print_csv_row(const core::ProblemInstance& problem,
                    const SolveOutcome& outcome, const Options& options) {
   const auto& result = outcome.result;
-  std::printf("%s,%s,%s,%zu,%zu,%zu,%.6g,%.6g,%.6g,%.3f,%.3f,%.6g,%.6g\n",
-              problem.name.c_str(), problem.family.c_str(),
-              options.annealer.c_str(), options.runs,
-              outcome.setup.iterations, outcome.threads,
-              result.best_objective(problem.sense),
-              safe_mean_objective(result), problem.reference_objective,
-              result.feasible_rate, result.success_rate,
-              result.energy.mean(), result.time.mean());
+  std::printf(
+      "%s,%s,%s,%zu,%zu,%zu,%.6g,%.6g,%.6g,%.3f,%.3f,%.3f,%.6g,%.6g,ok\n",
+      problem.name.c_str(), problem.family.c_str(),
+      options.annealer.c_str(), options.runs,
+      outcome.setup.iterations, outcome.threads,
+      result.best_objective(problem.sense),
+      safe_mean_objective(result), problem.reference_objective,
+      result.completed_rate, result.feasible_rate, result.success_rate,
+      result.energy.mean(), result.time.mean());
 }
+
 
 void print_report(const core::ProblemInstance& problem,
                   const SolveOutcome& outcome, const Options& options) {
   const auto& result = outcome.result;
   const double best = result.best_objective(problem.sense);
-  core::CampaignConfig defaults;
   std::printf("instance   : %s [%s] (%s; %zu spins)\n", problem.name.c_str(),
               problem.family.c_str(), problem.summary.c_str(),
               problem.model->num_spins());
@@ -415,11 +517,24 @@ void print_report(const core::ProblemInstance& problem,
                 result.objective.mean(), problem.reference_objective,
                 core::objective_sense_name(problem.sense));
   }
+  if (result.completed_rate < 1.0) {
+    std::size_t failed = 0;
+    std::size_t timed_out = 0;
+    std::size_t cancelled = 0;
+    for (const auto& record : result.per_run) {
+      failed += record.status == core::RunStatus::kFailed;
+      timed_out += record.status == core::RunStatus::kTimedOut;
+      cancelled += record.status == core::RunStatus::kCancelled;
+    }
+    std::printf("completed  : %.0f %% of runs (%zu failed, %zu timed out, "
+                "%zu cancelled); statistics cover completed runs only\n",
+                result.completed_rate * 100.0, failed, timed_out, cancelled);
+  }
   std::printf("feasible   : %.0f %% of runs satisfied every constraint\n",
               result.feasible_rate * 100.0);
   std::printf("success    : %.0f %% of runs within %.0f %% of reference\n",
               result.success_rate * 100.0,
-              (1.0 - defaults.success_threshold) * 100.0);
+              (1.0 - options.success_threshold) * 100.0);
   std::printf("hw cost    : %s, %s per run (mean)\n",
               util::si_format(result.energy.mean(), "J").c_str(),
               util::si_format(result.time.mean(), "s").c_str());
@@ -476,6 +591,17 @@ std::vector<BatchEntry> read_batch_manifest(const std::string& path) {
       });
 }
 
+/// Batch-isolation row for an instance whose campaign could not run at all
+/// (malformed file, infeasible encode): every result column is NaN/0 and
+/// the status column says why the row carries no numbers.
+void print_csv_failed_row(const BatchEntry& entry, const Options& options) {
+  const std::string display = !entry.name.empty() ? entry.name : entry.path;
+  std::printf("%s,%s,%s,%zu,0,0,nan,nan,nan,0.000,0.000,0.000,nan,nan,"
+              "failed\n",
+              display.c_str(), entry.family.c_str(),
+              options.annealer.c_str(), options.runs);
+}
+
 int run_batch(const Options& options) {
   const auto entries = read_batch_manifest(options.batch);
   // All campaigns in the batch share the process-wide persistent worker
@@ -483,30 +609,63 @@ int run_batch(const Options& options) {
   // per instance.
   if (options.csv) print_csv_header();
   util::Table table({"instance", "family", "spins", "best", "mean",
-                     "reference", "feas%", "succ%", "time/run"});
+                     "reference", "feas%", "succ%", "time/run", "status"});
+  std::size_t failed_entries = 0;
   for (const auto& entry : entries) {
-    const auto problem =
-        make_family_problem(entry.family, entry.path, entry.name, options);
-    const auto outcome = solve(problem, options);
-    if (options.csv) {
-      print_csv_row(problem, outcome, options);
-      continue;
+    try {
+      const auto problem =
+          make_family_problem(entry.family, entry.path, entry.name, options);
+      const auto outcome = solve(problem, options);
+      if (options.csv) {
+        print_csv_row(problem, outcome, options);
+        continue;
+      }
+      table.row()
+          .add(problem.name)
+          .add(problem.family)
+          .add(problem.model->num_spins())
+          .add(outcome.result.best_objective(problem.sense), 4)
+          .add(safe_mean_objective(outcome.result), 4)
+          .add(problem.reference_objective, 4)
+          .add(outcome.result.feasible_rate * 100.0, 0)
+          .add(outcome.result.success_rate * 100.0, 0)
+          .add(outcome.result.time.mean(), 6)
+          .add("ok");
+    } catch (const std::exception& error) {
+      // Batch isolation: one malformed instance is a failed row plus a
+      // stderr diagnostic, not a dead batch -- the remaining instances
+      // still run, and the final exit code reports the damage.
+      ++failed_entries;
+      const std::string display =
+          !entry.name.empty() ? entry.name : entry.path;
+      std::fprintf(stderr, "fecim_solve: %s [%s]: %s\n", display.c_str(),
+                   entry.family.c_str(), error.what());
+      if (options.csv) {
+        print_csv_failed_row(entry, options);
+        continue;
+      }
+      table.row()
+          .add(display)
+          .add(entry.family)
+          .add("-")
+          .add("-")
+          .add("-")
+          .add("-")
+          .add("-")
+          .add("-")
+          .add("-")
+          .add("failed");
     }
-    table.row()
-        .add(problem.name)
-        .add(problem.family)
-        .add(problem.model->num_spins())
-        .add(outcome.result.best_objective(problem.sense), 4)
-        .add(safe_mean_objective(outcome.result), 4)
-        .add(problem.reference_objective, 4)
-        .add(outcome.result.feasible_rate * 100.0, 0)
-        .add(outcome.result.success_rate * 100.0, 0)
-        .add(outcome.result.time.mean(), 6);
   }
   if (!options.csv) {
     std::printf("batch      : %zu instances from %s\n", entries.size(),
                 options.batch.c_str());
     std::printf("%s\n", table.str().c_str());
+  }
+  if (failed_entries > 0) {
+    std::fprintf(stderr, "fecim_solve: %zu of %zu batch instances failed\n",
+                 failed_entries, entries.size());
+    return 1;
   }
   return 0;
 }
@@ -526,6 +685,13 @@ int main(int argc, char** argv) {
       print_csv_row(problem, outcome, options);
     } else {
       print_report(problem, outcome, options);
+    }
+    if (outcome.result.completed == 0) {
+      // A campaign in which not a single run finished has no statistics to
+      // stand on; degrade gracefully in the output but fail the process.
+      std::fprintf(stderr, "fecim_solve: no run completed (%zu attempted)\n",
+                   options.runs);
+      return 1;
     }
   } catch (const contract_error& error) {
     // Parser and contract diagnostics (malformed files name the offending
