@@ -49,6 +49,18 @@ class SarAdc {
     return static_cast<std::uint32_t>(code);
   }
 
+  /// convert_ideal() with the code returned as an (exact integer-valued)
+  /// double, written branch-free so the per-slot conversion loop of the
+  /// stochastic sweep auto-vectorizes (floor + two blends).  Equal to
+  /// double(convert_ideal(current)) for every input: both clamps select
+  /// between the same exactly-representable values.
+  double convert_ideal_d(double current) const noexcept {
+    const double max_code = static_cast<double>(max_code_);
+    const double code = std::floor(current * inv_lsb_ + 0.5);
+    const double clamped = code >= max_code ? max_code : code;
+    return current <= 0.0 ? 0.0 : clamped;
+  }
+
   /// Current represented by one LSB.
   double lsb_current() const noexcept { return lsb_; }
 

@@ -226,6 +226,14 @@ CampaignResult run_campaign(const Annealer& annealer,
   // replicas no longer serialize on a shared RNG and need no locking.
   // execute_run() never throws -- failures terminate on the run's record,
   // not the campaign.
+  //
+  // Under Parallelism::kBand the replica loop runs serially (threads = 1
+  // takes parallel_for's inline path without claiming the pool), leaving
+  // the worker pool free for the engine's nested band-level parallel_for
+  // inside each evaluation.  Either way every run still derives its seed up
+  // front and writes a disjoint slot, so the result is bit-identical.
+  const std::size_t replica_threads =
+      config.parallelism == Parallelism::kBand ? 1 : config.threads;
   util::parallel_for(
       config.runs,
       [&](std::size_t run) {
@@ -234,7 +242,7 @@ CampaignResult run_campaign(const Annealer& annealer,
                                     seeds[run], campaign_deadline);
         journal.append({run, outcomes[run].record, outcomes[run].ledger});
       },
-      config.threads);
+      replica_threads);
 
   // Single-threaded reduction in run order -- no merge mutex on the hot
   // path, and the aggregate statistics are schedule-independent.  Only

@@ -58,11 +58,22 @@ struct FaultInjection {
                                        ///< annealer's cooperative poll trips
 };
 
+/// Where run_campaign points the shared worker pool.  kReplica (default)
+/// parallelizes across runs; kBand executes replicas serially so the
+/// annealer's engine-level band parallelism (e.g.
+/// crossbar::AnalogEngineConfig::band_threads) can claim the pool for the
+/// row bands of each evaluation instead.  kBand is the latency knob for few
+/// long runs over tall tiled arrays; kReplica is the throughput knob for
+/// many runs.  Results are bit-identical across both settings and every
+/// thread count -- replicas and bands are independent by construction.
+enum class Parallelism { kReplica, kBand };
+
 struct CampaignConfig {
   std::size_t runs = 5;
   std::uint64_t base_seed = 42;
   double success_threshold = 0.9;  ///< paper: within 10 % of the reference
   std::size_t threads = 0;         ///< 0 = util::worker_threads()
+  Parallelism parallelism = Parallelism::kReplica;
   cost::ComponentCosts costs{};
 
   // --- run lifecycle (docs/robustness.md) ---

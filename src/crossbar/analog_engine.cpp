@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
+#include "util/simd.hpp"
 
 namespace fecim::crossbar {
 
@@ -15,6 +17,79 @@ circuit::SarAdcParams resolve_adc_params(const AnalogEngineConfig& config,
       array.on_current(array.device_params().vbg_max);
   params.full_scale_current = i_on_max * config.full_scale_cells;
   return params;
+}
+
+/// One row-polarity conversion pass over the compacted present slots of a
+/// (flip, band) unit: gather the slot's accumulated current (and squared
+/// sum), apply its batched keyed draw, quantize branch-free, weight by the
+/// slot's signed bit weight, and sum.  Terms are exact integer-valued
+/// doubles (|code| < 2^13 scaled by 2^bit < 2^16), so the 4-lane
+/// exact_integer_sum equals the historical sequential int64 shift-and-add
+/// bit-for-bit.  Kept `noinline` as a vectorization barrier: inlined into
+/// the per-band sweep, GCC's induction-variable rewrite defeats the
+/// gather-based vectorization of the nsum/nsq lookups (same failure mode as
+/// the ziggurat fill pass, see util/rng.cpp).
+template <bool kTrackSq>
+__attribute__((noinline)) double convert_pass(
+    const double* FECIM_RESTRICT nsum, const double* FECIM_RESTRICT nsq,
+    const std::uint8_t* FECIM_RESTRICT src, const double* FECIM_RESTRICT wgt,
+    const double* FECIM_RESTRICT z, double* FECIM_RESTRICT terms,
+    std::size_t count, double current_scale, double noise_var_scale,
+    double adc_variance, double sigma_adc,
+    const circuit::SarAdc& adc) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t s = src[i];
+    // Same sigma expression tree as the reference kernel: readout_sigma of
+    // the scaled squared sum, or the bare ADC sigma when read noise is off.
+    const double sigma =
+        kTrackSq ? readout_sigma(noise_var_scale * nsq[s], adc_variance)
+                 : sigma_adc;
+    const double current = current_scale * nsum[s] + sigma * z[i];
+    terms[i] = wgt[i] * adc.convert_ideal_d(current);
+  }
+  return util::exact_integer_sum(terms, count);
+}
+
+/// Both row-polarity conversion passes of a fully-present (flip, band) unit
+/// in one loop.  When every (bit, plane) segment is present the conversion
+/// lane order [pass][plane][bit] coincides with the packed scratch layout
+/// [bank][plane][bit] (the pass selects its bank), so `nsum`/`nsq` are read
+/// contiguously -- no gathers -- and the pass polarity rides in the
+/// precomputed signed lane weights.  The signed weighted codes are exact
+/// integer-valued doubles, so accumulating them into eight independent
+/// vector-lane accumulators (reduced pairwise at the end) equals the
+/// historical per-pass left-to-right sums -- and their int64 shift-and-add
+/// ancestor -- bit-for-bit, while keeping the whole reduction inside the
+/// vectorized loop (no terms store/reload).  `noinline` for the same IVOPTS
+/// vectorization barrier as convert_pass.
+template <bool kTrackSq>
+__attribute__((noinline)) double convert_unit_dense(
+    const double* FECIM_RESTRICT nsum, const double* FECIM_RESTRICT nsq,
+    const double* FECIM_RESTRICT wgt, const double* FECIM_RESTRICT zt,
+    std::size_t lanes, double current_scale, double noise_var_scale,
+    double adc_variance, double sigma_adc,
+    const circuit::SarAdc& adc) noexcept {
+  double acc[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  std::size_t l = 0;
+  for (; l + 8 <= lanes; l += 8) {
+    for (std::size_t m = 0; m < 8; ++m) {
+      const std::size_t i = l + m;
+      const double sigma =
+          kTrackSq ? readout_sigma(noise_var_scale * nsq[i], adc_variance)
+                   : sigma_adc;
+      const double current = current_scale * nsum[i] + sigma * zt[i];
+      acc[m] += wgt[i] * adc.convert_ideal_d(current);
+    }
+  }
+  for (std::size_t m = 0; l < lanes; ++l, ++m) {
+    const double sigma =
+        kTrackSq ? readout_sigma(noise_var_scale * nsq[l], adc_variance)
+                 : sigma_adc;
+    const double current = current_scale * nsum[l] + sigma * zt[l];
+    acc[m] += wgt[l] * adc.convert_ideal_d(current);
+  }
+  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+         ((acc[4] + acc[5]) + (acc[6] + acc[7]));
 }
 
 }  // namespace
@@ -61,8 +136,24 @@ AnalogCrossbarEngine::AnalogCrossbarEngine(
     }
   }
   noise_ = ReadoutNoise::for_run(0);
+  // Per-tile digital calibration factors of the stochastic path (see the
+  // e_inc merge in evaluate()); constant per engine, so the per-evaluation
+  // merge is a multiply instead of a divide per band.
+  band_to_einc_.resize(bands.size());
+  for (std::size_t b = 0; b < bands.size(); ++b)
+    band_to_einc_[b] = array_->couplings().scale() * adc_.lsb_current() /
+                       (i_on_max_ * band_attenuation_[b]);
   workspace_.flip_mask.assign(array_->mapping().num_spins(), 0);
   workspace_.band_acc.assign(bands.size(), 0.0);
+  scratch_.resize(bands.size());
+  const auto bits = static_cast<std::size_t>(array_->couplings().bits());
+  lane_weight_.resize(4 * bits);
+  for (std::size_t pass = 0; pass < 2; ++pass)
+    for (std::size_t plane = 0; plane < 2; ++plane)
+      for (std::size_t b = 0; b < bits; ++b)
+        lane_weight_[pass * 2 * bits + plane * bits + b] =
+            (pass == 0 ? 1.0 : -1.0) * (plane == 0 ? 1.0 : -1.0) *
+            static_cast<double>(std::uint32_t{1} << b);
 }
 
 void AnalogCrossbarEngine::begin_run(std::uint64_t run_seed) {
@@ -163,21 +254,19 @@ EincResult AnalogCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
         }
       };
 
-  for (const auto j : flips) {
-    // sigma_c_j = -sigma_j (the flipped value); its sign selects the
-    // DL-polarity pass this column participates in.
-    const int q = -static_cast<int>(spins[j]);
+  if (deterministic_readout) {
+    for (const auto j : flips) {
+      // sigma_c_j = -sigma_j (the flipped value); its sign selects the
+      // DL-polarity pass this column participates in.
+      const int q = -static_cast<int>(spins[j]);
 
-    const std::uint32_t total_present =
-        array_->column_total_present_segments(j);
-    const std::size_t column_conversions =
-        2 * static_cast<std::size_t>(total_present);
-    trace.tile_activations += array_->column_active_bands(j);
-    trace.partial_sum_updates +=
-        2 * static_cast<std::size_t>(total_present -
-                                     array_->column_union_present_segments(j));
-
-    if (deterministic_readout) {
+      const std::uint32_t total_present =
+          array_->column_total_present_segments(j);
+      const std::size_t column_conversions =
+          2 * static_cast<std::size_t>(total_present);
+      trace.tile_activations += array_->column_active_bands(j);
+      trace.partial_sum_updates += 2 * static_cast<std::size_t>(
+          total_present - array_->column_union_present_segments(j));
       // No stochastic term anywhere in the sensing chain: the partial
       // currents are exact functions of the programmed cells, so the
       // digital merge of the per-tile partial sums reconstructs the
@@ -254,126 +343,219 @@ EincResult AnalogCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
       }
       trace.adc_conversions += column_conversions;
       noise_.next_conversion += column_conversions;
-      continue;
     }
-
-    // Stochastic readout sweep, one row band (tile) at a time: device
-    // variation de-dupes to nothing (every multiplier is distinct), so walk
-    // the band's contiguous sub-range of the column's cells against the
-    // entry-major multiplier storage -- one row/flip/spin gather per cell,
-    // and a branch-free unit-stride inner bit loop (absent bits store
-    // multiplier 0, filtered cells select 0.0, and +0.0 terms never change
-    // a sum, so every accumulator stays bit-identical to the filtered
-    // per-segment walk of the reference kernel; addition order per segment
-    // is the column's cell order either way).
-    const auto view = array_->column(j);
-    for (std::size_t band = 0; band < num_bands; ++band) {
-      const std::uint32_t band_present =
-          array_->column_present_segments(band, j);
-      if (band_present == 0) continue;  // tile stores nothing: no conversion
-      const auto range = array_->column_band_cells(band, j);
-      const auto segments = array_->column_segments(band, j);
-      const double att_b = band_attenuation_[band];
-      const double current_scale_b = i_on * att_b;
-      const double noise_scale_b = (read_noise_rel * i_on) * att_b;
-
-      for (std::size_t b = 0; b < static_cast<std::size_t>(bits); ++b) {
-        ws.nsum[0][0][b] = ws.nsum[0][1][b] = 0.0;
-        ws.nsum[1][0][b] = ws.nsum[1][1][b] = 0.0;
-        ws.nsq[0][0][b] = ws.nsq[0][1][b] = 0.0;
-        ws.nsq[1][0][b] = ws.nsq[1][1][b] = 0.0;
+  } else {
+    // Stochastic readout sweep over independent (flip, band) units.
+    //
+    // Serial prelude: ledger accounting, the canonical conversion-index
+    // layout (flip-major, then band, then polarity/bit/plane -- exactly the
+    // cursor order of the reference kernel), and ONE widened ziggurat fill
+    // covering every conversion of the evaluation.  Each keyed draw is a
+    // pure function of its absolute conversion index, so one evaluation-wide
+    // fill equals the historical per-(flip, band) fills element-wise, and
+    // any regrouping of the sweep below sees identical noise.
+    const std::size_t flip_count = flips.size();
+    if (ws.conv_base.size() < flip_count * num_bands)
+      ws.conv_base.resize(flip_count * num_bands);
+    if (ws.flip_view.size() < flip_count) {
+      ws.flip_view.resize(flip_count);
+      ws.flip_q.resize(flip_count);
+    }
+    std::size_t total_conversions = 0;
+    for (std::size_t fi = 0; fi < flip_count; ++fi) {
+      const auto j = flips[fi];
+      ws.flip_view[fi] = array_->column(j);
+      // sigma_c_j = -sigma_j (the flipped value); its sign selects the
+      // DL-polarity pass this column participates in.
+      ws.flip_q[fi] = -static_cast<int>(spins[j]);
+      const std::uint32_t total_present =
+          array_->column_total_present_segments(j);
+      trace.tile_activations += array_->column_active_bands(j);
+      trace.partial_sum_updates += 2 * static_cast<std::size_t>(
+          total_present - array_->column_union_present_segments(j));
+      trace.adc_conversions += 2 * static_cast<std::size_t>(total_present);
+      for (std::size_t band = 0; band < num_bands; ++band) {
+        ws.conv_base[fi * num_bands + band] =
+            static_cast<std::uint32_t>(total_conversions);
+        total_conversions +=
+            2 * static_cast<std::size_t>(
+                    array_->column_present_segments(band, j));
       }
+    }
+    if (ws.z.size() < total_conversions) ws.z.resize(total_conversions);
+    noise_.conversion.normal_fill(noise_.next_conversion,
+                                  {ws.z.data(), total_conversions});
+    noise_.next_conversion += total_conversions;
+
+    const bool track_sq = read_noise_rel > 0.0;
+    const double sigma_adc = adc_.noise_sigma_current();
+    const double adc_variance = sigma_adc * sigma_adc;
+
+    // Hot state as raw pointers/locals: the sweep below reads them through
+    // the lambda capture on every unit, and loading them out of the
+    // workspace vectors once keeps the per-unit code free of repeated
+    // data-pointer indirections (they are loop-invariant; the compiler
+    // cannot hoist them itself past the scratch stores).
+    const double* const z_data = ws.z.data();
+    const std::uint32_t* const conv_base = ws.conv_base.data();
+    double* const band_acc = ws.band_acc.data();
+    const std::uint8_t* const flip_mask = ws.flip_mask.data();
+    const ProgrammedArray::ColumnView* const flip_view = ws.flip_view.data();
+    const int* const flip_q = ws.flip_q.data();
+    BandScratch* const scratch = scratch_.data();
+    const double* const batt = band_attenuation_.data();
+    const double* const lane_weight = lane_weight_.data();
+    const ising::Spin* const spin_data = spins.data();
+
+    const std::size_t unit_lanes = 2 * slots;  // 4 * bits conversion lanes
+
+    // Cell sweep of one (flip, band) unit into band scratch at lane_base:
+    // bank-selecting per-cell walk over the band's contiguous sub-range of
+    // the column's cells against the entry-major multiplier storage.  The
+    // inner bit loop is branch-free and unit-stride (absent bits store
+    // multiplier 0); cells of flipped rows and of the other spin bank only
+    // ever contributed exact +0.0 terms to the historical
+    // select-and-multiply form, so skipping them outright leaves every
+    // (nonnegative) accumulator bit-identical to the filtered per-segment
+    // walk of the reference kernel -- addition order per segment is the
+    // column's cell order either way.  For dense units the unit's batched
+    // draws are also de-interleaved from cursor order [pass][bit][plane]
+    // into conversion lane order [pass][plane][bit] at the same lane_base.
+    const auto sweep_cells = [&](std::size_t band, std::size_t fi,
+                                 std::size_t lane_base,
+                                 bool dense) FECIM_ALWAYS_INLINE {
+      const auto j = flips[fi];
+      const auto& view = flip_view[fi];
+      const auto range = array_->column_band_cells(band, j);
+      auto& sc = scratch[band];
+      double* FECIM_RESTRICT nsum = sc.nsum + lane_base;
+      double* FECIM_RESTRICT nsq = sc.nsq + lane_base;
+      for (std::size_t i = 0; i < 2 * slots; ++i) nsum[i] = 0.0;
+      if (track_sq)
+        for (std::size_t i = 0; i < 2 * slots; ++i) nsq[i] = 0.0;
       for (std::size_t k = range.begin; k < range.end; ++k) {
         const auto row = view.rows[k];
-        const double live = ws.flip_mask[row] == 0 ? 1.0 : 0.0;
-        const double sel_pos = spins[row] > 0 ? live : 0.0;
-        const double sel_neg = live - sel_pos;
+        if (flip_mask[row] != 0) continue;
+        const std::size_t bank = spin_data[row] > 0 ? 0 : 1;
         const std::size_t plane = view.magnitudes[k] < 0 ? 1 : 0;
-        const float* entry_mults =
+        const float* FECIM_RESTRICT entry_mults =
             all_mults.data() +
             (view.first_entry + k) * static_cast<std::size_t>(bits);
-        double* sum_pos = ws.nsum[0][plane];
-        double* sum_neg = ws.nsum[1][plane];
-        double* sq_pos = ws.nsq[0][plane];
-        double* sq_neg = ws.nsq[1][plane];
-        if (read_noise_rel > 0.0) {
+        double* FECIM_RESTRICT sum =
+            nsum + bank * slots + plane * static_cast<std::size_t>(bits);
+        if (track_sq) {
+          double* FECIM_RESTRICT sq =
+              nsq + bank * slots + plane * static_cast<std::size_t>(bits);
           for (int b = 0; b < bits; ++b) {
             const double m = entry_mults[b];
-            const double m_pos = m * sel_pos;
-            const double m_neg = m * sel_neg;
-            sum_pos[b] += m_pos;
-            sum_neg[b] += m_neg;
-            sq_pos[b] += m_pos * m_pos;
-            sq_neg[b] += m_neg * m_neg;
+            sum[b] += m;
+            sq[b] += m * m;
           }
         } else {
           // ADC-noise-only regime (the default config): the squared sums
           // are never read, so skip half the sweep's arithmetic.
+          for (int b = 0; b < bits; ++b) sum[b] += entry_mults[b];
+        }
+      }
+      if (dense) {
+        const double* z = z_data + conv_base[fi * num_bands + band];
+        for (std::size_t half = 0; half < 2; ++half) {
+          const double* FECIM_RESTRICT zp = z + half * slots;
+          double* FECIM_RESTRICT ztp = sc.zt + lane_base + half * slots;
+          FECIM_LOOP_IVDEP
           for (int b = 0; b < bits; ++b) {
-            const double m = entry_mults[b];
-            sum_pos[b] += m * sel_pos;
-            sum_neg[b] += m * sel_neg;
+            ztp[b] = zp[2 * b];
+            ztp[bits + b] = zp[2 * b + 1];
           }
         }
       }
+    };
 
-      // Batch this (column, tile)'s keyed draws -- conversion indices
-      // [next_conversion, next_conversion + band_conversions) in the
-      // canonical band/polarity/bit/plane order -- then consume them in
-      // sequence.  The batched values equal element-wise keyed draws, so
-      // any regrouping of this loop (or a future tile-parallel version)
-      // sees identical noise.  Each conversion takes ONE draw scaled by its
-      // total input-referred sigma (read noise + ADC noise in quadrature,
-      // see readout_sigma), precomputed per segment so the sqrt stays out
-      // of the polarity passes.
-      const std::size_t band_conversions =
-          2 * static_cast<std::size_t>(band_present);
-      noise_.conversion.normal_fill(noise_.next_conversion,
-                                    {ws.z, band_conversions});
-      const double sigma_adc = adc_.noise_sigma_current();
+    // One band end to end: walk the flips in order, sweeping each present
+    // unit and converting it.  A DENSE unit (every (bit, plane) segment
+    // present -- the common case for non-degenerate couplings) converts
+    // both passes in one call: its conversion lane order coincides with the
+    // packed scratch layout (the pass selects its bank), so nsum/nsq/zt are
+    // read contiguously with no gathers, and the pass polarity rides in the
+    // precomputed signed lane weights.  Every weighted-code term, pass sum
+    // and band_acc partial is an exact integer well under 2^53, so any
+    // association here matches the historical int64 shift-and-add
+    // bit-for-bit.  Units are independent: each writes only its band's
+    // scratch and band_acc slot, and per band the flips arrive in flip
+    // order, so the band-parallel dispatch below is bit-identical to the
+    // serial one.
+    const auto sweep_band = [&](std::size_t band) FECIM_ALWAYS_INLINE {
+      auto& sc = scratch[band];
+      const double att_b = batt[band];
+      const double current_scale_b = i_on * att_b;
+      const double noise_scale_b = (read_noise_rel * i_on) * att_b;
       const double noise_var_scale = noise_scale_b * noise_scale_b;
-      const double adc_variance = sigma_adc * sigma_adc;
-      for (std::size_t s = 0; s < slots; ++s) {
-        if (!segments[s].present) continue;
-        const std::size_t b = s >> 1;
-        const std::size_t plane = s & 1;
-        if (read_noise_rel > 0.0) {
-          ws.nsigma[0][plane][b] = readout_sigma(
-              noise_var_scale * ws.nsq[0][plane][b], adc_variance);
-          ws.nsigma[1][plane][b] = readout_sigma(
-              noise_var_scale * ws.nsq[1][plane][b], adc_variance);
-        } else {
-          ws.nsigma[0][plane][b] = sigma_adc;
-          ws.nsigma[1][plane][b] = sigma_adc;
+      std::size_t fi = 0;
+      while (fi < flip_count) {
+        const auto j = flips[fi];
+        const std::uint32_t band_present =
+            array_->column_present_segments(band, j);
+        if (band_present == 0) {  // tile stores nothing: no conversion
+          ++fi;
+          continue;
         }
-      }
-      std::size_t conversion = 0;
-      for (const int p : {+1, -1}) {  // row-polarity (FG) passes
-        const int bank = p > 0 ? 0 : 1;
-        // Codes and bit weights are integers, so the per-pass shift-and-add
-        // runs in int64 (max |sum| < 2^34) and joins the double accumulator
-        // once per pass -- exact, hence bit-identical to the per-segment
-        // double adds.
-        std::int64_t pass_acc = 0;
-        for (std::size_t s = 0; s < slots; ++s) {
-          if (!segments[s].present) continue;
-          const std::size_t b = s >> 1;
-          const std::size_t plane = s & 1;
-          const double current =
-              current_scale_b * ws.nsum[bank][plane][b] +
-              ws.nsigma[bank][plane][b] * ws.z[conversion];
-          const std::uint32_t code = adc_.convert_ideal(current);
-          const auto shifted = static_cast<std::int64_t>(
-              static_cast<std::uint64_t>(code) << b);
-          pass_acc += plane == 0 ? shifted : -shifted;
-          ++conversion;
+        if (band_present == slots) {
+          sweep_cells(band, fi, 0, true);
+          const double both =
+              track_sq ? convert_unit_dense<true>(
+                             sc.nsum, sc.nsq, lane_weight, sc.zt, unit_lanes,
+                             current_scale_b, noise_var_scale, adc_variance,
+                             sigma_adc, adc_)
+                       : convert_unit_dense<false>(
+                             sc.nsum, sc.nsq, lane_weight, sc.zt, unit_lanes,
+                             current_scale_b, noise_var_scale, adc_variance,
+                             sigma_adc, adc_);
+          band_acc[band] += static_cast<double>(flip_q[fi]) * both;
+          ++fi;
+          continue;
         }
-        ws.band_acc[band] +=
-            static_cast<double>(p * q) * static_cast<double>(pass_acc);
+        // Sparse unit: gather the present slots through the compacted
+        // slot metadata, one pass at a time.
+        sweep_cells(band, fi, 0, false);
+        const int q = flip_q[fi];
+        const double* z = z_data + conv_base[fi * num_bands + band];
+        const auto src = array_->column_slot_src(band, j);
+        const auto wgt = array_->column_slot_weights(band, j);
+        for (const int p : {+1, -1}) {  // row-polarity (FG) passes
+          const std::size_t bank = p > 0 ? 0 : 1;
+          const double pass_acc =
+              track_sq ? convert_pass<true>(sc.nsum + bank * slots,
+                                            sc.nsq + bank * slots, src.data(),
+                                            wgt.data(), z, sc.terms,
+                                            band_present, current_scale_b,
+                                            noise_var_scale, adc_variance,
+                                            sigma_adc, adc_)
+                       : convert_pass<false>(sc.nsum + bank * slots,
+                                             sc.nsq + bank * slots, src.data(),
+                                             wgt.data(), z, sc.terms,
+                                             band_present, current_scale_b,
+                                             noise_var_scale, adc_variance,
+                                             sigma_adc, adc_);
+          band_acc[band] += static_cast<double>(p * q) * pass_acc;
+          z += band_present;
+        }
+        ++fi;
       }
-      noise_.next_conversion += band_conversions;
+    };
+
+    if (config_.band_threads == 1 || num_bands == 1) {
+      for (std::size_t band = 0; band < num_bands; ++band) sweep_band(band);
+    } else {
+      // Band-level parallelism: each pool task owns one band end to end
+      // (all flips in flip order), meeting the serial path only at the
+      // digital partial-sum merge below.  Nested inside an already-parallel
+      // campaign replica this degrades to the serial inline sweep.
+      const auto threads = config_.band_threads < 0
+                               ? std::size_t{0}
+                               : static_cast<std::size_t>(config_.band_threads);
+      util::parallel_for(
+          num_bands, [&](std::size_t band) { sweep_band(band); }, threads);
     }
-    trace.adc_conversions += column_conversions;
   }
 
   for (const auto f : flips) ws.flip_mask[f] = 0;
@@ -390,12 +572,8 @@ EincResult AnalogCrossbarEngine::evaluate(std::span<const ising::Spin> spins,
     result.e_inc = accumulator * to_einc;
   } else {
     double e_inc = 0.0;
-    for (std::size_t band = 0; band < num_bands; ++band) {
-      const double to_einc_band =
-          couplings.scale() * adc_.lsb_current() /
-          (i_on_max_ * band_attenuation_[band]);
-      e_inc += ws.band_acc[band] * to_einc_band;
-    }
+    for (std::size_t band = 0; band < num_bands; ++band)
+      e_inc += ws.band_acc[band] * band_to_einc_[band];
     result.e_inc = e_inc;
   }
   const double f_hw = i_on / i_on_max_;

@@ -69,6 +69,16 @@ struct AnalogEngineConfig {
   /// (one MNA solve per distinct band height -- at most two under the
   /// balanced split).
   std::vector<double> cached_band_ir_attenuation;
+  /// Threads for the band-level sweep of one stochastic evaluation: 1
+  /// (default) sweeps row bands serially; 0 hands the bands to the shared
+  /// util::parallel_for pool; N caps the pool at N workers.  Every
+  /// (flip, band) unit is independent until the digital partial-sum merge
+  /// and each band owns its scratch and its band_acc slot, so results are
+  /// bit-identical for every setting (pinned by tests/test_band_parallel).
+  /// Inside an already-parallel campaign replica the nested call degrades
+  /// to the serial sweep; pair with core::Parallelism::kBand to devote the
+  /// pool to bands instead of replicas.
+  int band_threads = 1;
 };
 
 class AnalogCrossbarEngine final : public EincEngine {
@@ -110,20 +120,44 @@ class AnalogCrossbarEngine final : public EincEngine {
   /// +1 row-polarity pass, 1 = -1; a (band, column) has at most
   /// bits * 2 <= 32 distinct classes) and, on >1-band grids, merges the
   /// band partial sums into `det_sum` before the shared conversion.
-  /// Stochastic readout accumulates per physical segment, laid out
-  /// [bank][plane][bit] so the per-cell sweep's inner bit loop is
-  /// branch-free and unit-stride; `z` holds one band's batched
-  /// per-conversion draws (<= 2 passes * 32 segments); `band_acc`
-  /// accumulates each band's signed code sums for the per-tile calibration.
+  /// Stochastic readout works per (flip, band) unit out of band-owned
+  /// scratch (below); `z` holds the whole evaluation's batched
+  /// per-conversion draws (one widened ziggurat fill), `conv_base` the
+  /// per-(flip, band) offsets into it in canonical cursor order, and
+  /// `band_acc` accumulates each band's signed code sums for the per-tile
+  /// calibration.
   struct EvalWorkspace {
     std::vector<std::uint8_t> flip_mask;
     double sum[2][32];
     double det_sum[2][2][16];  ///< [bank][plane][bit] cross-band totals
-    double nsum[2][2][16];    ///< [bank][plane][bit] current sums
-    double nsq[2][2][16];     ///< [bank][plane][bit] squared-multiplier sums
-    double nsigma[2][2][16];  ///< [bank][plane][bit] total readout sigma
-    double z[64];             ///< batched standard-normal conversion draws
+    std::vector<double> z;     ///< batched standard-normal conversion draws
+    std::vector<std::uint32_t> conv_base;  ///< [flip * bands + band] -> z offset
     std::vector<double> band_acc;  ///< per-band signed code accumulators
+    /// Per-flip invariants hoisted out of the (flip, band) sweep units:
+    /// the column view (ProgrammedArray::column is out of line, so calling
+    /// it once per flip instead of once per unit matters on tiled grids)
+    /// and the column-polarity sign q.  Read-only during the sweep, so
+    /// band-parallel workers share them safely.
+    std::vector<ProgrammedArray::ColumnView> flip_view;
+    std::vector<int> flip_q;
+  };
+
+  /// Per-band stochastic scratch: current sums / squared-multiplier sums
+  /// packed [bank * 2bits + plane * bits + bit] (4 * bits live lanes) so the
+  /// bank-selecting per-cell sweep's inner bit loop is branch-free and
+  /// unit-stride -- and so the conversion lane order (polarity pass, then
+  /// plane, then bit; pass selects its bank) walks the scratch contiguously:
+  /// a fully-present unit converts both passes in one gather-free vector
+  /// loop.  `zt` holds the unit's draws de-interleaved from cursor order
+  /// into that lane order, `terms` the signed weighted codes.  128 lanes
+  /// comfortably cover one unit at the maximum bit width (4 * bits <= 64).
+  /// One instance per row band keeps the band-parallel sweep
+  /// write-disjoint.
+  struct alignas(64) BandScratch {
+    double nsum[128];
+    double nsq[128];
+    double zt[128];
+    double terms[128];
   };
 
   std::shared_ptr<const ProgrammedArray> array_;
@@ -131,6 +165,10 @@ class AnalogCrossbarEngine final : public EincEngine {
   circuit::SarAdc adc_;
   double attenuation_ = 1.0;              ///< logical-array calibration
   std::vector<double> band_attenuation_;  ///< per row band (tile)
+  /// scale * LSB / (I_on(vbg_max) * band_attenuation): the per-tile digital
+  /// calibration of the stochastic readout, precomputed so the per-eval
+  /// merge avoids a divide per band.
+  std::vector<double> band_to_einc_;
   double i_on_max_ = 0.0;
   // on_current() evaluates the EKV transistor model; the DAC-quantized V_BG
   // schedule repeats levels for long stretches, so memoize the last level.
@@ -138,6 +176,12 @@ class AnalogCrossbarEngine final : public EincEngine {
   double cached_i_on_ = 0.0;
   ReadoutNoise noise_;
   EvalWorkspace workspace_;
+  std::vector<BandScratch> scratch_;  ///< one per row band
+  /// Signed digital weight of each conversion lane of a fully-present unit,
+  /// [pass * 2bits + plane * bits + bit] = pass_sign * plane_sign * 2^bit.
+  /// Folding the pass polarity into the weights lets the dense path sum
+  /// both passes' (exact integer) terms in one reduction.
+  std::vector<double> lane_weight_;
 };
 
 }  // namespace fecim::crossbar

@@ -92,6 +92,9 @@ void ProgrammedArray::build_column_cache() {
 
   segments_.assign(num_bands * n * bits * 2, SegmentRef{});
   class_ptr_.assign(num_bands * n + 1, 0);
+  slot_ptr_.assign(num_bands * n + 1, 0);
+  slot_src_.clear();
+  slot_weight_.clear();
   classes_.clear();
   class_weights_.clear();
   present_count_.assign(num_bands * n, 0);
@@ -201,9 +204,16 @@ void ProgrammedArray::build_column_cache() {
           class_weights_[cls] +=
               (plane == 0 ? 1.0 : -1.0) * static_cast<double>(1u << b);
           ++present_count_[slot];
+          // Compacted slot metadata (canonical order: this b-outer,
+          // plane-inner loop IS the noise-cursor walk).
+          slot_src_.push_back(static_cast<std::uint8_t>(
+              static_cast<std::size_t>(plane) * bits + b));
+          slot_weight_.push_back((plane == 0 ? 1.0 : -1.0) *
+                                 static_cast<double>(1u << b));
         }
       }
       class_ptr_[slot + 1] = static_cast<std::uint32_t>(classes_.size());
+      slot_ptr_[slot + 1] = static_cast<std::uint32_t>(slot_src_.size());
       present_total_[j] += present_count_[slot];
       if (band_active) ++active_bands_[j];
     }

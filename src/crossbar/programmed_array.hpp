@@ -206,6 +206,28 @@ class ProgrammedArray {
     return active_bands_[j];
   }
 
+  /// Compacted conversion-slot metadata of (band, column j): entry i
+  /// describes the i-th present segment in the canonical slot order
+  /// (ascending bit, + plane before -), which is also the order the noise
+  /// cursor walks.  column_slot_src()[i] is the segment's offset into a
+  /// packed [plane][bit] accumulator block (plane * bits + bit), and
+  /// column_slot_weights()[i] its signed digital weight plane_sign * 2^bit
+  /// (an exact integer-valued double).  The stochastic sweep iterates these
+  /// dense arrays instead of skipping absent segments branch-wise, which is
+  /// what lets its conversion stage vectorize.
+  std::span<const std::uint8_t> column_slot_src(std::size_t band,
+                                                std::size_t j) const {
+    const std::size_t slot = band * num_columns() + j;
+    return {slot_src_.data() + slot_ptr_[slot],
+            slot_ptr_[slot + 1] - slot_ptr_[slot]};
+  }
+  std::span<const double> column_slot_weights(std::size_t band,
+                                              std::size_t j) const {
+    const std::size_t slot = band * num_columns() + j;
+    return {slot_weight_.data() + slot_ptr_[slot],
+            slot_ptr_[slot + 1] - slot_ptr_[slot]};
+  }
+
   std::span<const std::uint32_t> cache_rows() const noexcept { return cache_rows_; }
   std::span<const float> cache_multipliers() const noexcept {
     return cache_mults_;
@@ -239,6 +261,9 @@ class ProgrammedArray {
   std::vector<std::uint32_t> present_union_;  // per column, union over bands
   std::vector<std::uint32_t> active_bands_;   // per column
   std::vector<std::uint32_t> band_cell_ptr_;  // [j * (bands + 1) + band]
+  std::vector<std::uint8_t> slot_src_;        // compacted slots, see accessor
+  std::vector<double> slot_weight_;           // aligned with slot_src_
+  std::vector<std::uint32_t> slot_ptr_;       // (band, column) -> slot range
 };
 
 }  // namespace fecim::crossbar

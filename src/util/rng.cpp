@@ -1,6 +1,9 @@
 #include "util/rng.hpp"
 
+#include <bit>
 #include <cmath>
+
+#include "util/simd.hpp"
 
 namespace fecim::util {
 
@@ -214,6 +217,37 @@ inline std::uint64_t substream_state(std::uint64_t key,
   return key ^ (index * 0x9e3779b97f4a7c15ULL);
 }
 
+constexpr std::uint64_t kWeyl = 0x9e3779b97f4a7c15ULL;
+
+/// Vector pass of the widened fill: one block of up to 64 consecutive draws.
+/// Each lane fuses substream_state with the first splitmix64 round of
+/// keyed_normal and resolves the quick box test; accepted lanes store their
+/// final value, failed lanes set their bit in the returned miss mask.  Kept
+/// `noinline` as a vectorization barrier, not for code size: inlined into
+/// the caller's block loop, GCC's induction-variable rewrite turns the two
+/// table lookups into address forms its vectorizer rejects ("no vectype"),
+/// and the whole loop silently compiles scalar.  As a standalone function it
+/// auto-vectorizes end to end -- counter hash, u64->double conversion, the
+/// two gathers, the box compare and the mask reduction (verify with
+/// -fopt-info-vec).
+__attribute__((noinline)) std::uint64_t normal_fill_pass(
+    const double* FECIM_RESTRICT xs, const double* FECIM_RESTRICT rs,
+    double* FECIM_RESTRICT o, std::uint64_t key, std::uint64_t weyl,
+    std::size_t w) noexcept {
+  std::uint64_t miss = 0;
+  for (std::size_t lane = 0; lane < w; ++lane) {
+    std::uint64_t z = (key ^ (weyl + lane * kWeyl)) + kWeyl;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const auto layer = static_cast<std::size_t>(z & 0x7F);
+    const double u = 2.0 * unit_from_bits(z) - 1.0;
+    o[lane] = u * xs[layer];
+    miss |= static_cast<std::uint64_t>(!(std::fabs(u) < rs[layer])) << lane;
+  }
+  return miss;
+}
+
 /// One standard normal for (key, index); the ~98.8% box case inlines.
 inline double keyed_normal(std::uint64_t key, std::uint64_t index) noexcept {
   std::uint64_t state = substream_state(key, index);
@@ -257,10 +291,89 @@ double NoiseStream::normal(std::uint64_t index, double mean,
 
 void NoiseStream::normal_fill(std::uint64_t base_index,
                               std::span<double> out) const noexcept {
-  // Independent per-element draws: no loop-carried state, so the hash +
-  // fast-path ziggurat pipeline across iterations.
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = keyed_normal(key_, base_index + i);
+  // Widened ziggurat pass: the draws are independent pure functions of
+  // (key, base_index + i), so the fill runs in blocks of kLanes -- the
+  // counter hash, the layer/uniform extraction and the box test are all
+  // straight-line lane-parallel arithmetic the compiler auto-vectorizes
+  // (the 64-bit multiplies and the two small table gathers need a recent
+  // ISA; on older targets the same loops simply compile scalar).  The
+  // ~1.2% of lanes that fail the quick box test fall back to the scalar
+  // rejection continuation, which resumes each lane's private sub-stream
+  // exactly where keyed_normal would -- so every element is bit-identical
+  // to normal(base_index + i), for every block width and any base_index
+  // alignment.
+  const std::uint64_t key = key_;
+  const std::size_t size = out.size();
+  double* FECIM_RESTRICT o = out.data();
+  // Strength-reduced Weyl counter: index * kWeyl advances by one addition
+  // per block instead of one multiplication per lane (the value is
+  // identical -- the Weyl product is linear in the index).
+  std::uint64_t weyl = base_index * kWeyl;
+  for (std::size_t block = 0; block < size; block += 64) {
+    const std::size_t w = size - block < 64 ? size - block : 64;
+    std::uint64_t miss = normal_fill_pass(g_zig_tables.x, g_zig_tables.ratio,
+                                          o + block, key, weyl, w);
+    // Cold pass (~2.8% of lanes): each miss re-derives its hash from the
+    // index -- a draw is a pure function of (key, index), so nothing needs
+    // to be carried over -- and resolves its private rejection sub-stream.
+    // The first wedge attempt of every missed lane is unrolled here in
+    // structure-of-arrays phases: argument setup for all misses, then the
+    // exp pairs back to back (independent calls, so they pipeline instead
+    // of serializing behind each miss's branches), then the accept tests.
+    // Lanes are independent sub-streams, so resolving them out of the
+    // strictly interleaved order leaves every element's private splitmix64
+    // chain -- and hence its value -- untouched; only the ~7% of misses
+    // that fail their first wedge test (or hit the layer-0 tail) fall back
+    // to the general rejection loop.
+    if (miss != 0) {
+      const ZigguratTables& t = g_zig_tables;
+      std::uint8_t lane_of[64];
+      std::uint64_t st[64];
+      double arg0[64], arg1[64], xx[64], f0[64], f1[64];
+      int k = 0;
+      while (miss != 0) {
+        const auto lane = static_cast<std::size_t>(std::countr_zero(miss));
+        miss &= miss - 1;
+        std::uint64_t s = (key ^ (weyl + lane * kWeyl)) + kWeyl;
+        std::uint64_t z = s;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        z ^= z >> 31;
+        const int layer = static_cast<int>(z & 0x7F);
+        const double u = 2.0 * unit_from_bits(z) - 1.0;
+        if (layer == 0) {  // base strip: straight to the tail sampler
+          o[block + lane] = normal_rejection(s, layer, u);
+          continue;
+        }
+        const double x = u * t.x[layer];
+        lane_of[k] = static_cast<std::uint8_t>(lane);
+        st[k] = s;
+        xx[k] = x;
+        arg0[k] = -0.5 * (t.x[layer] * t.x[layer] - x * x);
+        arg1[k] = -0.5 * (t.x[layer + 1] * t.x[layer + 1] - x * x);
+        ++k;
+      }
+      for (int i = 0; i < k; ++i) f0[i] = std::exp(arg0[i]);
+      for (int i = 0; i < k; ++i) f1[i] = std::exp(arg1[i]);
+      for (int i = 0; i < k; ++i) {
+        std::uint64_t s = st[i];
+        if (f1[i] + unit_from_bits(splitmix64(s)) * (f0[i] - f1[i]) < 1.0) {
+          o[block + lane_of[i]] = xx[i];
+          continue;
+        }
+        // Failed wedge: the next attempt's box test, inline; its own
+        // misses continue in the shared rejection loop with the state
+        // advanced exactly as the interleaved form would have left it.
+        const std::uint64_t bits = splitmix64(s);
+        const int layer2 = static_cast<int>(bits & 0x7F);
+        const double u2 = 2.0 * unit_from_bits(bits) - 1.0;
+        o[block + lane_of[i]] = std::fabs(u2) < t.ratio[layer2]
+                                    ? u2 * t.x[layer2]
+                                    : normal_rejection(s, layer2, u2);
+      }
+    }
+    weyl += 64 * kWeyl;
+  }
 }
 
 }  // namespace fecim::util

@@ -1,0 +1,169 @@
+// Band-level parallelism of the noisy readout sweep
+// (crossbar::AnalogEngineConfig::band_threads): every (flip, band) unit of
+// a stochastic evaluation is independent until the digital partial-sum
+// merge, each band owns its scratch and its band_acc slot, and the keyed
+// draws are a pure function of the conversion index -- so the sweep must be
+// bit-identical for every thread count, including handing the shared
+// util::parallel_for pool to the bands (band_threads = 0, the
+// core::Parallelism::kBand configuration).  Cancellation is cooperative and
+// polled outside the sweep, so a mid-run deadline stops a band-parallel run
+// exactly like a serial one.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/insitu_annealer.hpp"
+#include "core/run_lifecycle.hpp"
+#include "core/runner.hpp"
+#include "crossbar/analog_engine.hpp"
+#include "problems/generators.hpp"
+#include "problems/instances.hpp"
+#include "problems/maxcut.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fecim;
+
+std::shared_ptr<const ising::IsingModel> make_model(std::size_t n,
+                                                    std::uint64_t seed) {
+  return std::make_shared<const ising::IsingModel>(
+      problems::maxcut_to_ising(problems::random_graph(
+          n, 6.0, problems::WeightScheme::kPlusMinusOne, seed)));
+}
+
+/// Noisy tiled array: several row bands, Vth spread + read noise so the
+/// stochastic sweep (not the deterministic merge) is what runs per band.
+std::shared_ptr<const crossbar::ProgrammedArray> make_noisy_array(
+    const ising::IsingModel& model, const core::InSituConfig& config) {
+  const crossbar::QuantizedCouplings quantized(model.couplings(),
+                                               config.mapping.bits);
+  const crossbar::CrossbarMapping mapping(
+      model.num_spins(), quantized.has_negative() ? 2 : 1, config.mapping);
+  return std::make_shared<const crossbar::ProgrammedArray>(
+      quantized, mapping, config.device, config.variation, 0xbad5eed,
+      config.tiles);
+}
+
+core::InSituConfig noisy_tiled_config() {
+  core::InSituConfig config;
+  config.variation.vth_sigma = 0.04;
+  config.variation.read_noise_rel = 0.02;
+  config.tiles = crossbar::TileShape{16, 0};
+  return config;
+}
+
+TEST(BandParallel, EvaluationBitIdenticalAcrossThreadCounts) {
+  const auto model = make_model(96, 21);
+  const auto config = noisy_tiled_config();
+  const auto array = make_noisy_array(*model, config);
+  ASSERT_GT(array->num_bands(), 1u);
+
+  // One engine per thread-count setting, all keyed to the same run: 1 =
+  // serial sweep, 0 = whole shared pool, 2 / 5 = capped pool (5 exceeds the
+  // band count on purpose).
+  const int thread_settings[] = {1, 0, 2, 5};
+  std::vector<std::unique_ptr<crossbar::AnalogCrossbarEngine>> engines;
+  for (const int threads : thread_settings) {
+    auto analog = config.analog;
+    analog.band_threads = threads;
+    engines.push_back(
+        std::make_unique<crossbar::AnalogCrossbarEngine>(array, analog));
+    engines.back()->begin_run(77);
+  }
+
+  util::Rng rng(123);
+  const double vbg_max = array->device_params().vbg_max;
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t t = 1 + rng.uniform_index(4);
+    const auto flips = ising::random_flip_set(model->num_spins(), t, rng);
+    const auto spins = ising::random_spins(model->num_spins(), rng);
+    const crossbar::AnnealSignal signal{rng.uniform01(),
+                                        rng.uniform(0.3, vbg_max)};
+    const auto serial = engines[0]->evaluate(spins, flips, signal);
+    for (std::size_t e = 1; e < engines.size(); ++e) {
+      const auto parallel = engines[e]->evaluate(spins, flips, signal);
+      ASSERT_EQ(parallel.e_inc, serial.e_inc)
+          << "band_threads=" << thread_settings[e] << " trial " << trial;
+      ASSERT_EQ(parallel.raw_vmv, serial.raw_vmv);
+      ASSERT_EQ(parallel.trace.adc_conversions, serial.trace.adc_conversions);
+      // Same conversions got the same keyed indices on every engine.
+      ASSERT_EQ(engines[e]->readout_noise().next_conversion,
+                engines[0]->readout_noise().next_conversion);
+    }
+  }
+}
+
+TEST(BandParallel, AnnealerRunBitIdenticalAndCancellable) {
+  const auto model = make_model(72, 9);
+  auto config = noisy_tiled_config();
+  config.iterations = 400;
+
+  const core::InSituCimAnnealer serial(model, config);
+  config.analog.band_threads = 0;  // nested parallel_for over the bands
+  const core::InSituCimAnnealer banded(model, config);
+
+  const auto a = serial.run(5);
+  const auto b = banded.run(5);
+  EXPECT_EQ(a.best_energy, b.best_energy);
+  EXPECT_EQ(a.final_energy, b.final_energy);
+  EXPECT_EQ(a.best_spins, b.best_spins);
+  EXPECT_EQ(a.accepted_moves, b.accepted_moves);
+
+  // A run deadline that has already passed trips the annealer's cooperative
+  // poll mid-run -- under band parallelism exactly as serially.
+  core::CancellationToken expired;
+  expired.set_run_deadline(core::CancellationToken::Clock::now());
+  EXPECT_THROW(banded.run(5, expired), core::run_timeout_error);
+
+  // A generous deadline changes nothing: the token is observational until
+  // it expires.
+  core::CancellationToken generous;
+  generous.set_run_deadline(core::CancellationToken::Clock::now() +
+                            std::chrono::hours(1));
+  const auto c = banded.run(5, generous);
+  EXPECT_EQ(c.best_energy, a.best_energy);
+  EXPECT_EQ(c.best_spins, a.best_spins);
+}
+
+TEST(BandParallel, CampaignKBandMatchesKReplica) {
+  // Parallelism::kBand runs replicas serially and leaves the pool to the
+  // engine's band sweep; per-run records must match the replica-parallel
+  // campaign bit for bit (each run derives its seed up front either way).
+  auto problem = problems::make_maxcut_problem(
+      "maxcut-band-64",
+      problems::random_graph(64, 5.0, problems::WeightScheme::kPlusMinusOne,
+                             31),
+      64, 31);
+  auto config = noisy_tiled_config();
+  config.iterations = 300;
+  const auto model = problem.model;  // annealer-ready (ancilla folded)
+
+  core::CampaignConfig replica_campaign;
+  replica_campaign.runs = 4;
+  replica_campaign.threads = 2;
+  replica_campaign.parallelism = core::Parallelism::kReplica;
+
+  core::CampaignConfig band_campaign = replica_campaign;
+  band_campaign.parallelism = core::Parallelism::kBand;
+
+  const core::InSituCimAnnealer serial_engine_annealer(model, config);
+  config.analog.band_threads = 0;
+  const core::InSituCimAnnealer band_engine_annealer(model, config);
+
+  const auto by_replica =
+      core::run_campaign(serial_engine_annealer, problem, replica_campaign);
+  const auto by_band =
+      core::run_campaign(band_engine_annealer, problem, band_campaign);
+
+  ASSERT_EQ(by_replica.per_run.size(), by_band.per_run.size());
+  for (std::size_t r = 0; r < by_replica.per_run.size(); ++r) {
+    EXPECT_EQ(by_replica.per_run[r].seed, by_band.per_run[r].seed);
+    EXPECT_EQ(by_replica.per_run[r].best_energy,
+              by_band.per_run[r].best_energy);
+    EXPECT_EQ(by_replica.per_run[r].solution.objective,
+              by_band.per_run[r].solution.objective);
+  }
+}
+
+}  // namespace

@@ -110,6 +110,70 @@ TEST(NoiseStream, BatchedFillMatchesScalarDraws) {
     ASSERT_EQ(batch[i], stream.normal(base + i)) << "i=" << i;
 }
 
+TEST(NoiseStream, BatchedFillMatchesScalarAtEveryWidthAndOffset) {
+  // The widened fill processes vector-width blocks with a scalar remainder
+  // and a cold miss pass; widths 1..17 straddle every partial-block shape
+  // (empty vector part, exactly one lane, one full block plus remainders)
+  // and the base indices are deliberately non-aligned -- odd, prime,
+  // block-boundary +- 1, and astronomically large -- so no accidental
+  // alignment between the batch blocking and the key schedule can hide an
+  // indexing bug.  Identity must be exact: the fill IS the scalar draw.
+  const NoiseStream stream(31337, site::kAdcNoise);
+  constexpr std::uint64_t kBases[] = {0,    1,    7,     63,
+                                      64,   65,   12345, (1ULL << 40) + 3,
+                                      (1ULL << 53) - 11};
+  std::vector<double> batch;
+  for (std::size_t width = 1; width <= 17; ++width) {
+    batch.assign(width, 0.0);
+    for (const std::uint64_t base : kBases) {
+      stream.normal_fill(base, batch);
+      for (std::size_t i = 0; i < width; ++i)
+        ASSERT_EQ(batch[i], stream.normal(base + i))
+            << "width=" << width << " base=" << base << " i=" << i;
+    }
+  }
+}
+
+TEST(NoiseStream, FillIsSplitInvariant) {
+  // One fill over [base, base + n) equals any partition into sub-fills:
+  // each draw depends only on its absolute index, never on the batch
+  // geometry.  This is the property that lets the analog engine replace
+  // per-(flip, band) fills with one evaluation-wide fill.
+  const NoiseStream stream(4242, site::kReadNoise);
+  constexpr std::uint64_t kBase = 987654321;  // non-aligned on purpose
+  constexpr std::size_t kTotal = 257;
+  std::vector<double> whole(kTotal);
+  stream.normal_fill(kBase, whole);
+  std::vector<double> pieces(kTotal);
+  const std::size_t cuts[] = {0, 1, 17, 64, 100, 255, kTotal};
+  for (std::size_t c = 0; c + 1 < std::size(cuts); ++c) {
+    const std::size_t begin = cuts[c];
+    const std::size_t end = cuts[c + 1];
+    stream.normal_fill(kBase + begin,
+                       {pieces.data() + begin, end - begin});
+  }
+  for (std::size_t i = 0; i < kTotal; ++i)
+    ASSERT_EQ(pieces[i], whole[i]) << "i=" << i;
+}
+
+TEST(NoiseStream, WidenedFillMomentsFromUnalignedBase) {
+  // Statistical sanity of the widened fill itself, starting mid-stream at
+  // an odd base: the batched vector pass + miss resolution must produce the
+  // same N(0,1) population as the scalar sampler, not just agree pointwise
+  // at spot-checked indices.
+  std::vector<double> draws(kDraws);
+  const NoiseStream stream(555, site::kReadNoise);
+  stream.normal_fill(977, draws);
+  double sum = 0.0;
+  for (const double z : draws) sum += z;
+  const double mean = sum / static_cast<double>(draws.size());
+  double m2 = 0.0;
+  for (const double z : draws) m2 += (z - mean) * (z - mean);
+  m2 /= static_cast<double>(draws.size());
+  EXPECT_NEAR(mean, 0.0, 5e-3);
+  EXPECT_NEAR(m2, 1.0, 7e-3);
+}
+
 TEST(NoiseStream, DistinctSitesAndSeedsAreDecorrelated) {
   const NoiseStream a(5, site::kReadNoise);
   const NoiseStream b(5, site::kAdcNoise);   // same seed, different site

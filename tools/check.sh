@@ -2,7 +2,8 @@
 # Single entry point for the repo's correctness + performance gate:
 #   1. configure + build the release-with-assertions preset (library, tests,
 #      benches, examples, tools),
-#   2. run the full ctest suite,
+#   2. run the test suite -- the tier-1 fast loop (ctest -L tier1) by
+#      default, every label (tier1 + differential + slow) under --full,
 #   3. smoke-run the hot-path benchmark and gate its speedups against the
 #      tracked baseline in BENCH_hotpath.json (tools/bench_gate.py; >10%
 #      regressions on both signals fail, FECIM_BENCH_TOLERANCE overrides;
@@ -15,25 +16,32 @@
 #      instructions, the unified solver pipeline, and the ingestion
 #      subsystem stay honest.
 #
-# Usage: tools/check.sh [--full-bench] [--sanitize]
-#   --full-bench   additionally run bench_hotpath at its full sizes,
-#                  rewriting BENCH_hotpath.json in the repo root (do this
-#                  when a PR intentionally moves hot-path performance).
+# Usage: tools/check.sh [--full] [--full-bench] [--sanitize]
+#   --full         run the complete ctest suite (every label) instead of
+#                  the tier-1 fast loop; implied by --full-bench.
+#   --full-bench   run the complete suite, then additionally run
+#                  bench_hotpath at its full sizes, rewriting
+#                  BENCH_hotpath.json in the repo root (do this when a PR
+#                  intentionally moves hot-path performance).
 #   --sanitize     build the asan-ubsan preset (address + undefined-behavior
-#                  sanitizers, no recovery) and run the tier-1 tests under
-#                  it, then exit -- a separate mode because sanitized
-#                  binaries are too slow for the bench gate to be
-#                  meaningful.
+#                  sanitizers, no recovery) and run the whole suite under it
+#                  -- including the randomized engine-vs-reference
+#                  differential layer (ctest -L differential), which is the
+#                  memory-safety workout of the vectorized sweep -- then
+#                  exit; sanitized binaries are too slow for the bench gate
+#                  to be meaningful.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
 
+full=0
 full_bench=0
 sanitize=0
 for arg in "$@"; do
   case "${arg}" in
-    --full-bench) full_bench=1 ;;
+    --full) full=1 ;;
+    --full-bench) full_bench=1; full=1 ;;
     --sanitize) sanitize=1 ;;
     *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
   esac
@@ -42,8 +50,12 @@ done
 if [[ "${sanitize}" == 1 ]]; then
   cmake --preset asan-ubsan
   cmake --build build-asan -j"$(nproc)"
+  # Whole suite, then the differential layer by its label so its presence
+  # is asserted (an empty -L match is a configuration bug, not a pass).
   ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
-  echo "check.sh: sanitized test suite OK"
+  ctest --test-dir build-asan --output-on-failure -L differential \
+    --no-tests=error
+  echo "check.sh: sanitized test suite (incl. differential layer) OK"
   exit 0
 fi
 
@@ -54,7 +66,14 @@ else
 fi
 cmake --build build -j"$(nproc)"
 
-ctest --test-dir build --output-on-failure -j"$(nproc)"
+if [[ "${full}" == 1 ]]; then
+  ctest --test-dir build --output-on-failure -j"$(nproc)"
+else
+  # Fast edit loop: the tier-1 invariant suite only.  The differential and
+  # slow labels run under --full / --full-bench / --sanitize.
+  ctest --test-dir build --output-on-failure -j"$(nproc)" -L tier1 \
+    --no-tests=error
+fi
 
 # Smoke configuration: smallest size, few iterations; the JSON goes to the
 # build tree (never the tracked baseline) for the regression gate.
