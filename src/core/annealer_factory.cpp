@@ -24,6 +24,7 @@ std::unique_ptr<Annealer> make_annealer(
       config.tiles = setup.tiles;
       config.device = setup.device;
       config.variation = setup.variation;
+      config.array_cache = setup.array_cache;
       config.trace = setup.trace;
       config.engine = kind == AnnealerKind::kThisWork
                           ? InSituConfig::EngineKind::kAnalog

@@ -35,6 +35,9 @@ struct StandardSetup {
   /// Mild programming variation + read noise by default: the evaluation's
   /// robustness claim is made *with* device non-idealities on.
   device::VariationParams variation{0.03, 0.02, 0.0, 0.0};
+  /// Optional digest-keyed programmed-array cache shared across annealers
+  /// (see InSituConfig::array_cache); used by the in-situ kinds only.
+  std::shared_ptr<crossbar::ArrayCache> array_cache;
   TraceOptions trace{};
 };
 

@@ -41,9 +41,22 @@ InSituCimAnnealer::InSituCimAnnealer(
   if (config_.engine == InSituConfig::EngineKind::kAnalog) {
     const crossbar::QuantizedCouplings quantized(model_->couplings(),
                                                  config_.mapping.bits);
-    array_ = std::make_shared<const crossbar::ProgrammedArray>(
-        quantized, mapping_, config_.device, config_.variation,
-        config_.array_seed, config_.tiles);
+    if (config_.array_cache) {
+      // Digest-keyed sharing: identical (couplings, mapping, device,
+      // variation, seed, tiles) across annealers resolve to one programmed
+      // array.  Safe because the array is immutable (PERF.md invariant 1)
+      // and bit-identical because all run-time noise is counter-keyed per
+      // run seed, not per array instance (invariant 2).
+      array_ = config_.array_cache->get_or_build(quantized, mapping_,
+                                                 config_.device,
+                                                 config_.variation,
+                                                 config_.array_seed,
+                                                 config_.tiles);
+    } else {
+      array_ = std::make_shared<const crossbar::ProgrammedArray>(
+          quantized, mapping_, config_.device, config_.variation,
+          config_.array_seed, config_.tiles);
+    }
     // Solve the IR-drop ladders once here: the array is immutable, so every
     // per-run engine instance reuses the same logical and per-tile
     // attenuations instead of re-running the MNA solves (which scale with

@@ -13,6 +13,7 @@
 #include "core/annealer.hpp"
 #include "core/schedule.hpp"
 #include "crossbar/analog_engine.hpp"
+#include "crossbar/array_cache.hpp"
 #include "crossbar/mapping.hpp"
 #include "device/dg_fefet.hpp"
 #include "device/variation.hpp"
@@ -73,6 +74,13 @@ struct InSituConfig {
   device::VariationParams variation{};
   crossbar::AnalogEngineConfig analog{};
   std::uint64_t array_seed = 0x5eed;  ///< programming-time variation stream
+  /// Digest-keyed programmed-array cache (crossbar/array_cache.hpp).  When
+  /// set, the analog annealer obtains its array via
+  /// ArrayCache::get_or_build() -- identical inputs across annealers (batch
+  /// entries, serve-loop jobs) then share one programmed array.  Results
+  /// are bit-identical with or without the cache (invariants 1 + 2; pinned
+  /// by tests/test_array_cache.cpp).  Null = program privately (default).
+  std::shared_ptr<crossbar::ArrayCache> array_cache;
 
   TraceOptions trace{};
 };

@@ -37,6 +37,7 @@ class CrossbarMapping {
   int bits() const noexcept { return config_.bits; }
   int planes() const noexcept { return planes_; }
   std::size_t mux_ratio() const noexcept { return config_.mux_ratio; }
+  const MappingConfig& config() const noexcept { return config_; }
 
   std::size_t physical_columns() const noexcept {
     return n_ * static_cast<std::size_t>(config_.bits) *

@@ -252,4 +252,24 @@ double ProgrammedArray::bit_multiplier(std::size_t entry, int bit) const {
   return multipliers_[index];
 }
 
+std::size_t ProgrammedArray::approx_bytes() const noexcept {
+  auto vec_bytes = [](const auto& v) {
+    return v.size() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  // The coupling copy's CSC arrays: sizes recoverable through the public
+  // interface (col_ptr is n + 1 size_t entries, row/value arrays nonzeros
+  // each).
+  const std::size_t coupling_bytes =
+      (couplings_.num_spins() + 1) * sizeof(std::size_t) +
+      couplings_.nonzeros() * (sizeof(std::uint32_t) + sizeof(std::int32_t));
+  return sizeof(*this) + coupling_bytes + vec_bytes(bands_) +
+         vec_bytes(multipliers_) + vec_bytes(segments_) + vec_bytes(classes_) +
+         vec_bytes(class_ptr_) + vec_bytes(cache_rows_) +
+         vec_bytes(cache_mults_) + vec_bytes(class_weights_) +
+         vec_bytes(present_count_) + vec_bytes(present_total_) +
+         vec_bytes(present_union_) + vec_bytes(active_bands_) +
+         vec_bytes(band_cell_ptr_) + vec_bytes(slot_src_) +
+         vec_bytes(slot_weight_) + vec_bytes(slot_ptr_);
+}
+
 }  // namespace fecim::crossbar

@@ -233,6 +233,11 @@ class ProgrammedArray {
     return cache_mults_;
   }
 
+  /// Approximate heap footprint of the programmed array (cell multipliers,
+  /// coupling copy, per-band column cache) -- the unit the array cache's
+  /// byte budget accounts in (crossbar/array_cache.hpp).
+  std::size_t approx_bytes() const noexcept;
+
  private:
   std::size_t num_columns() const noexcept { return couplings_.num_spins(); }
   void build_column_cache();

@@ -9,7 +9,10 @@
 
 namespace fecim::problems {
 
-Graph read_gset(std::istream& in, const std::string& context) {
+namespace {
+
+template <typename Source>
+Graph read_gset_impl(Source&& in, const std::string& context) {
   io::LineParser parser(in, context);
   if (!parser.next())
     throw contract_error(context + ": empty input (expected '<n> <m>')");
@@ -38,10 +41,20 @@ Graph read_gset(std::istream& in, const std::string& context) {
   return graph;
 }
 
+}  // namespace
+
+Graph read_gset(std::istream& in, const std::string& context) {
+  return read_gset_impl(in, context);
+}
+
+Graph read_gset(std::string_view text, const std::string& context) {
+  return read_gset_impl(text, context);
+}
+
 Graph read_gset_file(const std::string& path) {
   return io::read_file(path, "gset",
-                       [](std::istream& in, const std::string& context) {
-                         return read_gset(in, context);
+                       [](auto&& in, const std::string& context) {
+                         return read_gset_impl(in, context);
                        });
 }
 

@@ -15,12 +15,14 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "problems/graph.hpp"
 
 namespace fecim::problems {
 
 Graph read_gset(std::istream& in, const std::string& context = "gset");
+Graph read_gset(std::string_view text, const std::string& context = "gset");
 Graph read_gset_file(const std::string& path);
 
 void write_gset(const Graph& graph, std::ostream& out);

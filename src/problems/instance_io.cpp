@@ -12,19 +12,100 @@
 
 #include "util/assert.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define FECIM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 namespace fecim::problems {
 
 namespace io {
 
+// ---------------------------------------------------------------------------
+// MappedFile
+// ---------------------------------------------------------------------------
+
+#ifdef FECIM_HAVE_MMAP
+
+bool MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return false;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    // mmap rejects zero-length mappings; an empty file is simply an empty
+    // view (the parser yields no lines, matching an exhausted stream).
+    ::close(fd);
+    view_ = std::string_view{};
+    return true;
+  }
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (data == MAP_FAILED) return false;
+  data_ = data;
+  size_ = size;
+  view_ = std::string_view(static_cast<const char*>(data_), size_);
+  return true;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+#else  // no mmap on this platform: read_file always streams
+
+bool MappedFile::open(const std::string&) { return false; }
+MappedFile::~MappedFile() = default;
+
+#endif
+
+// ---------------------------------------------------------------------------
+// LineParser
+// ---------------------------------------------------------------------------
+
 LineParser::LineParser(std::istream& in, std::string context,
                        std::string comment_prefixes)
-    : in_(in),
+    : in_(&in),
       context_(std::move(context)),
       comment_prefixes_(std::move(comment_prefixes)) {}
 
+LineParser::LineParser(std::string_view text, std::string context,
+                       std::string comment_prefixes)
+    : buffer_(text),
+      context_(std::move(context)),
+      comment_prefixes_(std::move(comment_prefixes)) {}
+
+bool LineParser::next_raw_line(std::string_view& out) {
+  if (in_ != nullptr) {
+    if (!std::getline(*in_, line_buf_)) return false;
+    out = line_buf_;
+    return true;
+  }
+  // Memory source: split on '\n' with getline semantics -- the terminator
+  // is consumed, a final line without one still counts, '\r' stays in the
+  // line (both paths strip it as whitespace during tokenization).
+  if (buffer_pos_ >= buffer_.size()) return false;
+  const std::size_t nl = buffer_.find('\n', buffer_pos_);
+  if (nl == std::string_view::npos) {
+    out = buffer_.substr(buffer_pos_);
+    buffer_pos_ = buffer_.size();
+  } else {
+    out = buffer_.substr(buffer_pos_, nl - buffer_pos_);
+    buffer_pos_ = nl + 1;
+  }
+  return true;
+}
+
 bool LineParser::next() {
-  std::string line;
-  while (std::getline(in_, line)) {
+  std::string_view line;
+  while (next_raw_line(line)) {
     ++line_number_;
     std::size_t start = 0;
     while (start < line.size() &&
@@ -43,20 +124,23 @@ bool LineParser::next() {
       while (pos < line.size() &&
              !std::isspace(static_cast<unsigned char>(line[pos])))
         ++pos;
-      fields_.emplace_back(line, begin, pos - begin);
+      fields_.push_back(line.substr(begin, pos - begin));
     }
     return true;
   }
   return false;
 }
 
-const std::string& LineParser::field(std::size_t i) const {
+std::string_view LineParser::field(std::size_t i) const {
   FECIM_EXPECTS(i < fields_.size());
   return fields_[i];
 }
 
 double LineParser::number(std::size_t i) const {
-  const std::string& text = field(i);
+  // strtod needs a NUL-terminated token; the copy is SSO-small for any
+  // realistic numeral and keeps the historical grammar (leading '+', hex
+  // floats, inf/nan rejected below via isfinite) bit-exact on both sources.
+  const std::string text(field(i));
   errno = 0;
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
@@ -67,7 +151,7 @@ double LineParser::number(std::size_t i) const {
 }
 
 std::size_t LineParser::index(std::size_t i) const {
-  const std::string& text = field(i);
+  const std::string text(field(i));
   if (text.empty() || text[0] == '-' || text[0] == '+')
     fail("'" + text + "' is not a non-negative integer");
   errno = 0;
@@ -105,7 +189,14 @@ void LineParser::fail_truncated(const std::string& expected) const {
 // DIMACS coloring (.col)
 // ---------------------------------------------------------------------------
 
-Graph read_dimacs_coloring(std::istream& in, const std::string& context) {
+namespace {
+
+// Each reader's body is a template over the line source (std::istream& or
+// std::string_view): io::LineParser has a constructor for either, so the
+// stream and mmap ingestion paths share one parse -- their behavioral
+// identity is by construction, not by parallel maintenance.
+template <typename Source>
+Graph read_dimacs_coloring_impl(Source&& in, const std::string& context) {
   // DIMACS comments are "c ..." lines; tolerate '#'/'%' too so the shared
   // fixture conventions work across every format.
   io::LineParser parser(in, context, "c#%");
@@ -122,8 +213,8 @@ Graph read_dimacs_coloring(std::istream& in, const std::string& context) {
   std::size_t edges_seen = 0;
   while (parser.next()) {
     if (parser.field(0) != "e")
-      parser.fail("expected edge line 'e <u> <v>', got '" + parser.field(0) +
-                  "'");
+      parser.fail("expected edge line 'e <u> <v>', got '" +
+                  std::string(parser.field(0)) + "'");
     parser.require_fields(3, 3);
     const std::size_t u = parser.index(1);
     const std::size_t v = parser.index(2);
@@ -144,10 +235,20 @@ Graph read_dimacs_coloring(std::istream& in, const std::string& context) {
   return graph;
 }
 
+}  // namespace
+
+Graph read_dimacs_coloring(std::istream& in, const std::string& context) {
+  return read_dimacs_coloring_impl(in, context);
+}
+
+Graph read_dimacs_coloring(std::string_view text, const std::string& context) {
+  return read_dimacs_coloring_impl(text, context);
+}
+
 Graph read_dimacs_coloring_file(const std::string& path) {
   return io::read_file(path, "dimacs",
-                        [](std::istream& in, const std::string& context) {
-                          return read_dimacs_coloring(in, context);
+                        [](auto&& in, const std::string& context) {
+                          return read_dimacs_coloring_impl(in, context);
                         });
 }
 
@@ -155,7 +256,10 @@ Graph read_dimacs_coloring_file(const std::string& path) {
 // Knapsack
 // ---------------------------------------------------------------------------
 
-KnapsackInstance read_knapsack(std::istream& in, const std::string& context) {
+namespace {
+
+template <typename Source>
+KnapsackInstance read_knapsack_impl(Source&& in, const std::string& context) {
   io::LineParser parser(in, context);
   if (!parser.next())
     throw contract_error(context +
@@ -186,10 +290,21 @@ KnapsackInstance read_knapsack(std::istream& in, const std::string& context) {
   return instance;
 }
 
+}  // namespace
+
+KnapsackInstance read_knapsack(std::istream& in, const std::string& context) {
+  return read_knapsack_impl(in, context);
+}
+
+KnapsackInstance read_knapsack(std::string_view text,
+                               const std::string& context) {
+  return read_knapsack_impl(text, context);
+}
+
 KnapsackInstance read_knapsack_file(const std::string& path) {
   return io::read_file(path, "knapsack",
-                        [](std::istream& in, const std::string& context) {
-                          return read_knapsack(in, context);
+                        [](auto&& in, const std::string& context) {
+                          return read_knapsack_impl(in, context);
                         });
 }
 
@@ -206,8 +321,11 @@ void write_knapsack(const KnapsackInstance& instance, std::ostream& out) {
 // Number partitioning
 // ---------------------------------------------------------------------------
 
-std::vector<double> read_partition(std::istream& in,
-                                   const std::string& context) {
+namespace {
+
+template <typename Source>
+std::vector<double> read_partition_impl(Source&& in,
+                                        const std::string& context) {
   io::LineParser parser(in, context);
   std::vector<double> numbers;
   while (parser.next()) {
@@ -223,10 +341,22 @@ std::vector<double> read_partition(std::istream& in,
   return numbers;
 }
 
+}  // namespace
+
+std::vector<double> read_partition(std::istream& in,
+                                   const std::string& context) {
+  return read_partition_impl(in, context);
+}
+
+std::vector<double> read_partition(std::string_view text,
+                                   const std::string& context) {
+  return read_partition_impl(text, context);
+}
+
 std::vector<double> read_partition_file(const std::string& path) {
   return io::read_file(path, "partition",
-                        [](std::istream& in, const std::string& context) {
-                          return read_partition(in, context);
+                        [](auto&& in, const std::string& context) {
+                          return read_partition_impl(in, context);
                         });
 }
 
@@ -234,7 +364,10 @@ std::vector<double> read_partition_file(const std::string& path) {
 // TSP coordinate list
 // ---------------------------------------------------------------------------
 
-TspInstance read_tsp_coords(std::istream& in, const std::string& context) {
+namespace {
+
+template <typename Source>
+TspInstance read_tsp_coords_impl(Source&& in, const std::string& context) {
   io::LineParser parser(in, context);
   if (!parser.next())
     throw contract_error(context + ": empty input (expected '<num_cities>')");
@@ -268,10 +401,21 @@ TspInstance read_tsp_coords(std::istream& in, const std::string& context) {
   return instance;
 }
 
+}  // namespace
+
+TspInstance read_tsp_coords(std::istream& in, const std::string& context) {
+  return read_tsp_coords_impl(in, context);
+}
+
+TspInstance read_tsp_coords(std::string_view text,
+                            const std::string& context) {
+  return read_tsp_coords_impl(text, context);
+}
+
 TspInstance read_tsp_coords_file(const std::string& path) {
   return io::read_file(path, "tsp",
-                        [](std::istream& in, const std::string& context) {
-                          return read_tsp_coords(in, context);
+                        [](auto&& in, const std::string& context) {
+                          return read_tsp_coords_impl(in, context);
                         });
 }
 
@@ -298,12 +442,14 @@ std::string trim_copy(const std::string& text) {
 /// NODE_COORD_SECTION and EOF carry no colon and no value.
 void split_spec_line(const io::LineParser& parser, std::string& key,
                      std::string& value) {
-  std::string line = parser.field(0);
-  for (std::size_t i = 1; i < parser.fields(); ++i)
-    line += " " + parser.field(i);
+  std::string line(parser.field(0));
+  for (std::size_t i = 1; i < parser.fields(); ++i) {
+    line += ' ';
+    line += parser.field(i);
+  }
   const auto colon = line.find(':');
   if (colon == std::string::npos) {
-    key = parser.field(0);
+    key = std::string(parser.field(0));
     value = trim_copy(line.substr(key.size()));
   } else {
     key = trim_copy(line.substr(0, colon));
@@ -311,9 +457,8 @@ void split_spec_line(const io::LineParser& parser, std::string& key,
   }
 }
 
-}  // namespace
-
-TspInstance read_tsplib(std::istream& in, const std::string& context) {
+template <typename Source>
+TspInstance read_tsplib_impl(Source&& in, const std::string& context) {
   io::LineParser parser(in, context);
 
   std::size_t dimension = 0;
@@ -403,38 +548,58 @@ TspInstance read_tsplib(std::istream& in, const std::string& context) {
   return instance;
 }
 
+/// First significant token decides the format: TSPLIB specification
+/// keywords parse as TSPLIB, anything else as the coordinate list.
+bool sniff_tsplib_head(std::string_view head) {
+  if (const auto colon = head.find(':'); colon != std::string_view::npos)
+    head = head.substr(0, colon);
+  return head == "NAME" || head == "TYPE" || head == "COMMENT" ||
+         head == "DIMENSION" || head == "EDGE_WEIGHT_TYPE" ||
+         head == "NODE_COORD_SECTION";
+}
+
+TspInstance read_tsp_any(std::string_view text, const std::string& context) {
+  // Memory source: sniffing re-reads the same view -- no copy at all.
+  bool tsplib = false;
+  {
+    io::LineParser sniff(text, context);
+    if (sniff.next()) tsplib = sniff_tsplib_head(sniff.field(0));
+  }
+  return tsplib ? read_tsplib_impl(text, context)
+                : read_tsp_coords_impl(text, context);
+}
+
+TspInstance read_tsp_any(std::istream& in, const std::string& context) {
+  // Stream source: buffer once so the sniffed bytes can be re-parsed
+  // (streams don't rewind in general), then hand the buffer to the
+  // zero-copy path.
+  std::stringstream source;
+  source << in.rdbuf();
+  return read_tsp_any(std::string_view(source.view()), context);
+}
+
+}  // namespace
+
+TspInstance read_tsplib(std::istream& in, const std::string& context) {
+  return read_tsplib_impl(in, context);
+}
+
+TspInstance read_tsplib(std::string_view text, const std::string& context) {
+  return read_tsplib_impl(text, context);
+}
+
 TspInstance read_tsplib_file(const std::string& path) {
   return io::read_file(path, "tsplib",
-                        [](std::istream& in, const std::string& context) {
-                          return read_tsplib(in, context);
+                        [](auto&& in, const std::string& context) {
+                          return read_tsplib_impl(in, context);
                         });
 }
 
 TspInstance read_tsp_file(const std::string& path) {
-  return io::read_file(
-      path, "tsp", [](std::istream& in, const std::string& context) {
-        // Sniff the first significant token, then rewind and parse the
-        // same buffer -- one in-memory copy, no per-format re-read.
-        std::stringstream source;
-        source << in.rdbuf();
-        bool tsplib = false;
-        {
-          io::LineParser sniff(source, context);
-          if (sniff.next()) {
-            std::string head = sniff.field(0);
-            if (const auto colon = head.find(':');
-                colon != std::string::npos)
-              head = head.substr(0, colon);
-            tsplib = head == "NAME" || head == "TYPE" || head == "COMMENT" ||
-                     head == "DIMENSION" || head == "EDGE_WEIGHT_TYPE" ||
-                     head == "NODE_COORD_SECTION";
-          }
-        }
-        source.clear();
-        source.seekg(0);
-        return tsplib ? read_tsplib(source, context)
-                      : read_tsp_coords(source, context);
-      });
+  return io::read_file(path, "tsp",
+                       [](auto&& in, const std::string& context) {
+                         return read_tsp_any(in, context);
+                       });
 }
 
 }  // namespace fecim::problems

@@ -7,6 +7,14 @@
 // with a fecim::contract_error naming "<context>:<line>" instead of a bare
 // contract crash deep inside a factory.
 //
+// The parser reads from either of two line sources with identical
+// semantics (tests/test_instance_io.cpp pins the differential):
+//   * a std::istream (stdin, pipes, string streams), line-buffered;
+//   * a read-only memory range (io::MappedFile) -- io::read_file mmaps
+//     regular files so multi-million-edge Gset/QPLIB instances tokenize
+//     zero-copy, without materializing the text through stream buffers,
+//     and falls back to the stream path for anything not mappable.
+//
 // Formats (all: blank lines skipped, '#' and '%' comment lines skipped,
 // fields whitespace-separated):
 //
@@ -27,6 +35,7 @@
 
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "problems/graph.hpp"
@@ -38,28 +47,46 @@ namespace fecim::problems {
 
 namespace io {
 
-/// Open `path` and hand the stream to `reader(in, path)` (the path doubles
-/// as the parser context, so diagnostics read "<path>:<line>: ...").
-/// Throws contract_error "<what>: cannot open <path>" when the open fails.
-/// One helper so every *_file reader shares the identical failure shape.
-template <typename Reader>
-auto read_file(const std::string& path, const char* what,
-               const Reader& reader) {
-  std::ifstream in(path);
-  if (!in)
-    throw contract_error(std::string(what) + ": cannot open " + path);
-  return reader(in, path);
-}
+/// Read-only memory mapping of a regular file (RAII; unmapped on
+/// destruction).  open() returns false -- instead of throwing -- when the
+/// path is absent, not a regular file, or the mapping fails, so callers can
+/// fall back to stream ingestion; an empty regular file opens successfully
+/// as an empty view without an actual mapping (mmap rejects length 0).
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
 
-/// Splits a stream into significant lines (blank and comment lines skipped),
-/// tracks physical line numbers, and parses typed fields.  Every failure
-/// throws fecim::contract_error prefixed "<context>:<line>:" so callers get
-/// actionable diagnostics for hand-edited benchmark files.
+  bool open(const std::string& path);
+  std::string_view view() const noexcept { return view_; }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string_view view_{};
+};
+
+/// Splits its source into significant lines (blank and comment lines
+/// skipped), tracks physical line numbers, and parses typed fields.  Every
+/// failure throws fecim::contract_error prefixed "<context>:<line>:" so
+/// callers get actionable diagnostics for hand-edited benchmark files.
+///
+/// Fields are std::string_view slices: into the caller's memory range for
+/// the zero-copy constructor, into an internal line buffer for the stream
+/// constructor; either way they stay valid until the next next().
 class LineParser {
  public:
   /// `comment_prefixes`: a line whose first non-space character is listed
   /// here is skipped (e.g. "#%" for Gset-style files, "c#%" for DIMACS).
   LineParser(std::istream& in, std::string context,
+             std::string comment_prefixes = "#%");
+  /// Zero-copy source: `text` (e.g. a MappedFile view) must outlive the
+  /// parser.  Lines split on '\n' exactly like std::getline -- no trailing
+  /// newline required, '\r' is ordinary (stripped as whitespace during
+  /// tokenization, exactly as the stream path treats it).
+  LineParser(std::string_view text, std::string context,
              std::string comment_prefixes = "#%");
 
   /// Advance to the next significant line; false at end of input.
@@ -67,7 +94,7 @@ class LineParser {
 
   std::size_t line_number() const noexcept { return line_number_; }
   std::size_t fields() const noexcept { return fields_.size(); }
-  const std::string& field(std::size_t i) const;
+  std::string_view field(std::size_t i) const;
 
   /// Typed field accessors; full-token validation (no silent strtod/strtoull
   /// garbage-to-zero), failures name the field text and the line.
@@ -83,12 +110,39 @@ class LineParser {
   [[noreturn]] void fail_truncated(const std::string& expected) const;
 
  private:
-  std::istream& in_;
+  /// Next raw line from whichever source backs the parser; getline
+  /// semantics ('\n' consumed, not delivered).
+  bool next_raw_line(std::string_view& out);
+
+  std::istream* in_ = nullptr;    ///< stream source (null for memory source)
+  std::string_view buffer_{};     ///< memory source
+  std::size_t buffer_pos_ = 0;
+  std::string line_buf_;          ///< stream path's current-line storage
   std::string context_;
   std::string comment_prefixes_;
   std::size_t line_number_ = 0;
-  std::vector<std::string> fields_;
+  std::vector<std::string_view> fields_;
 };
+
+/// Open `path` and hand its content to `reader(source, path)` (the path
+/// doubles as the parser context, so diagnostics read "<path>:<line>: ...").
+/// Regular files arrive as a zero-copy std::string_view over an mmap;
+/// anything else (and platforms without mmap) falls back to a std::istream.
+/// `reader` must therefore accept both source types -- in practice a
+/// generic lambda forwarding to a reader with istream + string_view
+/// overloads.  Throws contract_error "<what>: cannot open <path>" when the
+/// open fails.  One helper so every *_file reader shares the identical
+/// ingestion policy and failure shape.
+template <typename Reader>
+auto read_file(const std::string& path, const char* what,
+               const Reader& reader) {
+  MappedFile mapped;
+  if (mapped.open(path)) return reader(mapped.view(), path);
+  std::ifstream in(path);
+  if (!in)
+    throw contract_error(std::string(what) + ": cannot open " + path);
+  return reader(in, path);
+}
 
 }  // namespace io
 
@@ -96,11 +150,15 @@ class LineParser {
 /// 0-indexed in the Graph; duplicate/mirrored "e" lines dedupe (unit weight).
 Graph read_dimacs_coloring(std::istream& in,
                            const std::string& context = "dimacs");
+Graph read_dimacs_coloring(std::string_view text,
+                           const std::string& context = "dimacs");
 Graph read_dimacs_coloring_file(const std::string& path);
 
 /// Knapsack instance: header "<num_items> <capacity>" then one
 /// "<value> <weight>" line per item.
 KnapsackInstance read_knapsack(std::istream& in,
+                               const std::string& context = "knapsack");
+KnapsackInstance read_knapsack(std::string_view text,
                                const std::string& context = "knapsack");
 KnapsackInstance read_knapsack_file(const std::string& path);
 void write_knapsack(const KnapsackInstance& instance, std::ostream& out);
@@ -109,11 +167,15 @@ void write_knapsack(const KnapsackInstance& instance, std::ostream& out);
 /// the (positive) numbers; at least two required.
 std::vector<double> read_partition(std::istream& in,
                                    const std::string& context = "partition");
+std::vector<double> read_partition(std::string_view text,
+                                   const std::string& context = "partition");
 std::vector<double> read_partition_file(const std::string& path);
 
 /// TSP instance from planar coordinates: "<num_cities>" then one "<x> <y>"
 /// line per city; the distance matrix is Euclidean.
 TspInstance read_tsp_coords(std::istream& in,
+                            const std::string& context = "tsp");
+TspInstance read_tsp_coords(std::string_view text,
                             const std::string& context = "tsp");
 TspInstance read_tsp_coords_file(const std::string& path);
 
@@ -126,6 +188,8 @@ TspInstance read_tsp_coords_file(const std::string& path);
 /// nint(sqrt(dx^2 + dy^2)) -- rounded to the nearest integer, so published
 /// optima compare exactly.
 TspInstance read_tsplib(std::istream& in,
+                        const std::string& context = "tsplib");
+TspInstance read_tsplib(std::string_view text,
                         const std::string& context = "tsplib");
 TspInstance read_tsplib_file(const std::string& path);
 

@@ -13,7 +13,10 @@
 
 namespace fecim::problems {
 
-QuboInstance read_qubo(std::istream& in, const std::string& context) {
+namespace {
+
+template <typename Source>
+QuboInstance read_qubo_impl(Source&& in, const std::string& context) {
   io::LineParser parser(in, context);
 
   // Optional directives ahead of the header, in any order.
@@ -64,10 +67,20 @@ QuboInstance read_qubo(std::istream& in, const std::string& context) {
   return QuboInstance{ising::QuboModel(builder.build(), constant), maximize};
 }
 
+}  // namespace
+
+QuboInstance read_qubo(std::istream& in, const std::string& context) {
+  return read_qubo_impl(in, context);
+}
+
+QuboInstance read_qubo(std::string_view text, const std::string& context) {
+  return read_qubo_impl(text, context);
+}
+
 QuboInstance read_qubo_file(const std::string& path) {
   return io::read_file(path, "qubo",
-                       [](std::istream& in, const std::string& context) {
-                         return read_qubo(in, context);
+                       [](auto&& in, const std::string& context) {
+                         return read_qubo_impl(in, context);
                        });
 }
 

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "ising/qubo.hpp"
 
@@ -33,6 +34,8 @@ struct QuboInstance {
 };
 
 QuboInstance read_qubo(std::istream& in, const std::string& context = "qubo");
+QuboInstance read_qubo(std::string_view text,
+                       const std::string& context = "qubo");
 QuboInstance read_qubo_file(const std::string& path);
 
 /// Inverse of read_qubo at max_digits10 precision (round-trip lossless).

@@ -534,6 +534,191 @@ TEST(QuboProblem, MaximizeInstancesAnnealTheNegatedModel) {
   EXPECT_DOUBLE_EQ(energy, -1.0);  // annealed energy is -H at the optimum
 }
 
+// ---------------------------------------------------------------------------
+// mmap-vs-istream differential: the zero-copy memory source behind the
+// *_file readers must be observationally identical to the istream source --
+// same parsed instances, same <file>:<line> diagnostics -- for every
+// fixture in this suite, including files without a trailing newline and
+// empty files.
+// ---------------------------------------------------------------------------
+
+class TempFixture {
+ public:
+  TempFixture(const std::string& name, const std::string& text)
+      : path_((std::filesystem::temp_directory_path() / name).string()) {
+    std::ofstream out(path_, std::ios::binary);
+    out << text;  // binary: bytes land exactly as written, no newline edits
+  }
+  ~TempFixture() { std::filesystem::remove(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Parse `text` through both sources with the same context and require the
+/// same outcome: either both succeed (caller compares the instances) or
+/// both throw contract_error with byte-identical messages.
+template <typename ReadView, typename ReadStream>
+void expect_same_diagnostic(const std::string& text,
+                            const std::string& context, ReadView&& view,
+                            ReadStream&& stream) {
+  const auto from_view = diagnostic_of([&] {
+    view(std::string_view(text), context);
+  });
+  const auto from_stream = diagnostic_of([&] {
+    std::stringstream in(text);
+    stream(in, context);
+  });
+  EXPECT_EQ(from_view, from_stream);
+}
+
+void expect_same_graph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (const auto& e : a.edges())
+    EXPECT_DOUBLE_EQ(b.edge_weight(e.u, e.v), e.weight);
+}
+
+TEST(MmapDifferential, GsetFixturesParseIdentically) {
+  const std::string fixtures[] = {
+      "% rudy-style comment\n# hash comment\n\n3 2\n"
+      "  # indented comment between edges\n1 2 1.5\n\n2 3 -1\n",
+      "2 1\n1 2\n",
+      "2 2\n1 2 1.5\n2 1 2.5\n",
+      "2 1\n1 2 0.25",  // no trailing newline: final line still counts
+  };
+  std::size_t k = 0;
+  for (const auto& text : fixtures) {
+    TempFixture file("fecim_mmap_gset_" + std::to_string(k++) + ".txt",
+                     text);
+    const auto mapped = read_gset_file(file.path());
+    std::stringstream in(text);
+    expect_same_graph(mapped, read_gset(in));
+  }
+}
+
+TEST(MmapDifferential, GsetDiagnosticsMatchLineForLine) {
+  const std::string malformed[] = {
+      "3 2\n1 2 1\n2 2 1\n",              // self-loop at line 3
+      "# header next\n2 1\n1 5 1\n",      // out of range at line 3
+      "3 1\n1 2 fast\n",                  // garbage field at line 2
+      "3 2\n1 2 1\n",                     // truncated edge list
+      "2 1\n1 2 1\n2 1 3\n",              // trailing content
+      "",                                 // empty input
+      "# only comments\n",                // comments-only input
+  };
+  for (const auto& text : malformed)
+    expect_same_diagnostic(
+        text, "g.txt",
+        [](std::string_view t, const std::string& c) { read_gset(t, c); },
+        [](std::istream& in, const std::string& c) { read_gset(in, c); });
+  // The mmap file reader names the path exactly like the istream reader.
+  TempFixture file("fecim_mmap_gset_diag.txt", "3 2\n1 2 1\n2 2 1\n");
+  const auto message =
+      diagnostic_of([&] { read_gset_file(file.path()); });
+  EXPECT_NE(message.find(file.path() + ":3"), std::string::npos) << message;
+  EXPECT_NE(message.find("self-loop"), std::string::npos) << message;
+}
+
+TEST(MmapDifferential, DimacsKnapsackPartitionParseIdentically) {
+  {
+    const std::string text =
+        "c comment\np edge 3 4\ne 1 2\ne 2 3\ne 1 3\ne 2 1";  // no final \n
+    TempFixture file("fecim_mmap_dimacs.col", text);
+    std::stringstream in(text);
+    expect_same_graph(read_dimacs_coloring_file(file.path()),
+                      read_dimacs_coloring(in));
+  }
+  {
+    const std::string text = "# value weight\n3 7.5\n10 5\n7 4\n4 3\n";
+    TempFixture file("fecim_mmap_knap.txt", text);
+    const auto mapped = read_knapsack_file(file.path());
+    std::stringstream in(text);
+    const auto streamed = read_knapsack(in);
+    ASSERT_EQ(mapped.items.size(), streamed.items.size());
+    EXPECT_DOUBLE_EQ(mapped.capacity, streamed.capacity);
+    for (std::size_t i = 0; i < mapped.items.size(); ++i) {
+      EXPECT_DOUBLE_EQ(mapped.items[i].value, streamed.items[i].value);
+      EXPECT_DOUBLE_EQ(mapped.items[i].weight, streamed.items[i].weight);
+    }
+  }
+  {
+    const std::string text = "# any layout\n4 5 6\n7\n8";  // no final \n
+    TempFixture file("fecim_mmap_part.txt", text);
+    const auto mapped = read_partition_file(file.path());
+    std::stringstream in(text);
+    const auto streamed = read_partition(in);
+    ASSERT_EQ(mapped.size(), streamed.size());
+    for (std::size_t i = 0; i < mapped.size(); ++i)
+      EXPECT_DOUBLE_EQ(mapped[i], streamed[i]);
+  }
+}
+
+TEST(MmapDifferential, TspSniffingLoaderParsesBothFormatsFromMmap) {
+  const std::string coords = "4\n0 0\n3 0\n3 4\n0 4\n";
+  TempFixture tsplib_file("fecim_mmap_sniff.tsp", kTsplibSquare);
+  TempFixture coords_file("fecim_mmap_sniff.xy", coords);
+  const auto from_tsplib = read_tsp_file(tsplib_file.path());
+  const auto from_coords = read_tsp_file(coords_file.path());
+  std::stringstream tsplib_in(kTsplibSquare);
+  std::stringstream coords_in(coords);
+  const auto tsplib_streamed = read_tsplib(tsplib_in);
+  const auto coords_streamed = read_tsp_coords(coords_in);
+  ASSERT_EQ(from_tsplib.num_cities(), tsplib_streamed.num_cities());
+  ASSERT_EQ(from_coords.num_cities(), coords_streamed.num_cities());
+  for (std::size_t u = 0; u < 4; ++u)
+    for (std::size_t v = 0; v < 4; ++v) {
+      EXPECT_DOUBLE_EQ(from_tsplib.distances[u][v],
+                       tsplib_streamed.distances[u][v]);
+      EXPECT_DOUBLE_EQ(from_coords.distances[u][v],
+                       coords_streamed.distances[u][v]);
+    }
+}
+
+TEST(MmapDifferential, QuboParsesAndDiagnosesIdentically) {
+  const std::string text =
+      "maximize\nconstant 1.5\n2 3\n1 1 2\n2 2 -1\n1 2 3";  // no final \n
+  TempFixture file("fecim_mmap_qubo.txt", text);
+  const auto mapped = read_qubo_file(file.path());
+  std::stringstream in(text);
+  const auto streamed = read_qubo(in);
+  EXPECT_EQ(mapped.maximize, streamed.maximize);
+  EXPECT_DOUBLE_EQ(mapped.model.constant(), streamed.model.constant());
+  for (std::size_t trial = 0; trial < 4; ++trial) {
+    const std::vector<std::uint8_t> x{
+        static_cast<std::uint8_t>(trial & 1),
+        static_cast<std::uint8_t>((trial >> 1) & 1)};
+    EXPECT_DOUBLE_EQ(mapped.model.value(x), streamed.model.value(x));
+  }
+  expect_same_diagnostic(
+      "2 1\n1 3 1\n", "q.txt",
+      [](std::string_view t, const std::string& c) { read_qubo(t, c); },
+      [](std::istream& in2, const std::string& c) { read_qubo(in2, c); });
+}
+
+TEST(MmapDifferential, EmptyFileBehavesLikeEmptyStream) {
+  TempFixture file("fecim_mmap_empty.txt", "");
+  const auto from_file = diagnostic_of([&] { read_gset_file(file.path()); });
+  EXPECT_NE(from_file.find("empty input"), std::string::npos) << from_file;
+  EXPECT_NE(from_file.find(file.path()), std::string::npos) << from_file;
+}
+
+TEST(MmapDifferential, MappedFileContract) {
+  fecim::problems::io::MappedFile missing;
+  EXPECT_FALSE(missing.open("/nonexistent/fecim-no-such-file"));
+
+  TempFixture file("fecim_mmap_view.txt", "alpha\nbeta");
+  fecim::problems::io::MappedFile mapped;
+  ASSERT_TRUE(mapped.open(file.path()));
+  EXPECT_EQ(mapped.view(), "alpha\nbeta");
+
+  TempFixture empty("fecim_mmap_view_empty.txt", "");
+  fecim::problems::io::MappedFile mapped_empty;
+  ASSERT_TRUE(mapped_empty.open(empty.path()));
+  EXPECT_TRUE(mapped_empty.view().empty());
+}
+
 TEST(QuboProblem, FactoryDecodesAndKeepsSense) {
   auto instance = random_qubo(16, 4.0, 3);
   instance.maximize = true;

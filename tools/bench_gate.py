@@ -16,6 +16,10 @@ hot path is regression-gated alongside the monolithic one.  The
 "ingestion" entry (Gset-scale parse + program, new in schema v4) is
 tracked for the perf trajectory but never gated: smoke and baseline run it
 at different instance sizes, so a ratio between them is meaningless.
+Schema v6 adds program_seconds_cached to the ingestion entry (printed as a
+cache-hit amortization factor) and the "analog-batch-cached" campaign kind
+(repeated identical campaigns through one digest-keyed array cache vs
+per-construction programming), which gates like every other campaign row.
 A row regresses when BOTH signals drop more than the tolerance below the
 baseline (default 10%, override with FECIM_BENCH_TOLERANCE=0.15 etc.):
 
@@ -104,9 +108,13 @@ def main():
 
     if "ingestion" in smoke:
         row = smoke["ingestion"]
+        cached = row.get("program_seconds_cached", 0.0)
+        cold = row.get("program_seconds", 0.0)
+        hit = (f", cache-hit reprogram {cold / cached:,.0f}x faster"
+               if cached > 0.0 and cold > 0.0 else "")
         print(f"  ingestion n={row['n']} m={row['edges']}: "
               f"{fmt(row.get('edges_per_sec_parse', 0.0))} edges/s parse"
-              " ... tracked, not gated")
+              f"{hit} ... tracked, not gated")
 
     if "sampler" in smoke and "sampler" in baseline:
         check("normal sampler", smoke["sampler"]["speedup"],

@@ -11,10 +11,18 @@
 #      engine rows),
 #   4. smoke-run the quickstart example and fecim_solve on every COP family
 #      (maxcut, coloring, knapsack, partition, tsp, qubo), both generated
-#      and file-backed (examples/data/ fixtures, one per file format) plus
-#      one --batch manifest campaign, so the README's build-and-run
-#      instructions, the unified solver pipeline, and the ingestion
-#      subsystem stay honest.
+#      and file-backed (examples/data/ fixtures, one per file format,
+#      loaded through the mmap ingestion path) plus one --batch manifest
+#      campaign, so the README's build-and-run instructions, the unified
+#      solver pipeline, and the ingestion subsystem stay honest,
+#   5. smoke the serving path (docs/serving.md): a duplicate-entry manifest
+#      through --batch and --serve must report exactly one array build
+#      (digest-keyed cache), stream identical rows, and accept per-job
+#      flag overrides from stdin.
+#
+# Under --sanitize the whole suite runs ASan+UBSan-instrumented, which
+# includes the mmap LineParser differential in test_instance_io (unaligned
+# tails, empty files, files without a trailing newline).
 #
 # Usage: tools/check.sh [--full] [--full-bench] [--sanitize]
 #   --full         run the complete ctest suite (every label) instead of
@@ -158,6 +166,43 @@ grep -q '^good,' "${ft_batch_dir}/out.csv" \
 grep -q '^bad,.*,failed$' "${ft_batch_dir}/out.csv" \
   || { echo "check.sh: failed batch row missing" >&2; exit 1; }
 echo "check.sh: fault-tolerance smoke OK"
+
+# Serving smoke (docs/serving.md): a manifest listing the same instance
+# twice must program its crossbar exactly once -- the duplicate entry is a
+# digest-keyed cache hit -- in both --batch and --serve modes, and the
+# serve loop streams one CSV row per job line.
+cache_dir="build/smoke_cache"
+mkdir -p "${cache_dir}"
+printf 'maxcut %s twin-a\nmaxcut %s twin-b\n' \
+  "${repo_root}/examples/data/maxcut_petersen.gset" \
+  "${repo_root}/examples/data/maxcut_petersen.gset" \
+  > "${cache_dir}/twins.batch"
+./build/tools/fecim_solve --batch "${cache_dir}/twins.batch" \
+  --iterations 300 --runs 2 --threads 2 --csv \
+  > "${cache_dir}/batch.csv" 2> "${cache_dir}/batch.err"
+grep -q 'array cache: 1 built, 1 hits' "${cache_dir}/batch.err" \
+  || { echo "check.sh: duplicate batch entries did not share one array build" >&2
+       cat "${cache_dir}/batch.err" >&2; exit 1; }
+./build/tools/fecim_solve --serve "${cache_dir}/twins.batch" \
+  --iterations 300 --runs 2 --threads 2 \
+  > "${cache_dir}/serve.csv" 2> "${cache_dir}/serve.err"
+grep -q 'array cache: 1 built, 1 hits' "${cache_dir}/serve.err" \
+  || { echo "check.sh: served duplicate jobs did not share one array build" >&2
+       cat "${cache_dir}/serve.err" >&2; exit 1; }
+grep -q '^twin-a,' "${cache_dir}/serve.csv" \
+  && grep -q '^twin-b,' "${cache_dir}/serve.csv" \
+  || { echo "check.sh: serve loop missing per-job rows" >&2; exit 1; }
+cmp <(tail -n +2 "${cache_dir}/batch.csv") \
+    <(tail -n +2 "${cache_dir}/serve.csv") \
+  || { echo "check.sh: --serve rows differ from --batch rows" >&2; exit 1; }
+# Per-job flag overrides parse and apply (a job-level seed change must not
+# be rejected and must reuse the shared thread pool/cache plumbing).
+printf 'maxcut - gen --nodes 48 --seed 9\n' | \
+  ./build/tools/fecim_solve --serve - --iterations 300 --runs 2 --threads 2 \
+  > "${cache_dir}/stdin.csv" 2>/dev/null
+grep -q '^gen,' "${cache_dir}/stdin.csv" \
+  || { echo "check.sh: stdin serve job with overrides failed" >&2; exit 1; }
+echo "check.sh: serving smoke OK"
 
 if [[ "${full_bench}" == 1 ]]; then
   ./build/bench/bench_hotpath

@@ -11,7 +11,20 @@
 // feasibility.  Every family loads external benchmark instances via
 // --file (or the positional instance-file); without a file a seeded
 // generator builds the instance.  --batch runs a whole manifest of
-// instances through one process (and one persistent thread pool).
+// instances through one process (and one persistent thread pool);
+// --serve keeps the process alive and streams result rows per job line.
+//
+// Both multi-job modes share one job grammar and one execution path
+// (docs/serving.md): each significant line is
+//     <family> <path> [name] [--flag value ...]
+// where <path> of "-" means "generate the instance from the seed", and the
+// trailing overrides rebind any shared per-campaign flag (--iterations,
+// --runs, --seed, --annealer, --tile-rows, family knobs, ...) for that job
+// only.  All jobs in a process share the persistent worker pool AND the
+// digest-keyed programmed-array cache (crossbar/array_cache.hpp): jobs
+// that resolve to the same quantized couplings + mapping + device +
+// variation seed + tile shape reuse one programmed array, and the final
+// stderr line reports the cache's built/hit counters.
 //
 // options:
 //   --problem F          maxcut|coloring|knapsack|partition|tsp|qubo [maxcut]
@@ -19,9 +32,13 @@
 //                        maxcut Gset, coloring DIMACS .col, knapsack/
 //                        partition instance_io.hpp formats, tsp coordinate
 //                        list or TSPLIB EUC_2D, qubo QPLIB-subset triplets)
-//   --batch MANIFEST     run every "<family> <path> [name]" line of the
-//                        manifest as its own campaign (paths resolve
-//                        relative to the manifest; one row per instance)
+//   --batch MANIFEST     run every job line of the manifest as its own
+//                        campaign (paths resolve relative to the manifest;
+//                        one row per instance)
+//   --serve JOBS         persistent serve loop: read job lines from the
+//                        JOBS file ("-" = stdin), execute each as it
+//                        arrives, stream one CSV row per job (implies
+//                        --csv; rows are flushed for pipeline consumers)
 //   --annealer this-work|this-work-ideal|cim-fpga|cim-asic|mesa
 //   --iterations N       annealing iterations per run        [auto by family]
 //   --runs N             independent Monte-Carlo runs (>= 1) [10]
@@ -70,12 +87,15 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/annealer_factory.hpp"
 #include "core/runner.hpp"
+#include "crossbar/array_cache.hpp"
 #include "problems/generators.hpp"
 #include "problems/gset_io.hpp"
 #include "problems/instance_io.hpp"
@@ -91,6 +111,7 @@ namespace {
 struct Options {
   std::string file;
   std::string batch;
+  std::string serve;  ///< jobs file for the serve loop, "-" = stdin
   std::string problem = "maxcut";
   std::string annealer = "this-work";
   std::size_t iterations = 0;  // 0 = auto
@@ -130,7 +151,10 @@ struct Options {
       "  --problem F       maxcut|coloring|knapsack|partition|tsp|qubo"
       " [maxcut]\n"
       "  --file PATH       load the instance from a file (any family)\n"
-      "  --batch MANIFEST  run every '<family> <path> [name]' manifest line\n"
+      "  --batch MANIFEST  run every '<family> <path> [name] [--flag value"
+      " ...]' manifest line\n"
+      "  --serve JOBS      persistent serve loop over the same job grammar"
+      " ('-' = stdin; implies --csv)\n"
       "  --annealer KIND   this-work | this-work-ideal | cim-fpga | cim-asic"
       " | mesa\n"
       "  --iterations N  --runs N  --threads N  --flips N  --gain X\n"
@@ -144,22 +168,21 @@ struct Options {
 }
 
 /// Reject the strtoull-parses-garbage-to-0 failure mode: the whole token
-/// must be a base-10 non-negative integer, and errors name the flag.
-std::size_t parse_size(const char* flag, const char* text) {
+/// must be a base-10 non-negative integer.  The value-level cores return
+/// false instead of dying so both diagnostic styles -- exit(2) naming the
+/// flag on the command line, a thrown line-numbered contract_error inside
+/// a job line -- share one grammar.
+bool parse_size_value(const char* text, std::size_t& out) {
   errno = 0;
   char* end = nullptr;
   const unsigned long long value =
       (*text != '\0' && *text != '-' && *text != '+')
           ? std::strtoull(text, &end, 10)
           : 0;
-  if (end == nullptr || end == text || *end != '\0' || errno == ERANGE) {
-    std::fprintf(stderr,
-                 "fecim_solve: invalid value '%s' for %s "
-                 "(expected a non-negative integer)\n",
-                 text, flag);
-    std::exit(2);
-  }
-  return static_cast<std::size_t>(value);
+  if (end == nullptr || end == text || *end != '\0' || errno == ERANGE)
+    return false;
+  out = static_cast<std::size_t>(value);
+  return true;
 }
 
 /// Reject non-numeric text (end-pointer check), 'nan'/'inf' (a NaN capacity
@@ -168,19 +191,96 @@ std::size_t parse_size(const char* flag, const char* text) {
 /// has a physically sensible [lo, hi] window, and a value outside it is a
 /// typo that deserves a diagnostic naming the flag, not a silent campaign
 /// with an absurd penalty.
-double parse_double(const char* flag, const char* text, double lo, double hi) {
+bool parse_double_value(const char* text, double lo, double hi, double& out) {
   errno = 0;
   char* end = nullptr;
   const double value = std::strtod(text, &end);
   if (end == text || *end != '\0' || errno == ERANGE ||
-      !std::isfinite(value) || value < lo || value > hi) {
+      !std::isfinite(value) || value < lo || value > hi)
+    return false;
+  out = value;
+  return true;
+}
+
+std::string double_window(double lo, double hi) {
+  char buffer[80];
+  std::snprintf(buffer, sizeof buffer, "a finite number in [%g, %g]", lo, hi);
+  return buffer;
+}
+
+std::size_t parse_size(const char* flag, const char* text) {
+  std::size_t value = 0;
+  if (!parse_size_value(text, value)) {
     std::fprintf(stderr,
                  "fecim_solve: invalid value '%s' for %s "
-                 "(expected a finite number in [%g, %g])\n",
-                 text, flag, lo, hi);
+                 "(expected a non-negative integer)\n",
+                 text, flag);
     std::exit(2);
   }
   return value;
+}
+
+bool is_known_annealer(const std::string& name) {
+  return name == "this-work" || name == "this-work-ideal" ||
+         name == "cim-fpga" || name == "cim-asic" || name == "mesa";
+}
+
+/// The per-campaign flags shared by the command line, --batch manifests,
+/// and --serve job lines (one table, so a flag added here works in all
+/// three).  `next()` yields the flag's value token exactly once when the
+/// flag matches; `fail(flag, text, expected)` reports a malformed value in
+/// whatever style the caller owes its user (exit(2) or a line-numbered
+/// throw) and does not return.  Returns false for flags outside the table
+/// (mode selectors, lifecycle test hooks) so the caller can layer its own.
+template <typename GetValue, typename Fail>
+bool apply_value_flag(Options& options, const std::string& flag,
+                      const GetValue& next, const Fail& fail) {
+  auto size_arg = [&]() {
+    const char* text = next();
+    std::size_t value = 0;
+    if (!parse_size_value(text, value))
+      fail(flag, text, "a non-negative integer");
+    return value;
+  };
+  auto double_arg = [&](double lo, double hi) {
+    const char* text = next();
+    double value = 0.0;
+    if (!parse_double_value(text, lo, hi, value))
+      fail(flag, text, double_window(lo, hi));
+    return value;
+  };
+  if (flag == "--annealer") {
+    const char* text = next();
+    if (!is_known_annealer(text))
+      fail(flag, text, "this-work|this-work-ideal|cim-fpga|cim-asic|mesa");
+    options.annealer = text;
+  }
+  else if (flag == "--iterations") options.iterations = size_arg();
+  else if (flag == "--runs") options.runs = size_arg();
+  else if (flag == "--threads") options.threads = size_arg();
+  else if (flag == "--flips") options.flips = size_arg();
+  else if (flag == "--gain") options.gain = double_arg(0.0, 1e6);
+  else if (flag == "--bits") options.bits = static_cast<int>(size_arg());
+  else if (flag == "--tile-rows") options.tile_rows = size_arg();
+  else if (flag == "--tile-cols") options.tile_cols = size_arg();
+  else if (flag == "--seed") options.seed = size_arg();
+  else if (flag == "--success-threshold")
+    options.success_threshold = double_arg(1e-9, 1.0);
+  else if (flag == "--run-timeout")
+    options.run_timeout = double_arg(0.0, 1e9);
+  else if (flag == "--time-limit")
+    options.time_limit = double_arg(0.0, 1e9);
+  else if (flag == "--retries") options.retries = size_arg();
+  else if (flag == "--nodes") options.nodes = size_arg();
+  else if (flag == "--degree") options.degree = double_arg(0.0, 1e6);
+  else if (flag == "--colors") options.colors = size_arg();
+  else if (flag == "--items") options.items = size_arg();
+  else if (flag == "--capacity") options.capacity = double_arg(0.0, 1e15);
+  else if (flag == "--numbers") options.numbers = size_arg();
+  else if (flag == "--cities") options.cities = size_arg();
+  else if (flag == "--penalty") options.penalty = double_arg(0.0, 1e12);
+  else return false;
+  return true;
 }
 
 /// Comma-separated non-negative run indices, e.g. "0,2,5".
@@ -211,34 +311,22 @@ Options parse(int argc, char** argv) {
       }
       return argv[++i];
     };
-    auto next_size = [&](const char* flag) {
-      return parse_size(flag, next(flag));
+    auto cli_fail = [](const std::string& flag, const char* text,
+                       const std::string& expected) {
+      std::fprintf(stderr,
+                   "fecim_solve: invalid value '%s' for %s (expected %s)\n",
+                   text, flag.c_str(), expected.c_str());
+      std::exit(2);
     };
-    auto next_double = [&](const char* flag, double lo, double hi) {
-      return parse_double(flag, next(flag), lo, hi);
-    };
+    // Shared per-campaign flags first (one table with --batch/--serve job
+    // overrides), then the CLI-only mode selectors and lifecycle hooks.
+    if (apply_value_flag(options, arg, [&] { return next(arg.c_str()); },
+                         cli_fail)) continue;
     if (arg == "--problem") options.problem = next("--problem");
     else if (arg == "--file") options.file = next("--file");
     else if (arg == "--batch") options.batch = next("--batch");
-    else if (arg == "--annealer") options.annealer = next("--annealer");
-    else if (arg == "--iterations") options.iterations = next_size("--iterations");
-    else if (arg == "--runs") options.runs = next_size("--runs");
-    else if (arg == "--threads") options.threads = next_size("--threads");
-    else if (arg == "--flips") options.flips = next_size("--flips");
-    else if (arg == "--gain") options.gain = next_double("--gain", 0.0, 1e6);
-    else if (arg == "--bits") options.bits = static_cast<int>(next_size("--bits"));
-    else if (arg == "--tile-rows") options.tile_rows = next_size("--tile-rows");
-    else if (arg == "--tile-cols") options.tile_cols = next_size("--tile-cols");
-    else if (arg == "--seed") options.seed = next_size("--seed");
+    else if (arg == "--serve") options.serve = next("--serve");
     else if (arg == "--csv") options.csv = true;
-    else if (arg == "--success-threshold")
-      options.success_threshold =
-          next_double("--success-threshold", 1e-9, 1.0);
-    else if (arg == "--run-timeout")
-      options.run_timeout = next_double("--run-timeout", 0.0, 1e9);
-    else if (arg == "--time-limit")
-      options.time_limit = next_double("--time-limit", 0.0, 1e9);
-    else if (arg == "--retries") options.retries = next_size("--retries");
     else if (arg == "--journal") options.journal = next("--journal");
     else if (arg == "--resume") options.resume = true;
     else if (arg == "--inject-fail")
@@ -247,17 +335,6 @@ Options parse(int argc, char** argv) {
     else if (arg == "--inject-hang")
       options.inject_hang = parse_run_list("--inject-hang",
                                            next("--inject-hang"));
-    else if (arg == "--nodes") options.nodes = next_size("--nodes");
-    else if (arg == "--degree")
-      options.degree = next_double("--degree", 0.0, 1e6);
-    else if (arg == "--colors") options.colors = next_size("--colors");
-    else if (arg == "--items") options.items = next_size("--items");
-    else if (arg == "--capacity")
-      options.capacity = next_double("--capacity", 0.0, 1e15);
-    else if (arg == "--numbers") options.numbers = next_size("--numbers");
-    else if (arg == "--cities") options.cities = next_size("--cities");
-    else if (arg == "--penalty")
-      options.penalty = next_double("--penalty", 0.0, 1e12);
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else if (!arg.empty() && arg[0] == '-') usage(argv[0]);
     else options.file = arg;
@@ -272,16 +349,22 @@ Options parse(int argc, char** argv) {
     std::fprintf(stderr, "fecim_solve: --flips must be at least 1\n");
     std::exit(2);
   }
-  if (!options.batch.empty() && !options.file.empty()) {
+  if ((!options.batch.empty()) + (!options.serve.empty()) +
+          (!options.file.empty()) >
+      1) {
     std::fprintf(stderr,
-                 "fecim_solve: --batch and --file are mutually exclusive\n");
+                 "fecim_solve: --batch, --serve and --file are mutually "
+                 "exclusive\n");
     std::exit(2);
   }
   if (options.resume && options.journal.empty()) {
     std::fprintf(stderr, "fecim_solve: --resume requires --journal\n");
     std::exit(2);
   }
-  if (!options.batch.empty() &&
+  // The serve loop streams rows to pipeline consumers; the human-readable
+  // report is meaningless mid-stream, so --serve always emits CSV.
+  if (!options.serve.empty()) options.csv = true;
+  if ((!options.batch.empty() || !options.serve.empty()) &&
       (!options.journal.empty() || !options.inject_fail.empty() ||
        !options.inject_hang.empty())) {
     // A journal checkpoints one campaign and injection indexes one
@@ -289,7 +372,7 @@ Options parse(int argc, char** argv) {
     // campaigns.
     std::fprintf(stderr,
                  "fecim_solve: --journal/--inject-* do not combine with "
-                 "--batch\n");
+                 "--batch/--serve\n");
     std::exit(2);
   }
   for (const auto run : options.inject_fail)
@@ -339,7 +422,8 @@ core::ProblemInstance make_family_problem(const std::string& family,
         file.empty() ? problems::gset_like_instance(nodes, seed)
                      : problems::read_gset_file(file);
     return problems::make_maxcut_problem(
-        file.empty() ? "generated-" + std::to_string(nodes) : instance_name,
+        instance_name.empty() ? "generated-" + std::to_string(nodes)
+                              : instance_name,
         std::move(graph), 48, seed);
   }
   if (family == "coloring") {
@@ -351,7 +435,8 @@ core::ProblemInstance make_family_problem(const std::string& family,
                                      problems::WeightScheme::kUnit, seed)
             : problems::read_dimacs_coloring_file(file);
     return problems::make_coloring_problem(
-        file.empty() ? "coloring-" + std::to_string(nodes) : instance_name,
+        instance_name.empty() ? "coloring-" + std::to_string(nodes)
+                              : instance_name,
         std::move(graph), options.colors,
         options.penalty > 0.0 ? options.penalty : 2.0);
   }
@@ -361,8 +446,8 @@ core::ProblemInstance make_family_problem(const std::string& family,
             ? problems::random_knapsack(options.items, seed, options.capacity)
             : problems::read_knapsack_file(file);
     return problems::make_knapsack_problem(
-        file.empty() ? "knapsack-" + std::to_string(options.items)
-                     : instance_name,
+        instance_name.empty() ? "knapsack-" + std::to_string(options.items)
+                              : instance_name,
         std::move(instance), options.penalty);
   }
   if (family == "partition") {
@@ -371,16 +456,16 @@ core::ProblemInstance make_family_problem(const std::string& family,
             ? problems::random_partition_numbers(options.numbers, seed)
             : problems::read_partition_file(file);
     return problems::make_partition_problem(
-        file.empty() ? "partition-" + std::to_string(options.numbers)
-                     : instance_name,
+        instance_name.empty() ? "partition-" + std::to_string(options.numbers)
+                              : instance_name,
         std::move(numbers));
   }
   if (family == "tsp") {
     auto instance = file.empty() ? problems::random_tsp(options.cities, seed)
                                  : problems::read_tsp_file(file);
     return problems::make_tsp_problem(
-        file.empty() ? "tsp-" + std::to_string(options.cities)
-                     : instance_name,
+        instance_name.empty() ? "tsp-" + std::to_string(options.cities)
+                              : instance_name,
         std::move(instance), options.penalty);
   }
   if (family == "qubo") {
@@ -389,7 +474,8 @@ core::ProblemInstance make_family_problem(const std::string& family,
     auto instance = file.empty() ? problems::random_qubo(nodes, degree, seed)
                                  : problems::read_qubo_file(file);
     return problems::make_qubo_problem(
-        file.empty() ? "qubo-" + std::to_string(nodes) : instance_name,
+        instance_name.empty() ? "qubo-" + std::to_string(nodes)
+                              : instance_name,
         std::move(instance), 24, seed);
   }
   std::fprintf(stderr, "unknown problem '%s'\n", family.c_str());
@@ -418,7 +504,9 @@ struct SolveOutcome {
 };
 
 SolveOutcome solve(const core::ProblemInstance& problem,
-                   const Options& options) {
+                   const Options& options,
+                   const std::shared_ptr<crossbar::ArrayCache>& cache =
+                       nullptr) {
   const bool constrained =
       problem.family == "coloring" || problem.family == "knapsack" ||
       problem.family == "tsp";
@@ -440,6 +528,9 @@ SolveOutcome solve(const core::ProblemInstance& problem,
   // the engines sweep the tile grid and accumulate partial sums digitally.
   outcome.setup.tiles = crossbar::TileShape{options.tile_rows,
                                             options.tile_cols};
+  // Multi-job modes share one digest-keyed programmed-array cache: jobs
+  // with identical array-defining inputs reuse one ProgrammedArray.
+  outcome.setup.array_cache = cache;
 
   outcome.kind = kind_from_name(options.annealer);
   const auto annealer =
@@ -556,68 +647,125 @@ void print_report(const core::ProblemInstance& problem,
   }
 }
 
-struct BatchEntry {
+// ---------------------------------------------------------------------------
+// Job grammar shared by --batch and --serve (docs/serving.md):
+//     <family> <path> [name] [--flag value ...]
+// ---------------------------------------------------------------------------
+
+struct Job {
   std::string family;
-  std::string path;
+  std::string path;  ///< empty = generate from the (per-job) seed
   std::string name;
+  Options options;  ///< process options + per-job overrides
 };
 
-/// Manifest: "<family> <path> [name]" per significant line; paths resolve
-/// relative to the manifest's own directory.
-std::vector<BatchEntry> read_batch_manifest(const std::string& path) {
+/// Parse the current manifest/serve line into a Job.  Every malformed piece
+/// -- unknown family, stray token, unknown or malformed override -- throws
+/// a contract_error naming "<context>:<line>" via the parser.
+Job parse_job_line(const problems::io::LineParser& parser,
+                   const Options& base,
+                   const std::filesystem::path& base_dir) {
+  if (parser.fields() < 2)
+    parser.fail("expected '<family> <path> [name] [--flag value ...]'");
+  Job job;
+  job.options = base;
+  job.family = std::string(parser.field(0));
+  // Validate at parse time: a typo'd family must fail with the offending
+  // line before any campaign runs, not mid-batch after real work.
+  if (!is_known_family(job.family))
+    parser.fail("unknown problem family '" + job.family + "'");
+  if (parser.field(1) != "-") {
+    // Paths resolve relative to the manifest's own directory ("-" keeps
+    // the generated-instance path, parameterized by the job's seed/knobs).
+    std::filesystem::path file{std::string(parser.field(1))};
+    if (file.is_relative()) file = base_dir / file;
+    job.path = file.string();
+  }
+  std::size_t i = 2;
+  if (i < parser.fields() && parser.field(i).substr(0, 2) != "--")
+    job.name = std::string(parser.field(i++));
+  while (i < parser.fields()) {
+    const std::string flag(parser.field(i));
+    if (flag.substr(0, 2) != "--")
+      parser.fail("expected a --flag override, got '" + flag + "'");
+    if (i + 1 >= parser.fields()) parser.fail("missing value for " + flag);
+    const std::string value(parser.field(i + 1));
+    auto job_fail = [&](const std::string& f, const char* text,
+                        const std::string& expected) {
+      parser.fail("invalid value '" + std::string(text) + "' for " + f +
+                  " (expected " + expected + ")");
+    };
+    if (!apply_value_flag(job.options, flag, [&] { return value.c_str(); },
+                          job_fail))
+      parser.fail("unknown per-job flag '" + flag + "'");
+    i += 2;
+  }
+  if (job.options.runs == 0) parser.fail("--runs must be at least 1");
+  if (job.options.flips == 0) parser.fail("--flips must be at least 1");
+  return job;
+}
+
+/// Manifest mode reads every job up front: a malformed line kills the batch
+/// before any campaign runs (atomic validation), unlike the serve loop
+/// which isolates line errors to keep the stream alive.
+std::vector<Job> read_batch_manifest(const std::string& path,
+                                     const Options& base) {
   return problems::io::read_file(
-      path, "batch", [](std::istream& in, const std::string& context) {
+      path, "batch", [&base](auto&& in, const std::string& context) {
         problems::io::LineParser parser(in, context);
-        const auto base = std::filesystem::path(context).parent_path();
-        std::vector<BatchEntry> entries;
-        while (parser.next()) {
-          parser.require_fields(2, 3);
-          BatchEntry entry;
-          entry.family = parser.field(0);
-          // Validate at parse time: a typo'd family must fail with the
-          // manifest line before any campaign runs, not mid-batch after
-          // real work.
-          if (!is_known_family(entry.family))
-            parser.fail("unknown problem family '" + entry.family + "'");
-          std::filesystem::path file(parser.field(1));
-          if (file.is_relative()) file = base / file;
-          entry.path = file.string();
-          if (parser.fields() == 3) entry.name = parser.field(2);
-          entries.push_back(std::move(entry));
-        }
-        if (entries.empty())
+        const auto base_dir = std::filesystem::path(context).parent_path();
+        std::vector<Job> jobs;
+        while (parser.next())
+          jobs.push_back(parse_job_line(parser, base, base_dir));
+        if (jobs.empty())
           throw contract_error("batch: " + context + " lists no instances");
-        return entries;
+        return jobs;
       });
 }
 
-/// Batch-isolation row for an instance whose campaign could not run at all
-/// (malformed file, infeasible encode): every result column is NaN/0 and
-/// the status column says why the row carries no numbers.
-void print_csv_failed_row(const BatchEntry& entry, const Options& options) {
-  const std::string display = !entry.name.empty() ? entry.name : entry.path;
+/// Isolation row for a job whose campaign could not run at all (malformed
+/// file, infeasible encode): every result column is NaN/0 and the status
+/// column says why the row carries no numbers.
+void print_csv_failed_row(const std::string& display,
+                          const std::string& family,
+                          const Options& options) {
   std::printf("%s,%s,%s,%zu,0,0,nan,nan,nan,0.000,0.000,0.000,nan,nan,"
               "failed\n",
-              display.c_str(), entry.family.c_str(),
-              options.annealer.c_str(), options.runs);
+              display.c_str(), family.c_str(), options.annealer.c_str(),
+              options.runs);
+}
+
+/// Final cache report for the multi-job modes.  "N built" is the count of
+/// actual array programmings -- the duplicate-manifest smoke in
+/// tools/check.sh asserts on it.
+void print_cache_stats(const crossbar::ArrayCache& cache) {
+  const auto stats = cache.stats();
+  std::fprintf(stderr,
+               "fecim_solve: array cache: %zu built, %zu hits, "
+               "%zu evictions, %zu resident (%.1f MiB), %.3f s programming\n",
+               stats.misses, stats.hits, stats.evictions, stats.entries,
+               static_cast<double>(stats.bytes) / (1024.0 * 1024.0),
+               stats.build_seconds);
 }
 
 int run_batch(const Options& options) {
-  const auto entries = read_batch_manifest(options.batch);
+  const auto jobs = read_batch_manifest(options.batch, options);
   // All campaigns in the batch share the process-wide persistent worker
-  // pool (util::parallel_for), so thread spawn cost is paid once, not once
-  // per instance.
+  // pool (util::parallel_for) and one programmed-array cache, so thread
+  // spawn and array programming costs are paid per distinct input, not per
+  // manifest line.
+  const auto cache = std::make_shared<crossbar::ArrayCache>();
   if (options.csv) print_csv_header();
   util::Table table({"instance", "family", "spins", "best", "mean",
                      "reference", "feas%", "succ%", "time/run", "status"});
-  std::size_t failed_entries = 0;
-  for (const auto& entry : entries) {
+  std::size_t failed_jobs = 0;
+  for (const auto& job : jobs) {
     try {
       const auto problem =
-          make_family_problem(entry.family, entry.path, entry.name, options);
-      const auto outcome = solve(problem, options);
+          make_family_problem(job.family, job.path, job.name, job.options);
+      const auto outcome = solve(problem, job.options, cache);
       if (options.csv) {
-        print_csv_row(problem, outcome, options);
+        print_csv_row(problem, outcome, job.options);
         continue;
       }
       table.row()
@@ -635,18 +783,17 @@ int run_batch(const Options& options) {
       // Batch isolation: one malformed instance is a failed row plus a
       // stderr diagnostic, not a dead batch -- the remaining instances
       // still run, and the final exit code reports the damage.
-      ++failed_entries;
-      const std::string display =
-          !entry.name.empty() ? entry.name : entry.path;
+      ++failed_jobs;
+      const std::string display = !job.name.empty() ? job.name : job.path;
       std::fprintf(stderr, "fecim_solve: %s [%s]: %s\n", display.c_str(),
-                   entry.family.c_str(), error.what());
+                   job.family.c_str(), error.what());
       if (options.csv) {
-        print_csv_failed_row(entry, options);
+        print_csv_failed_row(display, job.family, job.options);
         continue;
       }
       table.row()
           .add(display)
-          .add(entry.family)
+          .add(job.family)
           .add("-")
           .add("-")
           .add("-")
@@ -658,13 +805,80 @@ int run_batch(const Options& options) {
     }
   }
   if (!options.csv) {
-    std::printf("batch      : %zu instances from %s\n", entries.size(),
+    std::printf("batch      : %zu instances from %s\n", jobs.size(),
                 options.batch.c_str());
     std::printf("%s\n", table.str().c_str());
   }
-  if (failed_entries > 0) {
+  print_cache_stats(*cache);
+  if (failed_jobs > 0) {
     std::fprintf(stderr, "fecim_solve: %zu of %zu batch instances failed\n",
-                 failed_entries, entries.size());
+                 failed_jobs, jobs.size());
+    return 1;
+  }
+  return 0;
+}
+
+/// Persistent serve loop: jobs arrive one line at a time (stdin or a jobs
+/// file), each executes immediately against the warm process -- live
+/// thread pool, resident programmed-array cache -- and its CSV row is
+/// flushed so a pipeline consumer sees results as they land.  A malformed
+/// line or failed campaign yields a failed row and keeps serving.
+int run_serve(const Options& options) {
+  std::ifstream file_in;
+  std::istream* in = &std::cin;
+  std::string context = "serve";
+  std::filesystem::path base_dir;  // stdin jobs resolve against the cwd
+  if (options.serve != "-") {
+    file_in.open(options.serve);
+    if (!file_in) {
+      std::fprintf(stderr, "fecim_solve: serve: cannot open %s\n",
+                   options.serve.c_str());
+      return 1;
+    }
+    in = &file_in;
+    context = options.serve;
+    base_dir = std::filesystem::path(options.serve).parent_path();
+  }
+
+  const auto cache = std::make_shared<crossbar::ArrayCache>();
+  print_csv_header();
+  std::fflush(stdout);
+
+  problems::io::LineParser parser(*in, context);
+  std::size_t jobs = 0;
+  std::size_t failed_jobs = 0;
+  while (parser.next()) {
+    ++jobs;
+    // Best-effort identity for the failure row, refined once the line
+    // parses: a job that dies before parse_job_line returns still gets a
+    // stream row naming whatever the line did say.
+    std::string display(parser.field(0));
+    std::string family = "-";
+    if (parser.fields() >= 2) display = std::string(parser.field(1));
+    try {
+      const Job job = parse_job_line(parser, options, base_dir);
+      family = job.family;
+      if (!job.name.empty())
+        display = job.name;
+      else if (!job.path.empty())
+        display = job.path;
+      const auto problem =
+          make_family_problem(job.family, job.path, job.name, job.options);
+      const auto outcome = solve(problem, job.options, cache);
+      print_csv_row(problem, outcome, job.options);
+    } catch (const std::exception& error) {
+      ++failed_jobs;
+      std::fprintf(stderr, "fecim_solve: %s [%s]: %s\n", display.c_str(),
+                   family.c_str(), error.what());
+      std::fflush(stderr);
+      print_csv_failed_row(display, family, options);
+    }
+    std::fflush(stdout);
+  }
+  print_cache_stats(*cache);
+  if (failed_jobs > 0) {
+    std::fprintf(stderr, "fecim_solve: %zu of %zu served jobs failed\n",
+                 failed_jobs, jobs);
     return 1;
   }
   return 0;
@@ -676,6 +890,7 @@ int main(int argc, char** argv) {
   const Options options = parse(argc, argv);
   try {
     if (!options.batch.empty()) return run_batch(options);
+    if (!options.serve.empty()) return run_serve(options);
 
     const auto problem =
         make_family_problem(options.problem, options.file, "", options);
