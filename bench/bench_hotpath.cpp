@@ -36,7 +36,9 @@
 //      against the token-free path, pinning the amortized cancellation
 //      poll's overhead at ~1.0x (PERF.md invariant).  The n=256 rows run in
 //      every mode so check.sh smoke passes always have baseline rows to
-//      gate on.
+//      gate on.  Schema v7 adds an "sb-ballistic" row: the simulated-
+//      bifurcation backend's campaign wall-clock (parallel vs serial), with
+//      a per-run replica-determinism assertion on its counter-keyed dither.
 //
 // Emits machine-readable JSON (default BENCH_hotpath.json; FECIM_BENCH_OUT
 // overrides) so the perf trajectory is tracked across PRs.
@@ -612,6 +614,52 @@ CampaignRow bench_lifecycle_campaign(std::size_t n, std::size_t runs,
   return row;
 }
 
+/// Simulated-bifurcation campaign row (schema v7): the SB backend on the
+/// same analog array class, replica-parallel vs serial.  SB's dither stream
+/// is counter-keyed exactly like the readout noise, so parallel runs must be
+/// bit-identical to serial ones -- this row both tracks SB campaign
+/// wall-clock across PRs and asserts that thread-invariance on every bench
+/// run.  The step budget is scaled by 2/n so the row senses about as many
+/// columns as the in-situ campaign rows (one SB step = n field readouts).
+CampaignRow bench_sb_campaign(std::size_t n, std::size_t runs,
+                              std::size_t insitu_iterations) {
+  const auto instance = campaign_instance(n);
+
+  CampaignRow row;
+  row.n = n;
+  row.kind = "sb-ballistic";
+  row.runs = runs;
+  row.iterations =
+      std::max<std::size_t>(10, insitu_iterations * 2 / n);
+  row.threads = util::worker_threads();
+
+  core::StandardSetup setup;
+  setup.iterations = row.iterations;
+  const auto annealer = core::make_annealer(core::AnnealerKind::kSbBallistic,
+                                            instance.model, setup);
+
+  core::CampaignConfig serial;
+  serial.runs = runs;
+  serial.threads = 1;
+  core::CampaignConfig parallel = serial;
+  parallel.threads = row.threads;
+
+  double serial_objective = 0.0;
+  row.legacy_seconds = best_of_three_seconds([&] {
+    const auto result = core::run_campaign(*annealer, instance, serial);
+    serial_objective = result.objective.mean();
+  });
+  row.optimized_seconds = best_of_three_seconds([&] {
+    const auto result = core::run_campaign(*annealer, instance, parallel);
+    // Counter-keyed dither: replica parallelism must not change results.
+    if (result.objective.mean() != serial_objective)
+      std::printf("(sb campaign thread-determinism mismatch)\n");
+  });
+
+  row.speedup = row.legacy_seconds / row.optimized_seconds;
+  return row;
+}
+
 /// Amortized batch row: the identical short campaign constructed and run
 /// `repeats` times (one fresh annealer each, the way run_batch and the serve
 /// loop replay a repeated manifest entry).  optimized shares one
@@ -679,7 +727,7 @@ void write_json(const std::string& path, const std::string& mode,
     std::printf("cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"schema\": \"fecim-bench-hotpath-v6\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"fecim-bench-hotpath-v7\",\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", mode.c_str());
   std::fprintf(f, "  \"hardware_threads\": %zu,\n", util::worker_threads());
   std::fprintf(f,
@@ -803,10 +851,14 @@ int main() {
       // on one instance, shared cache vs per-construction programming.
       campaigns.push_back(
           bench_cached_batch_campaign(n, 6, 4, iterations / 4));
+      // SB dynamics on the same array class (schema v7): tracked campaign
+      // wall-clock plus a hard replica-determinism assertion per run.
+      campaigns.push_back(bench_sb_campaign(n, runs, iterations));
     }
     for (const auto& row : campaigns) {
       const char* reference_label = "legacy";
       if (row.kind == "analog-noisy") reference_label = "serial";
+      if (row.kind == "sb-ballistic") reference_label = "serial";
       if (row.kind == "analog-lifecycle") reference_label = "no-token";
       if (row.kind == "analog-batch-cached") reference_label = "uncached";
       std::printf(

@@ -1,5 +1,6 @@
 #include "core/annealer_factory.hpp"
 
+#include "core/bifurcation_annealer.hpp"
 #include "core/direct_annealer.hpp"
 #include "core/mesa.hpp"
 #include "util/assert.hpp"
@@ -25,6 +26,7 @@ std::unique_ptr<Annealer> make_annealer(
       config.device = setup.device;
       config.variation = setup.variation;
       config.array_cache = setup.array_cache;
+      config.initial_spins = setup.initial_spins;
       config.trace = setup.trace;
       config.engine = kind == AnnealerKind::kThisWork
                           ? InSituConfig::EngineKind::kAnalog
@@ -41,6 +43,7 @@ std::unique_ptr<Annealer> make_annealer(
       config.tiles = setup.tiles;
       config.exp_unit = kind == AnnealerKind::kCimFpga ? cost::ExpUnit::kFpga
                                                        : cost::ExpUnit::kAsic;
+      config.initial_spins = setup.initial_spins;
       config.trace = setup.trace;
       return std::make_unique<DirectEAnnealer>(std::move(model),
                                                std::move(config));
@@ -55,9 +58,30 @@ std::unique_ptr<Annealer> make_annealer(
       // MESA re-ladders the temperature per epoch; use the budget-normalized
       // schedule within each epoch.
       config.base.schedule_kind = ClassicSchedule::Kind::kGeometric;
+      config.base.initial_spins = setup.initial_spins;
       config.base.trace = setup.trace;
       return std::make_unique<MesaAnnealer>(std::move(model),
                                             std::move(config));
+    }
+    case AnnealerKind::kSbBallistic:
+    case AnnealerKind::kSbDiscrete: {
+      SbConfig config;
+      config.steps = setup.iterations;
+      config.variant = kind == AnnealerKind::kSbBallistic
+                           ? SbVariant::kBallistic
+                           : SbVariant::kDiscrete;
+      config.dt = setup.sb_dt;
+      config.a0 = setup.sb_a0;
+      config.c0 = setup.sb_c0;
+      config.mapping = mapping;
+      config.tiles = setup.tiles;
+      config.device = setup.device;
+      config.variation = setup.variation;
+      config.array_cache = setup.array_cache;
+      config.initial_spins = setup.initial_spins;
+      config.trace = setup.trace;
+      return std::make_unique<BifurcationAnnealer>(std::move(model),
+                                                   std::move(config));
     }
   }
   FECIM_ASSERT(false);
@@ -76,6 +100,10 @@ const char* annealer_kind_name(AnnealerKind kind) noexcept {
       return "CiM/ASIC";
     case AnnealerKind::kMesa:
       return "MESA";
+    case AnnealerKind::kSbBallistic:
+      return "SB (ballistic)";
+    case AnnealerKind::kSbDiscrete:
+      return "SB (discrete)";
   }
   return "unknown";
 }

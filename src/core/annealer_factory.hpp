@@ -16,7 +16,9 @@ enum class AnnealerKind {
   kThisWorkIdeal,  ///< in-situ dataflow with exact arithmetic (ablation)
   kCimFpga,        ///< direct-E baseline, FPGA exponential unit
   kCimAsic,        ///< direct-E baseline, ASIC exponential unit
-  kMesa            ///< MESA multi-epoch baseline [7] (extension)
+  kMesa,           ///< MESA multi-epoch baseline [7] (extension)
+  kSbBallistic,    ///< ballistic simulated bifurcation on the analog array
+  kSbDiscrete      ///< discrete simulated bifurcation on the analog array
 };
 
 struct StandardSetup {
@@ -36,8 +38,19 @@ struct StandardSetup {
   /// robustness claim is made *with* device non-idealities on.
   device::VariationParams variation{0.03, 0.02, 0.0, 0.0};
   /// Optional digest-keyed programmed-array cache shared across annealers
-  /// (see InSituConfig::array_cache); used by the in-situ kinds only.
+  /// (see InSituConfig::array_cache); used by the crossbar-driving kinds
+  /// (in-situ and simulated bifurcation).
   std::shared_ptr<crossbar::ArrayCache> array_cache;
+  /// Simulated-bifurcation dynamics knobs (the kSb* kinds only).  For SB,
+  /// `iterations` above is the STEP budget -- each step performs one field
+  /// readout per spin, so a step costs ~n in-situ iterations.
+  double sb_dt = 0.5;
+  double sb_a0 = 1.0;
+  double sb_c0 = 0.0;  ///< 0 = auto-calibrate (BifurcationAnnealer)
+  /// Warm start shared by every kind: runs copy this configuration (SB
+  /// additionally biases its oscillator positions toward it) instead of
+  /// drawing random spins.  Null = random initialization.
+  std::shared_ptr<const ising::SpinVector> initial_spins;
   TraceOptions trace{};
 };
 

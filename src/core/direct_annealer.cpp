@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/acceptance.hpp"
+#include "core/run_driver.hpp"
 #include "crossbar/bit_slicing.hpp"
 #include "crossbar/ideal_engine.hpp"
 #include "ising/flipset.hpp"
@@ -55,9 +56,6 @@ DirectEAnnealer::DirectEAnnealer(std::shared_ptr<const ising::IsingModel> model,
 
 AnnealResult DirectEAnnealer::run(std::uint64_t seed,
                                   const CancellationToken& token) const {
-  util::Rng rng(seed);
-  const std::size_t n = model_->num_spins();
-
   crossbar::IdealCrossbarEngine engine(*model_, mapping_,
                                        crossbar::Accounting::kDirectFullArray,
                                        config_.tiles);
@@ -69,12 +67,11 @@ AnnealResult DirectEAnnealer::run(std::uint64_t seed,
                                   config_.iterations, config_.schedule_kind,
                                   config_.decay_per_iteration});
 
-  AnnealResult result;
-  auto spins = ising::random_spins(n, rng);
-  if (model_->has_ancilla()) spins[model_->ancilla_index()] = ising::Spin{1};
-  double energy = model_->energy(spins);
-  result.best_spins = spins;
-  result.best_energy = energy;
+  RunDriver driver(*model_, seed, token,
+                   {config_.iterations, config_.trace,
+                    config_.initial_spins.get()});
+  auto& rng = driver.rng;
+  auto& spins = driver.spins;
 
   const MetropolisAcceptance acceptance;
 
@@ -82,18 +79,9 @@ AnnealResult DirectEAnnealer::run(std::uint64_t seed,
   // after this point (plus the engine's lazy first-call cache build).
   ising::FlipSet flips;
   flips.reserve(config_.flips_per_iteration);
-  if (config_.trace.enabled) {
-    const auto stride = config_.trace.stride > 0 ? config_.trace.stride : 1;
-    result.trajectory.reserve(config_.iterations / stride + 1);
-    result.ledger_trajectory.reserve(config_.iterations / stride + 1);
-  }
-
-  // Amortized cancellation poll (see PERF.md invariant 6).
-  const bool check_cancellation = token.active();
 
   for (std::size_t it = 0; it < config_.iterations; ++it) {
-    if (check_cancellation && (it & (kCancellationCheckStride - 1)) == 0)
-      token.raise_if_stopped();
+    driver.poll(it);
     const double temperature = schedule.temperature(it);
     ising::random_flip_set_into(flips, model_->num_flippable(),
                                 config_.flips_per_iteration, rng);
@@ -101,38 +89,27 @@ AnnealResult DirectEAnnealer::run(std::uint64_t seed,
     // The hardware computes E_new via the full-array VMV; dE follows
     // digitally.  Numerically dE = 4 sigma_r^T J sigma_c (+ field terms).
     const auto evaluation = engine.evaluate(spins, flips, {1.0, 0.0});
-    crossbar::merge_trace(result.ledger, evaluation.trace);
-    ++result.ledger.iterations;
+    crossbar::merge_trace(driver.result.ledger, evaluation.trace);
+    ++driver.result.ledger.iterations;
     double delta_e = 4.0 * evaluation.raw_vmv;
     for (const auto i : flips)
       delta_e += -2.0 * model_->fields()[i] * static_cast<double>(spins[i]);
 
     const auto decision = acceptance.accept(delta_e, temperature, rng);
     if (config_.pipelined_exp_unit || decision.exp_evaluated)
-      ++result.ledger.exp_evaluations;
+      ++driver.result.ledger.exp_evaluations;
     if (decision.accepted) {
-      energy += delta_e;
+      driver.energy += delta_e;
       ising::flip_in_place(spins, flips);
       engine.on_flips_applied(spins, flips);
-      result.ledger.spin_updates += flips.size();
-      ++result.accepted_moves;
-      if (delta_e > 0.0) ++result.uphill_accepted;
-      if (energy < result.best_energy) {
-        result.best_energy = energy;
-        result.best_spins = spins;
-      }
+      driver.count_accept(flips.size(), delta_e > 0.0);
+      driver.track_best();
     }
 
-    if (config_.trace.enabled && it % config_.trace.stride == 0) {
-      result.trajectory.push_back(
-          {it, energy, result.best_energy, temperature});
-      result.ledger_trajectory.push_back({it, result.ledger});
-    }
+    driver.record(it, temperature);
   }
 
-  result.final_spins = std::move(spins);
-  result.final_energy = energy;
-  return result;
+  return driver.finish();
 }
 
 }  // namespace fecim::core

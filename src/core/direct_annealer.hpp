@@ -39,6 +39,8 @@ struct DirectEConfig {
   /// iteration (branchless datapath) and select afterwards; set false to
   /// charge the unit only on uphill moves.
   bool pipelined_exp_unit = true;
+  /// Warm start (core/run_driver.hpp); null = random initialization.
+  std::shared_ptr<const ising::SpinVector> initial_spins;
   TraceOptions trace{};
 };
 

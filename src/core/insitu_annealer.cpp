@@ -1,6 +1,7 @@
 #include "core/insitu_annealer.hpp"
 
 #include "core/acceptance.hpp"
+#include "core/run_driver.hpp"
 #include "crossbar/ideal_engine.hpp"
 #include "ising/flipset.hpp"
 #include "util/assert.hpp"
@@ -146,7 +147,6 @@ void InSituCimAnnealer::cluster_flip_set(util::Rng& rng,
 
 AnnealResult InSituCimAnnealer::run(std::uint64_t seed,
                                     const CancellationToken& token) const {
-  util::Rng rng(seed);
   const std::size_t n = model_->num_spins();
   const bool analog = config_.engine == InSituConfig::EngineKind::kAnalog;
 
@@ -166,16 +166,17 @@ AnnealResult InSituCimAnnealer::run(std::uint64_t seed,
     engine = std::move(ideal);
   }
   // Key the engine's readout-noise streams to this run: noisy evaluations
-  // draw from (seed, site, conversion index), never from `rng`, so the
-  // proposal/acceptance draw sequence is independent of the noise model.
+  // draw from (seed, site, conversion index), never from the driver's RNG,
+  // so the proposal/acceptance draw sequence is independent of the noise
+  // model.
   engine->begin_run(seed);
 
-  AnnealResult result;
-  auto spins = ising::random_spins(n, rng);
-  if (model_->has_ancilla()) spins[model_->ancilla_index()] = ising::Spin{1};
-  double energy = model_->energy(spins);
-  result.best_spins = spins;
-  result.best_energy = energy;
+  // Seed -> spins -> energy -> trace buffers -> cancellation gate.
+  RunDriver driver(*model_, seed, token,
+                   {config_.iterations, config_.trace,
+                    config_.initial_spins.get()});
+  auto& rng = driver.rng;
+  auto& spins = driver.spins;
 
   // Everything the inner loop touches is allocated here; the loop itself is
   // heap-allocation-free (see PERF.md and the counting-allocator test).
@@ -186,28 +187,17 @@ AnnealResult InSituCimAnnealer::run(std::uint64_t seed,
   // bookkeeping needs its own field cache; the ideal engine's raw_vmv is
   // already exact.
   if (analog) ws.field_cache.build(*model_, spins);
-  if (config_.trace.enabled) {
-    const auto stride = config_.trace.stride > 0 ? config_.trace.stride : 1;
-    result.trajectory.reserve(config_.iterations / stride + 1);
-    result.ledger_trajectory.reserve(config_.iterations / stride + 1);
-  }
 
   const FractionalAcceptance acceptance;
   double previous_vbg = -1.0;
   ising::SweepFlipGenerator sweep(model_->num_flippable(),
                                   config_.flips_per_iteration);
 
-  // Amortized cancellation poll: one predictable branch per iteration when
-  // the token is inactive, a clock read every kCancellationCheckStride
-  // iterations when it is (see PERF.md invariant 6).
-  const bool check_cancellation = token.active();
-
   for (std::size_t it = 0; it < config_.iterations; ++it) {
-    if (check_cancellation && (it & (kCancellationCheckStride - 1)) == 0)
-      token.raise_if_stopped();
+    driver.poll(it);
     const auto point = schedule_.at(it);
     if (point.vbg != previous_vbg) {
-      ++result.ledger.bg_dac_updates;
+      ++driver.result.ledger.bg_dac_updates;
       previous_vbg = point.vbg;
     }
 
@@ -225,41 +215,30 @@ AnnealResult InSituCimAnnealer::run(std::uint64_t seed,
     }
     const auto evaluation =
         engine->evaluate(spins, ws.flips, {point.factor, point.vbg});
-    crossbar::merge_trace(result.ledger, evaluation.trace);
-    ++result.ledger.iterations;
+    crossbar::merge_trace(driver.result.ledger, evaluation.trace);
+    ++driver.result.ledger.iterations;
 
     if (acceptance.accept(config_.acceptance_gain * evaluation.e_inc, rng)) {
       // Exact energy bookkeeping is simulation-side observability; the
       // hardware only updates the spin registers.  dE = 4 sigma_r^T J
       // sigma_c (the model is pure quadratic here); the cached local fields
       // supply the VMV in O(|F|^2) instead of a CSR row walk.
-      energy += analog
-                    ? 4.0 * ws.field_cache.vmv(*model_, spins, ws.flips)
-                    : 4.0 * evaluation.raw_vmv;
+      driver.energy +=
+          analog ? 4.0 * ws.field_cache.vmv(*model_, spins, ws.flips)
+                 : 4.0 * evaluation.raw_vmv;
       ising::flip_in_place(spins, ws.flips);
       if (analog)
         ws.field_cache.apply_flips(*model_, spins, ws.flips);
       else
         engine->on_flips_applied(spins, ws.flips);
-      result.ledger.spin_updates += ws.flips.size();
-      ++result.accepted_moves;
-      if (evaluation.e_inc > 0.0) ++result.uphill_accepted;
-      if (energy < result.best_energy) {
-        result.best_energy = energy;
-        result.best_spins = spins;
-      }
+      driver.count_accept(ws.flips.size(), evaluation.e_inc > 0.0);
+      driver.track_best();
     }
 
-    if (config_.trace.enabled && it % config_.trace.stride == 0) {
-      result.trajectory.push_back(
-          {it, energy, result.best_energy, point.vbg});
-      result.ledger_trajectory.push_back({it, result.ledger});
-    }
+    driver.record(it, point.vbg);
   }
 
-  result.final_spins = std::move(spins);
-  result.final_energy = energy;
-  return result;
+  return driver.finish();
 }
 
 }  // namespace fecim::core

@@ -82,6 +82,11 @@ struct InSituConfig {
   /// by tests/test_array_cache.cpp).  Null = program privately (default).
   std::shared_ptr<crossbar::ArrayCache> array_cache;
 
+  /// Warm start: when set, every run copies this configuration instead of
+  /// drawing random spins (core/run_driver.hpp; must match the model's spin
+  /// count, ancilla included).  Null = random initialization.
+  std::shared_ptr<const ising::SpinVector> initial_spins;
+
   TraceOptions trace{};
 };
 

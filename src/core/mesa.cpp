@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/acceptance.hpp"
+#include "core/run_driver.hpp"
 #include "crossbar/bit_slicing.hpp"
 #include "crossbar/ideal_engine.hpp"
 #include "ising/flipset.hpp"
@@ -32,8 +33,6 @@ MesaAnnealer::MesaAnnealer(std::shared_ptr<const ising::IsingModel> model,
 
 AnnealResult MesaAnnealer::run(std::uint64_t seed,
                                const CancellationToken& token) const {
-  util::Rng rng(seed);
-  const std::size_t n = model_->num_spins();
   const std::size_t base_per_epoch =
       std::max<std::size_t>(1, config_.base.iterations / config_.epochs);
   const std::size_t remainder =
@@ -46,23 +45,22 @@ AnnealResult MesaAnnealer::run(std::uint64_t seed,
                                        config_.base.tiles);
   const MetropolisAcceptance acceptance;
 
-  AnnealResult result;
-  auto spins = ising::random_spins(n, rng);
-  if (model_->has_ancilla()) spins[model_->ancilla_index()] = ising::Spin{1};
-  double energy = model_->energy(spins);
-  result.best_spins = spins;
-  result.best_energy = energy;
+  // MESA records no trajectory (the epoch restarts would need their own
+  // encoding), so the driver gets a disabled trace regardless of config.
+  RunDriver driver(*model_, seed, token,
+                   {0, TraceOptions{}, config_.base.initial_spins.get()});
+  auto& rng = driver.rng;
+  auto& spins = driver.spins;
 
-  // Amortized cancellation poll; `global_it` strides across epoch
-  // boundaries so the poll cadence matches the single-schedule annealers.
-  const bool check_cancellation = token.active();
+  // `global_it` strides across epoch boundaries so the cancellation poll
+  // cadence matches the single-schedule annealers.
   std::uint64_t global_it = 0;
 
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     // Each epoch restarts from the incumbent best with a reheated (but
     // decaying) temperature ladder.
-    spins = result.best_spins;
-    energy = result.best_energy;
+    spins = driver.result.best_spins;
+    driver.energy = driver.result.best_energy;
     // Early epochs absorb the division remainder so the exact budget runs.
     const std::size_t per_epoch = base_per_epoch + (epoch < remainder ? 1 : 0);
     const double epoch_t_start =
@@ -73,38 +71,29 @@ AnnealResult MesaAnnealer::run(std::uint64_t seed,
          per_epoch, config_.base.schedule_kind});
 
     for (std::size_t it = 0; it < per_epoch; ++it, ++global_it) {
-      if (check_cancellation &&
-          (global_it & (kCancellationCheckStride - 1)) == 0)
-        token.raise_if_stopped();
+      driver.poll(global_it);
       const double temperature = schedule.temperature(it);
       const auto flips = ising::random_flip_set(
           model_->num_flippable(), config_.base.flips_per_iteration, rng);
       const auto evaluation = engine.evaluate(spins, flips, {1.0, 0.0});
-      crossbar::merge_trace(result.ledger, evaluation.trace);
-      ++result.ledger.iterations;
+      crossbar::merge_trace(driver.result.ledger, evaluation.trace);
+      ++driver.result.ledger.iterations;
       double delta_e = 4.0 * evaluation.raw_vmv;
       for (const auto i : flips)
         delta_e += -2.0 * model_->fields()[i] * static_cast<double>(spins[i]);
 
       const auto decision = acceptance.accept(delta_e, temperature, rng);
-      if (decision.exp_evaluated) ++result.ledger.exp_evaluations;
+      if (decision.exp_evaluated) ++driver.result.ledger.exp_evaluations;
       if (decision.accepted) {
-        energy += delta_e;
+        driver.energy += delta_e;
         ising::flip_in_place(spins, flips);
-        result.ledger.spin_updates += flips.size();
-        ++result.accepted_moves;
-        if (delta_e > 0.0) ++result.uphill_accepted;
-        if (energy < result.best_energy) {
-          result.best_energy = energy;
-          result.best_spins = spins;
-        }
+        driver.count_accept(flips.size(), delta_e > 0.0);
+        driver.track_best();
       }
     }
   }
 
-  result.final_spins = std::move(spins);
-  result.final_energy = energy;
-  return result;
+  return driver.finish();
 }
 
 }  // namespace fecim::core

@@ -64,6 +64,13 @@ struct ProblemInstance {
   /// the campaign runner invokes it concurrently from worker threads.
   std::function<DecodedSolution(std::span<const ising::Spin>)> decode;
 
+  /// Optional constructive warm start: a deterministic domain heuristic
+  /// (greedy cut, DSatur coloring) producing a full spin vector in the
+  /// model's layout, ancilla included.  Null for families without one; the
+  /// CLI's --init greedy surfaces it (problems/warm_start.hpp).  Must be
+  /// pure and thread-safe like decode.
+  std::function<ising::SpinVector()> warm_start;
+
   /// Sense-aware success test against the reference objective:
   ///   maximize: feasible and objective >= reference - (1 - t) * |reference|,
   ///   minimize: feasible and objective <= reference + (1 - t) * |reference|

@@ -1,0 +1,29 @@
+#include "core/run_driver.hpp"
+
+#include "util/assert.hpp"
+
+namespace fecim::core {
+
+RunDriver::RunDriver(const ising::IsingModel& model, std::uint64_t seed,
+                     const CancellationToken& token, const Options& options)
+    : rng(seed), token_(&token), trace_(options.trace) {
+  if (options.initial_spins != nullptr) {
+    FECIM_EXPECTS(options.initial_spins->size() == model.num_spins());
+    spins = *options.initial_spins;
+  } else {
+    spins = ising::random_spins(model.num_spins(), rng);
+  }
+  if (model.has_ancilla()) spins[model.ancilla_index()] = ising::Spin{1};
+  energy = model.energy(spins);
+  result.best_spins = spins;
+  result.best_energy = energy;
+
+  if (trace_.enabled) {
+    if (trace_.stride == 0) trace_.stride = 1;
+    result.trajectory.reserve(options.iterations / trace_.stride + 1);
+    result.ledger_trajectory.reserve(options.iterations / trace_.stride + 1);
+  }
+  check_cancellation_ = token.active();
+}
+
+}  // namespace fecim::core

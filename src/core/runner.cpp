@@ -8,6 +8,7 @@
 
 #include "core/run_journal.hpp"
 #include "problems/maxcut.hpp"
+#include "problems/warm_start.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -45,6 +46,9 @@ ProblemInstance as_problem(const MaxcutInstance& instance) {
     solution.objective = problems::cut_value(*graph, spins);
     solution.feasible = true;  // every bipartition is a valid cut
     return solution;
+  };
+  problem.warm_start = [graph = instance.graph] {
+    return problems::greedy_maxcut_spins(*graph);
   };
   return problem;
 }

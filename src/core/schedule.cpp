@@ -78,4 +78,21 @@ double ClassicSchedule::temperature(std::size_t iteration) const {
   return config_.t_end;
 }
 
+SbSchedule::SbSchedule(const Config& config) : config_(config) {
+  FECIM_EXPECTS(config_.a0 > 0.0);
+  FECIM_EXPECTS(config_.dt > 0.0);
+  FECIM_EXPECTS(config_.total_steps > 0);
+}
+
+SbSchedule::Point SbSchedule::at(std::size_t step) const {
+  // Linear pump 0 -> a0 reaching a0 exactly on the final step; a one-step
+  // budget jumps straight to the bifurcated regime.
+  const double progress =
+      config_.total_steps == 1
+          ? 1.0
+          : std::min(1.0, static_cast<double>(step) /
+                              static_cast<double>(config_.total_steps - 1));
+  return {config_.a0 * progress, config_.dt};
+}
+
 }  // namespace fecim::core

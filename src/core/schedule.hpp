@@ -8,6 +8,12 @@
 //
 // ClassicSchedule -- geometric/linear temperature decay for the direct-E
 // baseline annealers (temperature in energy units).
+//
+// SbSchedule -- the simulated-bifurcation pump ramp: the bifurcation
+// parameter a(t) rises linearly 0 -> a0 across the step budget, sweeping
+// every oscillator through its pitchfork bifurcation (the SB analogue of
+// cooling).  The time step is constant; both knobs live here so the CLI and
+// benches configure SB the same way they configure the thermal ladders.
 #pragma once
 
 #include <cstddef>
@@ -81,6 +87,29 @@ class ClassicSchedule {
   explicit ClassicSchedule(const Config& config);
 
   double temperature(std::size_t iteration) const;
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+class SbSchedule {
+ public:
+  struct Config {
+    double a0 = 1.0;       ///< detuning / final pump amplitude
+    double dt = 0.5;       ///< symplectic time step
+    std::size_t total_steps = 1000;
+  };
+
+  explicit SbSchedule(const Config& config);
+
+  struct Point {
+    double pump;  ///< a(t) in [0, a0]; a0 - a(t) is the confining stiffness
+    double dt;    ///< time step (constant, carried for uniform Point shape)
+  };
+
+  Point at(std::size_t step) const;
+
   const Config& config() const noexcept { return config_; }
 
  private:

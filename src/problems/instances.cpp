@@ -10,6 +10,7 @@
 #include "ising/qubo.hpp"
 #include "problems/coloring.hpp"
 #include "problems/partition.hpp"
+#include "problems/warm_start.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -100,6 +101,9 @@ core::ProblemInstance make_coloring_problem(std::string name, Graph graph,
       solution.objective = static_cast<double>(encoding->num_colors);
     }
     return solution;
+  };
+  problem.warm_start = [shared_graph, encoding] {
+    return dsatur_coloring_spins(*shared_graph, encoding->num_colors);
   };
   return problem;
 }

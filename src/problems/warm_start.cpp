@@ -1,0 +1,105 @@
+#include "problems/warm_start.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fecim::problems {
+
+ising::SpinVector greedy_maxcut_spins(const Graph& graph) {
+  const std::size_t n = graph.num_vertices();
+  ising::SpinVector spins(n, ising::Spin{0});  // 0 = not yet placed
+
+  // Descending degree, index ascending on ties: high-degree vertices place
+  // first while their neighborhoods are still mostly free, which is where a
+  // greedy choice is worth the most.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return graph.degree(a) > graph.degree(b);
+                   });
+
+  int alternate = 1;  // deterministic tie-break for zero-gain placements
+  for (const auto v : order) {
+    const auto neighbors = graph.neighbors(v);
+    const auto weights = graph.neighbor_weights(v);
+    // gain(+1) - gain(-1): placing v opposite a placed neighbor cuts the
+    // edge, so side -sign(w * spin) is favored per neighbor.
+    double balance = 0.0;
+    for (std::size_t k = 0; k < neighbors.size(); ++k)
+      balance -= weights[k] * static_cast<double>(spins[neighbors[k]]);
+    if (balance > 0.0) {
+      spins[v] = ising::Spin{1};
+    } else if (balance < 0.0) {
+      spins[v] = ising::Spin{-1};
+    } else {
+      spins[v] = static_cast<ising::Spin>(alternate);
+      alternate = -alternate;
+    }
+  }
+  return spins;
+}
+
+ising::SpinVector dsatur_coloring_spins(const Graph& graph,
+                                        std::size_t num_colors) {
+  FECIM_EXPECTS(num_colors >= 1);
+  const std::size_t n = graph.num_vertices();
+  const std::uint32_t k = static_cast<std::uint32_t>(num_colors);
+  constexpr std::uint32_t kUncolored = ~std::uint32_t{0};
+
+  std::vector<std::uint32_t> color(n, kUncolored);
+  // Per-vertex palette saturation as bitmask-free counts: adjacent[v][c] is
+  // how many neighbors of v hold color c (saturation degree = #nonzero).
+  std::vector<std::uint32_t> adjacent(n * num_colors, 0);
+  std::vector<std::uint32_t> saturation(n, 0);
+  std::vector<std::uint32_t> usage(num_colors, 0);
+
+  for (std::size_t placed = 0; placed < n; ++placed) {
+    // Next vertex: max saturation, then max degree, then lowest index --
+    // the classic DSatur order, fully deterministic.
+    std::uint32_t best = kUncolored;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (color[v] != kUncolored) continue;
+      if (best == kUncolored || saturation[v] > saturation[best] ||
+          (saturation[v] == saturation[best] &&
+           graph.degree(v) > graph.degree(best)))
+        best = v;
+    }
+
+    std::uint32_t chosen = k;
+    for (std::uint32_t c = 0; c < k; ++c) {
+      if (adjacent[best * num_colors + c] == 0) {
+        chosen = c;
+        break;
+      }
+    }
+    if (chosen == k) {
+      // Palette exhausted around `best` (DSatur proper would open a new
+      // color): clamp to the least-used palette color and let the annealer
+      // repair the conflict.
+      chosen = 0;
+      for (std::uint32_t c = 1; c < k; ++c)
+        if (usage[c] < usage[chosen]) chosen = c;
+    }
+    color[best] = chosen;
+    ++usage[chosen];
+    for (const auto u : graph.neighbors(best)) {
+      if (color[u] != kUncolored) continue;
+      if (adjacent[u * num_colors + chosen]++ == 0) ++saturation[u];
+    }
+  }
+
+  // One-hot layout of coloring_to_qubo (x_{v,c} at v * k + c) in the
+  // project's x = (1 - sigma) / 2 convention (assigned bit -> spin -1),
+  // plus the pinned +1 ancilla the with_ancilla model appends.
+  ising::SpinVector spins(n * num_colors + 1, ising::Spin{1});
+  for (std::uint32_t v = 0; v < n; ++v)
+    spins[v * num_colors + color[v]] = ising::Spin{-1};
+  return spins;
+}
+
+}  // namespace fecim::problems

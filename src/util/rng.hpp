@@ -111,6 +111,12 @@ inline constexpr std::uint64_t kAdcNoise = 0x04;   ///< ADC input noise, per con
 /// to a Gaussian).  The engines use this site; kReadNoise / kAdcNoise serve
 /// the standalone component models.
 inline constexpr std::uint64_t kReadoutNoise = 0x05;
+/// Simulated-bifurcation drive dither: the ballistic SB backend binarizes
+/// its continuous oscillator positions stochastically before driving them
+/// onto the crossbar (sign(x) with probability (1 + x)/2), one draw per
+/// (step, spin) indexed step * num_flippable + spin.  Counter-keyed like
+/// every physical stream, so SB runs are order- and thread-independent.
+inline constexpr std::uint64_t kSbDither = 0x06;
 }  // namespace stream_site
 
 /// Stateless counter-based noise generator (SplitMix64-style).

@@ -20,6 +20,11 @@ Schema v6 adds program_seconds_cached to the ingestion entry (printed as a
 cache-hit amortization factor) and the "analog-batch-cached" campaign kind
 (repeated identical campaigns through one digest-keyed array cache vs
 per-construction programming), which gates like every other campaign row.
+Schema v7 adds the "sb-ballistic" campaign kind (simulated-bifurcation
+dynamics on the same analog array, parallel vs serial replica scaling);
+rows present in the smoke run but absent from the baseline -- the normal
+state right after a schema bump, before the baseline is regenerated -- are
+printed as tracked-not-gated instead of silently skipped.
 A row regresses when BOTH signals drop more than the tolerance below the
 baseline (default 10%, override with FECIM_BENCH_TOLERANCE=0.15 etc.):
 
@@ -71,6 +76,13 @@ def main():
     for row in smoke.get("engine_eval", []):
         base = base_rows.get((row["n"], row["engine"]))
         if base is None:
+            # A row new in this schema (e.g. the v7 sb-ballistic campaign)
+            # has nothing to compare against until the baseline is
+            # regenerated -- print it so the number is on the record.
+            print(f"  n={row['n']} {row['engine']}: speedup "
+                  f"{fmt(row['speedup'])}, opt/s "
+                  f"{fmt(row['evals_per_sec_optimized'])}"
+                  " ... tracked, not gated (no baseline row)")
             continue
         check(f"n={row['n']} {row['engine']}", row["speedup"], base["speedup"],
               row["evals_per_sec_optimized"], base["evals_per_sec_optimized"])
@@ -90,13 +102,17 @@ def main():
         kind = row.get("kind", "analog")
         base = base_campaigns.get((row["n"], kind))
         if base is None:
+            print(f"  campaign n={row['n']} {kind}: speedup "
+                  f"{fmt(row['speedup'])}, opt run-iters/s "
+                  f"{fmt(campaign_throughput(row))}"
+                  " ... tracked, not gated (no baseline row)")
             continue
-        if kind == "analog-noisy" and not same_host:
-            # The noisy row's speedup is threads=N vs threads=1 replica
+        if kind in ("analog-noisy", "sb-ballistic") and not same_host:
+            # These rows' speedup is threads=N vs threads=1 replica
             # scaling -- a property of the host's core count, not of the
-            # code -- so it gates only when both files record the same
-            # hardware_threads.  On a different host it would fail
-            # spuriously; print it for the trajectory instead.
+            # code -- so they gate only when both files record the same
+            # hardware_threads.  On a different host they would fail
+            # spuriously; print them for the trajectory instead.
             print(f"  campaign n={row['n']} {kind}: speedup "
                   f"{fmt(row['speedup'])} vs {fmt(base['speedup'])} "
                   f"(baseline from a {base.get('threads', '?')}-thread host)"

@@ -18,7 +18,10 @@
 #   5. smoke the serving path (docs/serving.md): a duplicate-entry manifest
 #      through --batch and --serve must report exactly one array build
 #      (digest-keyed cache), stream identical rows, and accept per-job
-#      flag overrides from stdin.
+#      flag overrides from stdin,
+#   6. smoke the simulated-bifurcation backend (docs/algorithms.md) on two
+#      families plus one greedy warm-started run, asserting the CSV
+#      algorithm column records the dynamics that ran.
 #
 # Under --sanitize the whole suite runs ASan+UBSan-instrumented, which
 # includes the mmap LineParser differential in test_instance_io (unaligned
@@ -203,6 +206,21 @@ printf 'maxcut - gen --nodes 48 --seed 9\n' | \
 grep -q '^gen,' "${cache_dir}/stdin.csv" \
   || { echo "check.sh: stdin serve job with overrides failed" >&2; exit 1; }
 echo "check.sh: serving smoke OK"
+
+# Solver-dynamics smoke (docs/algorithms.md): the SB backend end to end on
+# an unconstrained and a constrained family, plus a greedy warm-started
+# run through --init; the CSV algorithm column must record the dynamics.
+./build/tools/fecim_solve --nodes 48 --algorithm sb-ballistic \
+  --iterations 50 --runs 2 --threads 2 --csv | grep -q ',sb-ballistic,' \
+  || { echo "check.sh: sb-ballistic maxcut smoke failed" >&2; exit 1; }
+./build/tools/fecim_solve --problem coloring --nodes 12 \
+  --algorithm sb-discrete --iterations 80 --runs 2 --threads 2 --csv \
+  | grep -q ',sb-discrete,' \
+  || { echo "check.sh: sb-discrete coloring smoke failed" >&2; exit 1; }
+./build/tools/fecim_solve --nodes 48 --algorithm sb-ballistic --init greedy \
+  --iterations 50 --runs 2 --threads 2 --csv >/dev/null \
+  || { echo "check.sh: greedy warm-started SB smoke failed" >&2; exit 1; }
+echo "check.sh: solver-dynamics smoke OK"
 
 if [[ "${full_bench}" == 1 ]]; then
   ./build/bench/bench_hotpath

@@ -40,6 +40,18 @@
 //                        arrives, stream one CSV row per job (implies
 //                        --csv; rows are flushed for pipeline consumers)
 //   --annealer this-work|this-work-ideal|cim-fpga|cim-asic|mesa
+//   --algorithm A        solver dynamics: insitu (Metropolis-style annealing,
+//                        the --annealer kinds) or sb-ballistic/sb-discrete
+//                        (simulated bifurcation on the same analog
+//                        crossbar; --iterations then counts SB steps, each
+//                        costing one field readout per spin)       [insitu]
+//   --init random|greedy warm start: greedy = the family's constructive
+//                        heuristic (greedy cut for maxcut, DSatur for
+//                        coloring) seeds every run              [random]
+//   --sb-dt X            SB integrator time step               [0.5]
+//   --sb-a0 X            SB final pump amplitude               [1.0]
+//   --sb-c0 X            SB coupling strength (0 = auto-calibrated
+//                        0.5 / (sigma sqrt(n)))                [0]
 //   --iterations N       annealing iterations per run        [auto by family]
 //   --runs N             independent Monte-Carlo runs (>= 1) [10]
 //   --threads N          parallel replica workers (0 = all cores)  [0]
@@ -114,6 +126,11 @@ struct Options {
   std::string serve;  ///< jobs file for the serve loop, "-" = stdin
   std::string problem = "maxcut";
   std::string annealer = "this-work";
+  std::string algorithm = "insitu";  ///< insitu | sb-ballistic | sb-discrete
+  std::string init = "random";       ///< random | greedy warm start
+  double sb_dt = 0.5;   ///< SB integrator time step
+  double sb_a0 = 1.0;   ///< SB final pump amplitude
+  double sb_c0 = 0.0;   ///< SB coupling strength, 0 = auto 0.5/(sigma sqrt(n))
   std::size_t iterations = 0;  // 0 = auto
   std::size_t runs = 10;
   std::size_t threads = 0;  // 0 = util::worker_threads()
@@ -157,6 +174,11 @@ struct Options {
       " ('-' = stdin; implies --csv)\n"
       "  --annealer KIND   this-work | this-work-ideal | cim-fpga | cim-asic"
       " | mesa\n"
+      "  --algorithm A     insitu | sb-ballistic | sb-discrete [insitu]\n"
+      "  --init MODE       random | greedy (constructive warm start)"
+      " [random]\n"
+      "  --sb-dt X  --sb-a0 X  --sb-c0 X   SB integrator knobs"
+      " (c0 0 = auto)\n"
       "  --iterations N  --runs N  --threads N  --flips N  --gain X\n"
       "  --bits N  --tile-rows N  --tile-cols N  --seed N  --csv\n"
       "run lifecycle: --success-threshold T --run-timeout S --time-limit S\n"
@@ -255,6 +277,24 @@ bool apply_value_flag(Options& options, const std::string& flag,
       fail(flag, text, "this-work|this-work-ideal|cim-fpga|cim-asic|mesa");
     options.annealer = text;
   }
+  else if (flag == "--algorithm") {
+    const char* text = next();
+    const std::string value(text);
+    if (value != "insitu" && value != "sb-ballistic" &&
+        value != "sb-discrete")
+      fail(flag, text, "insitu|sb-ballistic|sb-discrete");
+    options.algorithm = value;
+  }
+  else if (flag == "--init") {
+    const char* text = next();
+    const std::string value(text);
+    if (value != "random" && value != "greedy")
+      fail(flag, text, "random|greedy");
+    options.init = value;
+  }
+  else if (flag == "--sb-dt") options.sb_dt = double_arg(1e-6, 1e3);
+  else if (flag == "--sb-a0") options.sb_a0 = double_arg(1e-6, 1e6);
+  else if (flag == "--sb-c0") options.sb_c0 = double_arg(0.0, 1e9);
   else if (flag == "--iterations") options.iterations = size_arg();
   else if (flag == "--runs") options.runs = size_arg();
   else if (flag == "--threads") options.threads = size_arg();
@@ -496,6 +536,15 @@ std::size_t auto_iterations(const std::string& family,
   return 100000;
 }
 
+/// SB budgets count steps, and one SB step performs a full field readout
+/// (one ADC-sensed evaluation per spin) -- roughly n in-situ iterations of
+/// hardware work -- so the auto budget is two orders of magnitude smaller.
+std::size_t auto_sb_steps(const std::string& family) {
+  if (family == "coloring" || family == "tsp" || family == "knapsack")
+    return 400;
+  return 200;
+}
+
 struct SolveOutcome {
   core::CampaignResult result;
   core::StandardSetup setup;
@@ -511,11 +560,15 @@ SolveOutcome solve(const core::ProblemInstance& problem,
       problem.family == "coloring" || problem.family == "knapsack" ||
       problem.family == "tsp";
 
+  const bool sb = options.algorithm != "insitu";
+
   SolveOutcome outcome;
   outcome.setup.iterations =
       options.iterations > 0
           ? options.iterations
-          : auto_iterations(problem.family, problem.model->num_spins());
+          : (sb ? auto_sb_steps(problem.family)
+                : auto_iterations(problem.family,
+                                  problem.model->num_spins()));
   outcome.setup.flips_per_iteration = options.flips;
   // Constraint landscapes prefer a softer comparator and tighter
   // program-verify variation so penalty weights survive programming (see
@@ -531,8 +584,24 @@ SolveOutcome solve(const core::ProblemInstance& problem,
   // Multi-job modes share one digest-keyed programmed-array cache: jobs
   // with identical array-defining inputs reuse one ProgrammedArray.
   outcome.setup.array_cache = cache;
+  outcome.setup.sb_dt = options.sb_dt;
+  outcome.setup.sb_a0 = options.sb_a0;
+  outcome.setup.sb_c0 = options.sb_c0;
+  if (options.init == "greedy") {
+    if (!problem.warm_start)
+      throw contract_error("--init greedy: no constructive warm start for "
+                           "family '" + problem.family + "'");
+    outcome.setup.initial_spins =
+        std::make_shared<const ising::SpinVector>(problem.warm_start());
+  }
 
-  outcome.kind = kind_from_name(options.annealer);
+  // --algorithm selects the solver dynamics; --annealer picks the engine
+  // flavor within the in-situ family (SB always drives the analog array).
+  outcome.kind = options.algorithm == "sb-ballistic"
+                     ? core::AnnealerKind::kSbBallistic
+                 : options.algorithm == "sb-discrete"
+                     ? core::AnnealerKind::kSbDiscrete
+                     : kind_from_name(options.annealer);
   const auto annealer =
       core::make_annealer(outcome.kind, problem.model, outcome.setup);
 
@@ -567,18 +636,18 @@ double safe_mean_objective(const core::CampaignResult& result) {
 
 void print_csv_header() {
   std::printf(
-      "instance,family,annealer,runs,iterations,threads,best_objective,"
-      "mean_objective,reference,completed_rate,feasible_rate,success_rate,"
-      "energy_j,time_s,status\n");
+      "instance,family,annealer,algorithm,runs,iterations,threads,"
+      "best_objective,mean_objective,reference,completed_rate,feasible_rate,"
+      "success_rate,energy_j,time_s,status\n");
 }
 
 void print_csv_row(const core::ProblemInstance& problem,
                    const SolveOutcome& outcome, const Options& options) {
   const auto& result = outcome.result;
   std::printf(
-      "%s,%s,%s,%zu,%zu,%zu,%.6g,%.6g,%.6g,%.3f,%.3f,%.3f,%.6g,%.6g,ok\n",
+      "%s,%s,%s,%s,%zu,%zu,%zu,%.6g,%.6g,%.6g,%.3f,%.3f,%.3f,%.6g,%.6g,ok\n",
       problem.name.c_str(), problem.family.c_str(),
-      options.annealer.c_str(), options.runs,
+      options.annealer.c_str(), options.algorithm.c_str(), options.runs,
       outcome.setup.iterations, outcome.threads,
       result.best_objective(problem.sense),
       safe_mean_objective(result), problem.reference_objective,
@@ -599,6 +668,8 @@ void print_report(const core::ProblemInstance& problem,
               core::annealer_kind_name(outcome.kind),
               outcome.setup.iterations, options.runs, outcome.threads,
               options.flips, outcome.setup.acceptance_gain, options.bits);
+  std::printf("algorithm  : %s dynamics, %s initialization\n",
+              options.algorithm.c_str(), options.init.c_str());
   if (result.objective.empty()) {
     std::printf("%-11s: no feasible run (mean violations %.1f)\n",
                 problem.objective_label.c_str(), result.violations.mean());
@@ -729,10 +800,10 @@ std::vector<Job> read_batch_manifest(const std::string& path,
 void print_csv_failed_row(const std::string& display,
                           const std::string& family,
                           const Options& options) {
-  std::printf("%s,%s,%s,%zu,0,0,nan,nan,nan,0.000,0.000,0.000,nan,nan,"
+  std::printf("%s,%s,%s,%s,%zu,0,0,nan,nan,nan,0.000,0.000,0.000,nan,nan,"
               "failed\n",
               display.c_str(), family.c_str(), options.annealer.c_str(),
-              options.runs);
+              options.algorithm.c_str(), options.runs);
 }
 
 /// Final cache report for the multi-job modes.  "N built" is the count of
