@@ -62,7 +62,29 @@ bool parse_ledger(const std::string& token, crossbar::CostLedger& ledger) {
   return true;
 }
 
-std::string format_entry(const JournalEntry& entry) {
+}  // namespace
+
+std::string format_journal_header(std::uint64_t base_seed, std::size_t runs) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof buffer,
+                "# fecim-journal v1 base_seed %llu runs %zu",
+                static_cast<unsigned long long>(base_seed), runs);
+  return buffer;
+}
+
+bool parse_journal_header(const std::string& line, std::uint64_t& base_seed,
+                          std::size_t& runs) {
+  unsigned long long file_seed = 0;
+  std::size_t file_runs = 0;
+  if (std::sscanf(line.c_str(), "# fecim-journal v1 base_seed %llu runs %zu",
+                  &file_seed, &file_runs) != 2)
+    return false;
+  base_seed = file_seed;
+  runs = file_runs;
+  return true;
+}
+
+std::string encode_journal_entry(const JournalEntry& entry) {
   std::ostringstream out;
   out << "run " << entry.run << ' ' << run_status_name(entry.record.status)
       << ' ' << entry.record.attempt << ' ' << entry.record.seed;
@@ -92,10 +114,7 @@ std::string format_entry(const JournalEntry& entry) {
   return out.str();
 }
 
-/// Parse one entry line.  Returns false on any framing/syntax problem --
-/// the caller decides whether that means a torn tail (dropped) or interior
-/// corruption (contract_error).
-bool parse_entry(const std::string& line, JournalEntry& entry) {
+bool decode_journal_entry(const std::string& line, JournalEntry& entry) {
   std::istringstream in(line);
   std::string tag;
   std::string status_name;
@@ -109,6 +128,8 @@ bool parse_entry(const std::string& line, JournalEntry& entry) {
     entry.record.status = RunStatus::kFailed;
   } else if (status_name == "timed-out") {
     entry.record.status = RunStatus::kTimedOut;
+  } else if (status_name == "cancelled") {
+    entry.record.status = RunStatus::kCancelled;
   } else {
     return false;
   }
@@ -159,7 +180,69 @@ bool parse_entry(const std::string& line, JournalEntry& entry) {
   return true;
 }
 
-}  // namespace
+void RecordStreamDecoder::feed(const char* data, std::size_t size,
+                               std::vector<JournalEntry>& out) {
+  buffer_.append(data, size);
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n', start);
+    if (newline == std::string::npos) break;
+    const std::string line = buffer_.substr(start, newline - start);
+    start = newline + 1;
+    if (line.empty()) continue;
+    JournalEntry entry;
+    FECIM_EXPECTS(decode_journal_entry(line, entry) &&
+                  "record stream: corrupt complete line (a torn record "
+                  "would have no newline)");
+    out.push_back(std::move(entry));
+  }
+  buffer_.erase(0, start);
+}
+
+std::vector<JournalEntry> read_journal_file(
+    const std::string& path, std::uint64_t base_seed, std::size_t runs,
+    std::vector<std::string>* valid_lines) {
+  std::vector<JournalEntry> entries;
+  std::ifstream in(path);
+  if (!in) return entries;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(std::move(line));
+  std::vector<char> seen(runs, 0);
+  bool have_header = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const bool last = i + 1 == lines.size();
+    const std::string& text = lines[i];
+    if (text.empty()) continue;
+    if (!have_header) {
+      std::uint64_t file_seed = 0;
+      std::size_t file_runs = 0;
+      FECIM_EXPECTS(parse_journal_header(text, file_seed, file_runs) &&
+                    "journal: missing or malformed header");
+      FECIM_EXPECTS(file_seed == base_seed && file_runs == runs &&
+                    "journal: header does not match this campaign");
+      have_header = true;
+      continue;
+    }
+    JournalEntry entry;
+    if (!decode_journal_entry(text, entry)) {
+      // A torn final line is the expected kill artifact; anything
+      // earlier is corruption.
+      FECIM_EXPECTS(last && "journal: corrupt interior line");
+      continue;
+    }
+    FECIM_EXPECTS(entry.run < runs &&
+                  "journal: run index out of range for this campaign");
+    FECIM_EXPECTS(!seen[entry.run] && "journal: duplicate run entry");
+    seen[entry.run] = 1;
+    // Cancelled runs carry no work -- never install them from a file, so a
+    // resume re-executes them (append never writes them either).
+    if (entry.record.status == RunStatus::kCancelled) continue;
+    if (valid_lines != nullptr) valid_lines->push_back(text);
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
 
 RunJournal::~RunJournal() {
   if (file_ != nullptr) std::fclose(file_);
@@ -174,54 +257,14 @@ std::vector<JournalEntry> RunJournal::open(const std::string& path,
 
   std::vector<JournalEntry> entries;
   std::vector<std::string> valid_lines;
-  if (resume) {
-    std::ifstream in(path);
-    if (in) {
-      std::vector<std::string> lines;
-      std::string line;
-      while (std::getline(in, line)) lines.push_back(std::move(line));
-      std::vector<char> seen(runs, 0);
-      bool have_header = false;
-      for (std::size_t i = 0; i < lines.size(); ++i) {
-        const bool last = i + 1 == lines.size();
-        const std::string& text = lines[i];
-        if (text.empty()) continue;
-        if (!have_header) {
-          unsigned long long file_seed = 0;
-          std::size_t file_runs = 0;
-          const bool header_ok =
-              std::sscanf(text.c_str(),
-                          "# fecim-journal v1 base_seed %llu runs %zu",
-                          &file_seed, &file_runs) == 2;
-          FECIM_EXPECTS(header_ok && "journal: missing or malformed header");
-          FECIM_EXPECTS(file_seed == base_seed && file_runs == runs &&
-                        "journal: header does not match this campaign");
-          have_header = true;
-          continue;
-        }
-        JournalEntry entry;
-        if (!parse_entry(text, entry)) {
-          // A torn final line is the expected kill artifact; anything
-          // earlier is corruption.
-          FECIM_EXPECTS(last && "journal: corrupt interior line");
-          continue;
-        }
-        FECIM_EXPECTS(entry.run < runs &&
-                      "journal: run index out of range for this campaign");
-        FECIM_EXPECTS(!seen[entry.run] && "journal: duplicate run entry");
-        seen[entry.run] = 1;
-        valid_lines.push_back(text);
-        entries.push_back(std::move(entry));
-      }
-    }
-  }
+  if (resume)
+    entries = read_journal_file(path, base_seed, runs, &valid_lines);
 
   // Rewrite header + valid prefix (compaction drops any torn tail), then
   // keep the handle for appends.
   file_ = std::fopen(path.c_str(), "w");
   FECIM_EXPECTS(file_ != nullptr && "journal: cannot open path for writing");
-  std::fprintf(file_, "# fecim-journal v1 base_seed %llu runs %zu\n",
-               static_cast<unsigned long long>(base_seed), runs);
+  std::fprintf(file_, "%s\n", format_journal_header(base_seed, runs).c_str());
   for (const auto& text : valid_lines) std::fprintf(file_, "%s\n", text.c_str());
   std::fflush(file_);
   return entries;
@@ -232,7 +275,7 @@ void RunJournal::append(const JournalEntry& entry) {
   // Cancelled runs never executed: journaling them would make a resume
   // skip work that was never done.
   if (entry.record.status == RunStatus::kCancelled) return;
-  const std::string line = format_entry(entry);
+  const std::string line = encode_journal_entry(entry);
   const std::lock_guard<std::mutex> lock(mutex_);
   std::fprintf(file_, "%s\n", line.c_str());
   std::fflush(file_);

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "core/run_journal.hpp"
+#include "core/shard_runner.hpp"
 #include "problems/maxcut.hpp"
 #include "problems/warm_start.hpp"
 #include "util/parallel.hpp"
@@ -69,17 +70,6 @@ DecodedSolution failed_run_solution() noexcept {
 
 namespace {
 
-/// Per-run aggregation inputs, written into a disjoint slot by whichever
-/// worker executes the run.  Keeping one slot per run (instead of per-thread
-/// partial statistics) makes the final reduction byte-identical to a serial
-/// campaign for every thread count: the reduce below always walks runs in
-/// index order, so Welford update order never depends on the schedule.
-struct RunOutcome {
-  RunRecord record;
-  cost::CostBreakdown breakdown{};
-  crossbar::CostLedger ledger{};
-};
-
 using Clock = CancellationToken::Clock;
 
 Clock::duration to_clock_duration(double seconds) {
@@ -99,13 +89,40 @@ void record_failure(RunOutcome& slot) {
   slot.ledger = crossbar::CostLedger{};
 }
 
-/// Execute one run to its terminal status.  Never throws: every failure
-/// mode lands on the record (so parallel_for never sees an exception and
-/// the campaign degrades gracefully instead of aborting).
-RunOutcome execute_run(const Annealer& annealer, const ProblemInstance& problem,
-                       const CampaignConfig& config, std::size_t run,
-                       std::uint64_t run_seed,
-                       const std::optional<Clock::time_point>& campaign_deadline) {
+}  // namespace
+
+std::vector<std::uint64_t> derive_run_seeds(std::uint64_t base_seed,
+                                            std::size_t runs) {
+  util::Rng seeder(base_seed);
+  std::vector<std::uint64_t> seeds(runs);
+  for (auto& s : seeds) s = seeder();
+  return seeds;
+}
+
+void validate_campaign(const ProblemInstance& problem,
+                       const CampaignConfig& config) {
+  FECIM_EXPECTS(config.runs > 0);
+  FECIM_EXPECTS(std::isfinite(config.run_timeout_seconds) &&
+                config.run_timeout_seconds >= 0.0);
+  FECIM_EXPECTS(std::isfinite(config.time_limit_seconds) &&
+                config.time_limit_seconds >= 0.0);
+  FECIM_EXPECTS(!config.resume || !config.journal_path.empty());
+  for (const auto run : config.inject.fail_runs)
+    FECIM_EXPECTS(run < config.runs);
+  for (const auto run : config.inject.hang_runs)
+    FECIM_EXPECTS(run < config.runs);
+  // Kill injection targets worker processes, not runs; meaningless without
+  // the shard runner.
+  FECIM_EXPECTS(config.inject.kill_workers.empty() || config.workers > 0);
+  for (const auto worker : config.inject.kill_workers)
+    FECIM_EXPECTS(worker < config.workers);
+  validate_problem(problem);
+}
+
+RunOutcome execute_campaign_run(
+    const Annealer& annealer, const ProblemInstance& problem,
+    const CampaignConfig& config, std::size_t run, std::uint64_t run_seed,
+    const std::optional<Clock::time_point>& campaign_deadline) {
   RunOutcome slot;
   const std::size_t attempts = config.retries + 1;
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
@@ -167,86 +184,12 @@ RunOutcome execute_run(const Annealer& annealer, const ProblemInstance& problem,
   return slot;
 }
 
-}  // namespace
-
-CampaignResult run_campaign(const Annealer& annealer,
-                            const ProblemInstance& problem,
-                            const CampaignConfig& config) {
-  FECIM_EXPECTS(config.runs > 0);
-  FECIM_EXPECTS(std::isfinite(config.run_timeout_seconds) &&
-                config.run_timeout_seconds >= 0.0);
-  FECIM_EXPECTS(std::isfinite(config.time_limit_seconds) &&
-                config.time_limit_seconds >= 0.0);
-  FECIM_EXPECTS(!config.resume || !config.journal_path.empty());
-  for (const auto run : config.inject.fail_runs)
-    FECIM_EXPECTS(run < config.runs);
-  for (const auto run : config.inject.hang_runs)
-    FECIM_EXPECTS(run < config.runs);
-  validate_problem(problem);
-
+CampaignResult reduce_campaign(const ProblemInstance& problem,
+                               const CampaignConfig& config,
+                               std::vector<RunOutcome>&& outcomes) {
+  FECIM_EXPECTS(outcomes.size() == config.runs);
   CampaignResult result;
   result.runs = config.runs;
-
-  // Derive per-run seeds up front so the outcome is independent of the
-  // thread schedule (and of which runs a resume still has to execute).
-  util::Rng seeder(config.base_seed);
-  std::vector<std::uint64_t> seeds(config.runs);
-  for (auto& s : seeds) s = seeder();
-
-  std::vector<RunOutcome> outcomes(config.runs);
-  std::vector<char> resumed(config.runs, 0);
-
-  RunJournal journal;
-  if (!config.journal_path.empty()) {
-    const auto entries = journal.open(config.journal_path, config.resume,
-                                      config.base_seed, config.runs);
-    for (const auto& entry : entries) {
-      // The journal stores the effective (seed, attempt) pair; it must
-      // agree with this campaign's seed table or the file belongs to a
-      // different configuration.
-      FECIM_EXPECTS(entry.record.seed ==
-                        run_attempt_seed(seeds[entry.run],
-                                         entry.record.attempt) &&
-                    "journal: seed mismatch (journal from another campaign?)");
-      auto& slot = outcomes[entry.run];
-      slot.record = entry.record;
-      slot.ledger = entry.ledger;
-      // The breakdown is a pure function of the ledger, so recomputing it
-      // here keeps the journal format free of derived quantities.
-      if (entry.record.status == RunStatus::kOk)
-        slot.breakdown = cost::compute_cost(entry.ledger, config.costs,
-                                            annealer.exp_unit());
-      resumed[entry.run] = 1;
-    }
-  }
-
-  std::optional<Clock::time_point> campaign_deadline;
-  if (config.time_limit_seconds > 0.0)
-    campaign_deadline =
-        Clock::now() + to_clock_duration(config.time_limit_seconds);
-
-  // Replica-parallel execution: each run binds its own engine clone and
-  // counter-keyed noise streams inside Annealer::run(seed), so noisy-analog
-  // replicas no longer serialize on a shared RNG and need no locking.
-  // execute_run() never throws -- failures terminate on the run's record,
-  // not the campaign.
-  //
-  // Under Parallelism::kBand the replica loop runs serially (threads = 1
-  // takes parallel_for's inline path without claiming the pool), leaving
-  // the worker pool free for the engine's nested band-level parallel_for
-  // inside each evaluation.  Either way every run still derives its seed up
-  // front and writes a disjoint slot, so the result is bit-identical.
-  const std::size_t replica_threads =
-      config.parallelism == Parallelism::kBand ? 1 : config.threads;
-  util::parallel_for(
-      config.runs,
-      [&](std::size_t run) {
-        if (resumed[run]) return;
-        outcomes[run] = execute_run(annealer, problem, config, run,
-                                    seeds[run], campaign_deadline);
-        journal.append({run, outcomes[run].record, outcomes[run].ledger});
-      },
-      replica_threads);
 
   // Single-threaded reduction in run order -- no merge mutex on the hot
   // path, and the aggregate statistics are schedule-independent.  Only
@@ -298,6 +241,78 @@ CampaignResult run_campaign(const Annealer& annealer,
                      : static_cast<double>(feasible) /
                            static_cast<double>(completed);
   return result;
+}
+
+CampaignResult run_campaign(const Annealer& annealer,
+                            const ProblemInstance& problem,
+                            const CampaignConfig& config) {
+  // workers >= 1 selects the multi-process shard runner; same validation,
+  // building blocks, and reduction, so the result is bit-identical.
+  if (config.workers > 0)
+    return run_sharded_campaign(annealer, problem, config);
+
+  validate_campaign(problem, config);
+
+  // Derive per-run seeds up front so the outcome is independent of the
+  // thread schedule (and of which runs a resume still has to execute).
+  const auto seeds = derive_run_seeds(config.base_seed, config.runs);
+
+  std::vector<RunOutcome> outcomes(config.runs);
+  std::vector<char> resumed(config.runs, 0);
+
+  RunJournal journal;
+  if (!config.journal_path.empty()) {
+    const auto entries = journal.open(config.journal_path, config.resume,
+                                      config.base_seed, config.runs);
+    for (const auto& entry : entries) {
+      // The journal stores the effective (seed, attempt) pair; it must
+      // agree with this campaign's seed table or the file belongs to a
+      // different configuration.
+      FECIM_EXPECTS(entry.record.seed ==
+                        run_attempt_seed(seeds[entry.run],
+                                         entry.record.attempt) &&
+                    "journal: seed mismatch (journal from another campaign?)");
+      auto& slot = outcomes[entry.run];
+      slot.record = entry.record;
+      slot.ledger = entry.ledger;
+      // The breakdown is a pure function of the ledger, so recomputing it
+      // here keeps the journal format free of derived quantities.
+      if (entry.record.status == RunStatus::kOk)
+        slot.breakdown = cost::compute_cost(entry.ledger, config.costs,
+                                            annealer.exp_unit());
+      resumed[entry.run] = 1;
+    }
+  }
+
+  std::optional<Clock::time_point> campaign_deadline;
+  if (config.time_limit_seconds > 0.0)
+    campaign_deadline =
+        Clock::now() + to_clock_duration(config.time_limit_seconds);
+
+  // Replica-parallel execution: each run binds its own engine clone and
+  // counter-keyed noise streams inside Annealer::run(seed), so noisy-analog
+  // replicas no longer serialize on a shared RNG and need no locking.
+  // execute_campaign_run() never throws -- failures terminate on the run's
+  // record, not the campaign.
+  //
+  // Under Parallelism::kBand the replica loop runs serially (threads = 1
+  // takes parallel_for's inline path without claiming the pool), leaving
+  // the worker pool free for the engine's nested band-level parallel_for
+  // inside each evaluation.  Either way every run still derives its seed up
+  // front and writes a disjoint slot, so the result is bit-identical.
+  const std::size_t replica_threads =
+      config.parallelism == Parallelism::kBand ? 1 : config.threads;
+  util::parallel_for(
+      config.runs,
+      [&](std::size_t run) {
+        if (resumed[run]) return;
+        outcomes[run] = execute_campaign_run(annealer, problem, config, run,
+                                             seeds[run], campaign_deadline);
+        journal.append({run, outcomes[run].record, outcomes[run].ledger});
+      },
+      replica_threads);
+
+  return reduce_campaign(problem, config, std::move(outcomes));
 }
 
 CampaignResult run_maxcut_campaign(const Annealer& annealer,

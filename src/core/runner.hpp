@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,11 @@ struct FaultInjection {
   std::vector<std::size_t> fail_runs;  ///< throw injected_fault at run start
   std::vector<std::size_t> hang_runs;  ///< pre-expired run deadline: the
                                        ///< annealer's cooperative poll trips
+  /// Shard-runner hook (workers >= 1 only): the listed worker processes
+  /// _exit abruptly after streaming their first record, so the parent's
+  /// dead-worker recovery path (EOF with missing runs -> re-execute) is
+  /// exercised in CI rather than trusted.
+  std::vector<std::size_t> kill_workers;
 };
 
 /// Where run_campaign points the shared worker pool.  kReplica (default)
@@ -74,6 +80,13 @@ struct CampaignConfig {
   double success_threshold = 0.9;  ///< paper: within 10 % of the reference
   std::size_t threads = 0;         ///< 0 = util::worker_threads()
   Parallelism parallelism = Parallelism::kReplica;
+  /// Fork-spawned worker processes (docs/sharding.md).  0 (default)
+  /// executes in process on the shared thread pool; >= 1 partitions the
+  /// runs round-robin across that many forked workers that stream records
+  /// back over pipes (core/shard_runner.hpp) -- bit-identical to the
+  /// in-process path for every worker count.  Requires a platform with
+  /// fork (core::shard_runner_supported()).
+  std::size_t workers = 0;
   cost::ComponentCosts costs{};
 
   // --- run lifecycle (docs/robustness.md) ---
@@ -158,10 +171,58 @@ struct CampaignResult {
   double best_objective(ObjectiveSense sense) const noexcept;
 };
 
+// ---------------------------------------------------------------------------
+// Campaign execution building blocks -- shared by the in-process thread-pool
+// path below and the multi-process shard runner (core/shard_runner.hpp), so
+// bit-identity between the two holds by construction instead of by parallel
+// maintenance.
+// ---------------------------------------------------------------------------
+
+/// Per-run aggregation inputs, written into a disjoint slot by whichever
+/// worker (thread or process) executes the run.  One slot per run makes the
+/// final reduction byte-identical to a serial campaign for every schedule:
+/// reduce_campaign always walks runs in index order, so Welford update
+/// order never depends on where a run executed.
+struct RunOutcome {
+  RunRecord record;
+  cost::CostBreakdown breakdown{};
+  crossbar::CostLedger ledger{};
+};
+
+/// Per-run seeds derived up front from the campaign base seed -- the seed
+/// table is what makes the outcome independent of the schedule, of which
+/// runs a resume still has to execute, and of which process runs a shard.
+std::vector<std::uint64_t> derive_run_seeds(std::uint64_t base_seed,
+                                            std::size_t runs);
+
+/// Shared config/problem validation (throws contract_error).
+void validate_campaign(const ProblemInstance& problem,
+                       const CampaignConfig& config);
+
+/// Execute one run to its terminal status.  Never throws: every failure
+/// mode lands on the record, so the campaign degrades gracefully instead of
+/// aborting.  The full run lifecycle applies: campaign/run deadlines,
+/// deterministic run_attempt_seed retry for kFailed, fault injection at
+/// attempt 0.
+RunOutcome execute_campaign_run(
+    const Annealer& annealer, const ProblemInstance& problem,
+    const CampaignConfig& config, std::size_t run, std::uint64_t run_seed,
+    const std::optional<CancellationToken::Clock::time_point>&
+        campaign_deadline);
+
+/// Single-threaded reduction in run index order: consumes one RunOutcome
+/// per run and aggregates into the CampaignResult.  No merge mutex, and the
+/// statistics are schedule- and process-topology-independent.
+CampaignResult reduce_campaign(const ProblemInstance& problem,
+                               const CampaignConfig& config,
+                               std::vector<RunOutcome>&& outcomes);
+
 /// Run `config.runs` independent replicas of `annealer` on `problem` and
 /// aggregate.  Runs execute in parallel across `config.threads` workers;
 /// results are bit-identical for every thread count (fixed per-run seeds,
-/// disjoint result slots, reduction in run order).
+/// disjoint result slots, reduction in run order).  With config.workers >=
+/// 1 the campaign executes on fork-spawned worker processes instead
+/// (core/shard_runner.hpp) -- still bit-identical.
 ///
 /// Fault-tolerant: a throwing, timed-out, or cancelled run is recorded on
 /// its RunRecord (status + captured error) and excluded from the aggregate

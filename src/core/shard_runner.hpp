@@ -1,0 +1,48 @@
+// Multi-process campaign execution: partition a campaign's runs round-robin
+// across fork-spawned worker processes, stream completed RunRecords back to
+// the parent over pipes, and reduce in canonical run order.
+//
+// The wire protocol IS the run-journal v1 line format
+// (core/run_journal.hpp): one newline-terminated line per finished run,
+// with the "end" sentinel / length-prefixed message making a torn record
+// (worker died mid-write) detectable as a partial line rather than silently
+// installed.  Because per-run seeds are derived up front, every record a
+// worker streams is byte-identical to what the in-process pool would have
+// produced, and reduce_campaign() walks runs in index order -- so the
+// CampaignResult is bit-identical to config.workers = 0 for every worker
+// count, including noisy, tiled, SB, and warm-started campaigns.
+//
+// Failure model (docs/sharding.md): a worker that dies or hangs is detected
+// by the parent (pipe EOF / campaign deadline); its unfinished runs are
+// simply re-executed in the parent from their predetermined seeds, which
+// reproduces the missing records bit-identically.  With journaling enabled
+// each worker also appends to a per-shard journal
+// (shard_journal_path(path, k)); a resumed campaign unions the main journal
+// with every surviving shard prefix before spawning new workers.
+#pragma once
+
+#include <string>
+
+#include "core/runner.hpp"
+
+namespace fecim::core {
+
+/// True when this platform can fork pipe-connected worker processes.
+/// When false, run_sharded_campaign() throws contract_error; callers that
+/// want graceful degradation (fecim_solve does) check here first and fall
+/// back to the in-process pool.
+bool shard_runner_supported() noexcept;
+
+/// Per-shard journal path for worker `worker`: "<journal_path>.shard<k>".
+std::string shard_journal_path(const std::string& journal_path,
+                               std::size_t worker);
+
+/// Execute `config.runs` runs across config.workers forked worker
+/// processes (clamped to the run count) and reduce.  Bit-identical to
+/// run_campaign with workers = 0.  Called by run_campaign when
+/// config.workers >= 1; direct use is equivalent.
+CampaignResult run_sharded_campaign(const Annealer& annealer,
+                                    const ProblemInstance& problem,
+                                    const CampaignConfig& config);
+
+}  // namespace fecim::core

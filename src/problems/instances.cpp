@@ -149,6 +149,9 @@ core::ProblemInstance make_knapsack_problem(std::string name,
             : std::max(0.0, decoded.weight - shared_instance->capacity);
     return solution;
   };
+  problem.warm_start = [shared_instance, encoding] {
+    return greedy_knapsack_spins(*shared_instance, *encoding);
+  };
   return problem;
 }
 
@@ -173,6 +176,9 @@ core::ProblemInstance make_partition_problem(std::string name,
     solution.objective = partition_imbalance(*shared_numbers, spins);
     solution.feasible = true;  // every bipartition is admissible
     return solution;
+  };
+  problem.warm_start = [shared_numbers] {
+    return differencing_partition_spins(*shared_numbers);
   };
   return problem;
 }
@@ -207,6 +213,9 @@ core::ProblemInstance make_tsp_problem(std::string name, TspInstance instance,
     solution.violations = static_cast<double>(tour.violations);
     return solution;
   };
+  problem.warm_start = [shared_instance] {
+    return nearest_neighbor_tsp_spins(*shared_instance);
+  };
   return problem;
 }
 
@@ -228,11 +237,12 @@ core::ProblemInstance make_qubo_problem(std::string name,
   problem.objective_label = "objective";
   // Annealers minimize Ising energy, so a maximize instance anneals -H
   // (the energy minimum is then the domain optimum) while the decode hook
-  // and reference keep reporting in original-H units.
+  // and reference keep reporting in original-H units.  The annealed model
+  // is kept for the warm start, which must descend the minimized H.
+  auto annealed = std::make_shared<const ising::QuboModel>(
+      maximize ? negated_qubo(*shared_model) : *shared_model);
   problem.model = std::make_shared<const ising::IsingModel>(
-      (maximize ? negated_qubo(*shared_model) : *shared_model)
-          .to_ising()
-          .with_ancilla());
+      annealed->to_ising().with_ancilla());
   problem.reference_objective = qubo_reference_value(
       *shared_model, maximize, reference_restarts, reference_seed);
   problem.sense = maximize ? core::ObjectiveSense::kMaximize
@@ -244,6 +254,7 @@ core::ProblemInstance make_qubo_problem(std::string name,
     solution.feasible = true;  // unconstrained by definition
     return solution;
   };
+  problem.warm_start = [annealed] { return descent_qubo_spins(*annealed); };
   return problem;
 }
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <numeric>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -99,6 +102,198 @@ ising::SpinVector dsatur_coloring_spins(const Graph& graph,
   ising::SpinVector spins(n * num_colors + 1, ising::Spin{1});
   for (std::uint32_t v = 0; v < n; ++v)
     spins[v * num_colors + color[v]] = ising::Spin{-1};
+  return spins;
+}
+
+ising::SpinVector greedy_knapsack_spins(const KnapsackInstance& instance,
+                                        const KnapsackEncoding& encoding) {
+  const std::size_t n = encoding.num_items;
+  FECIM_EXPECTS(instance.items.size() == n);
+
+  // Descending value density, index ascending on ties -- the same order
+  // knapsack_greedy_value packs in, compared by cross-multiplication so
+  // zero weights never divide.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return instance.items[a].value * instance.items[b].weight >
+                            instance.items[b].value * instance.items[a].weight;
+                   });
+
+  std::vector<char> taken(n, 0);
+  double weight = 0.0;
+  for (const auto i : order) {
+    if (weight + instance.items[i].weight > instance.capacity) continue;
+    taken[i] = 1;
+    weight += instance.items[i].weight;
+  }
+
+  // Slack greedily from the largest coefficient down.  The canonical
+  // 1,2,4,...,residual sequence expresses every integer in [0, W] this
+  // way; with fractional weights the nearest expressible value is taken,
+  // which still lands next to the penalty minimum.
+  double remaining = instance.capacity - weight;
+  std::vector<std::uint32_t> slack_order(encoding.num_slack_bits);
+  std::iota(slack_order.begin(), slack_order.end(), 0u);
+  std::stable_sort(slack_order.begin(), slack_order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return encoding.slack_coefficients[a] >
+                            encoding.slack_coefficients[b];
+                   });
+  std::vector<char> slack(encoding.num_slack_bits, 0);
+  for (const auto j : slack_order) {
+    const double coefficient = encoding.slack_coefficients[j];
+    if (coefficient <= remaining + 1e-9) {
+      slack[j] = 1;
+      remaining -= coefficient;
+    }
+  }
+
+  // knapsack_to_qubo layout: items, then slack, then the pinned ancilla;
+  // x = (1 - sigma) / 2, so a set bit is spin -1.
+  ising::SpinVector spins(n + encoding.num_slack_bits + 1, ising::Spin{1});
+  for (std::size_t i = 0; i < n; ++i)
+    if (taken[i]) spins[i] = ising::Spin{-1};
+  for (std::size_t j = 0; j < encoding.num_slack_bits; ++j)
+    if (slack[j]) spins[n + j] = ising::Spin{-1};
+  return spins;
+}
+
+ising::SpinVector differencing_partition_spins(
+    std::span<const double> numbers) {
+  const std::size_t n = numbers.size();
+  if (n == 0) return {};
+  if (n == 1) return ising::SpinVector(1, ising::Spin{1});
+
+  // Karmarkar-Karp: repeatedly merge the two largest remaining values into
+  // their difference.  Merged nodes get fresh ids; each merge records an
+  // "opposite sides" edge, and the resulting difference tree is 2-colored
+  // into the final bipartition.  Ties break on the lower id, so the whole
+  // construction is deterministic.
+  using Node = std::pair<double, std::size_t>;  // (value, id)
+  const auto heavier = [](const Node& a, const Node& b) {
+    if (a.first != b.first) return a.first < b.first;  // max-heap by value
+    return a.second > b.second;                        // then lowest id first
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(heavier)> heap(
+      heavier);
+  for (std::size_t i = 0; i < n; ++i) heap.push({numbers[i], i});
+
+  struct Merge {
+    std::size_t keep;  ///< side of the merged node
+    std::size_t flip;  ///< opposite side
+  };
+  std::vector<Merge> merges;  // merged node n + k comes from merges[k]
+  merges.reserve(n - 1);
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    heap.push({a.first - b.first, n + merges.size()});
+    merges.push_back({a.second, b.second});
+  }
+
+  // Unwind: the final survivor picks a side, every merge propagates its
+  // side to `keep` and the opposite side to `flip`.
+  std::vector<ising::Spin> side(n + merges.size(), ising::Spin{0});
+  side[heap.top().second] = ising::Spin{1};
+  for (std::size_t k = merges.size(); k-- > 0;) {
+    const auto s = side[n + k];
+    side[merges[k].keep] = s;
+    side[merges[k].flip] = static_cast<ising::Spin>(-s);
+  }
+  return ising::SpinVector(side.begin(), side.begin() + n);
+}
+
+ising::SpinVector nearest_neighbor_tsp_spins(const TspInstance& instance) {
+  const std::size_t n = instance.num_cities();
+  FECIM_EXPECTS(n >= 1);
+
+  // Pure nearest-neighbour construction from city 0, ties to the lowest
+  // index.  Deliberately no 2-opt: the annealer should still have local
+  // improvements available, and tsp_heuristic (with 2-opt) stays a
+  // meaningfully stronger reference.
+  std::vector<char> visited(n, 0);
+  std::vector<std::uint32_t> tour;
+  tour.reserve(n);
+  std::uint32_t current = 0;
+  visited[0] = 1;
+  tour.push_back(0);
+  for (std::size_t step = 1; step < n; ++step) {
+    std::uint32_t next = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (visited[v]) continue;
+      const double d = instance.distances[current][v];
+      if (d < best) {
+        best = d;
+        next = v;
+      }
+    }
+    visited[next] = 1;
+    tour.push_back(next);
+    current = next;
+  }
+
+  // One-hot layout of tsp_to_qubo: x_{v,p} at v * n + p, set bit = spin -1,
+  // plus the pinned ancilla.
+  ising::SpinVector spins(n * n + 1, ising::Spin{1});
+  for (std::size_t p = 0; p < n; ++p)
+    spins[static_cast<std::size_t>(tour[p]) * n + p] = ising::Spin{-1};
+  return spins;
+}
+
+ising::SpinVector descent_qubo_spins(const ising::QuboModel& model) {
+  const std::size_t n = model.num_variables();
+
+  // Symmetrize the coefficient matrix into per-variable neighbor lists so
+  // a single-flip delta is one sparse dot product regardless of whether
+  // the model stores Q upper-triangular or fully symmetric:
+  //   delta_i = (1 - 2 x_i) * (Q_ii + sum_j (Q_ij + Q_ji) x_j).
+  std::vector<double> diagonal(n, 0.0);
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> neighbors(n);
+  const auto& q = model.q();
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto cols = q.row_cols(r);
+    const auto values = q.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == r) {
+        diagonal[r] += values[k];
+      } else {
+        neighbors[r].push_back({static_cast<std::uint32_t>(cols[k]),
+                                values[k]});
+        neighbors[cols[k]].push_back({static_cast<std::uint32_t>(r),
+                                      values[k]});
+      }
+    }
+  }
+
+  // Greedy 1-opt from all zeros: sweep in index order, flip on any strict
+  // improvement, stop when a sweep is clean.  The pass bound keeps the
+  // construction cheap on adversarial instances; descent is monotone, so
+  // stopping early still yields a valid (just less refined) start.
+  std::vector<std::uint8_t> x(n, 0);
+  constexpr std::size_t kMaxPasses = 64;
+  for (std::size_t pass = 0; pass < kMaxPasses; ++pass) {
+    bool improved = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      double coupling = diagonal[i];
+      for (const auto& [j, w] : neighbors[i])
+        if (x[j]) coupling += w;
+      const double delta = (x[i] ? -1.0 : 1.0) * coupling;
+      if (delta < 0.0) {
+        x[i] ^= 1;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+
+  ising::SpinVector spins(n + 1, ising::Spin{1});
+  for (std::size_t i = 0; i < n; ++i)
+    if (x[i]) spins[i] = ising::Spin{-1};
   return spins;
 }
 

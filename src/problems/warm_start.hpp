@@ -13,9 +13,13 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
+#include "ising/qubo.hpp"
 #include "ising/spin.hpp"
 #include "problems/graph.hpp"
+#include "problems/knapsack.hpp"
+#include "problems/tsp.hpp"
 
 namespace fecim::problems {
 
@@ -36,5 +40,36 @@ ising::SpinVector greedy_maxcut_spins(const Graph& graph);
 /// +1 ancilla slot for the with_ancilla model.
 ising::SpinVector dsatur_coloring_spins(const Graph& graph,
                                         std::size_t num_colors);
+
+/// Greedy value-density knapsack fill (the same order knapsack_greedy_value
+/// uses, ties by index), then the slack bits set greedily from the largest
+/// coefficient down to express the unused capacity -- so the warm
+/// configuration sits at (or, with fractional weights, next to) the penalty
+/// minimum of its selection.  Returns the knapsack_to_qubo layout: item
+/// bits, then slack bits (x = (1 - sigma) / 2, taken = spin -1), plus the
+/// trailing +1 ancilla of the with_ancilla model.
+ising::SpinVector greedy_knapsack_spins(const KnapsackInstance& instance,
+                                        const KnapsackEncoding& encoding);
+
+/// Karmarkar-Karp largest differencing for number partitioning: repeatedly
+/// replace the two largest values by their difference (committing the two
+/// sets to opposite sides), then 2-color the difference tree.  Typically
+/// orders of magnitude tighter than the largest-first greedy reference.
+/// Returns one spin per number -- partition_to_ising carries no ancilla.
+ising::SpinVector differencing_partition_spins(std::span<const double> numbers);
+
+/// Nearest-neighbour tour from city 0 (ties to the lowest index) in the
+/// one-hot layout of tsp_to_qubo: x_{v,p} at v * n + p, visited = spin -1,
+/// plus the trailing +1 ancilla.  Construction only -- no 2-opt -- so the
+/// annealer still has local improvements to find (tsp_heuristic, which adds
+/// 2-opt, stays the reference bound).
+ising::SpinVector nearest_neighbor_tsp_spins(const TspInstance& instance);
+
+/// Greedy 1-opt descent on a QUBO from the all-zeros assignment: bounded
+/// sweeps flipping any variable whose single-flip delta is negative, until
+/// a sweep finds none.  Pass the model the annealer actually minimizes
+/// (i.e. the negated one for maximize instances).  Returns variable spins
+/// plus the trailing +1 ancilla.
+ising::SpinVector descent_qubo_spins(const ising::QuboModel& model);
 
 }  // namespace fecim::problems

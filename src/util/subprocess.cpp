@@ -1,0 +1,135 @@
+#include "util/subprocess.hpp"
+
+#include <cstdlib>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FECIM_HAVE_FORK 1
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace fecim::util {
+
+#if defined(FECIM_HAVE_FORK)
+
+bool subprocess_supported() noexcept { return true; }
+
+std::optional<ChildProcess> spawn_pipe_child(
+    const std::function<void(int)>& body) {
+  int fds[2];
+  if (::pipe(fds) != 0) return std::nullopt;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return std::nullopt;
+  }
+  if (pid == 0) {
+    // Child: keep only the write end; _exit so inherited stdio buffers are
+    // never flushed twice and no atexit handler touches parent-owned state.
+    ::close(fds[0]);
+    int code = 0;
+    try {
+      body(fds[1]);
+    } catch (...) {
+      code = 70;  // EX_SOFTWARE; the parent judges by streamed records
+    }
+    ::close(fds[1]);
+    ::_exit(code);
+  }
+  ::close(fds[1]);
+  return ChildProcess{static_cast<long>(pid), fds[0]};
+}
+
+bool write_all(int fd, const void* data, std::size_t size) noexcept {
+  const char* cursor = static_cast<const char*>(data);
+  while (size > 0) {
+    const ::ssize_t written = ::write(fd, cursor, size);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    cursor += written;
+    size -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+long read_some(int fd, void* buffer, std::size_t size) noexcept {
+  for (;;) {
+    const ::ssize_t n = ::read(fd, buffer, size);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno != EINTR) return -1;
+  }
+}
+
+std::vector<std::size_t> poll_readable(const std::vector<int>& fds,
+                                       int timeout_ms) {
+  std::vector<::pollfd> poll_fds(fds.size());
+  for (std::size_t i = 0; i < fds.size(); ++i)
+    poll_fds[i] = {fds[i], POLLIN, 0};
+  std::vector<std::size_t> ready;
+  const int hits =
+      ::poll(poll_fds.data(), static_cast<::nfds_t>(poll_fds.size()),
+             timeout_ms);
+  if (hits <= 0) return ready;  // timeout, or EINTR (caller re-polls)
+  for (std::size_t i = 0; i < poll_fds.size(); ++i)
+    if ((poll_fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+      ready.push_back(i);
+  return ready;
+}
+
+ChildExit wait_child(long pid) noexcept {
+  int status = 0;
+  for (;;) {
+    const pid_t reaped = ::waitpid(static_cast<pid_t>(pid), &status, 0);
+    if (reaped >= 0) break;
+    if (errno != EINTR) return {};
+  }
+  if (WIFEXITED(status)) return {true, WEXITSTATUS(status)};
+  if (WIFSIGNALED(status)) return {false, WTERMSIG(status)};
+  return {};
+}
+
+void kill_child(long pid) noexcept {
+  if (pid > 0) ::kill(static_cast<pid_t>(pid), SIGKILL);
+}
+
+void exit_child_now(int code) noexcept { ::_exit(code); }
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+#else  // !FECIM_HAVE_FORK
+
+bool subprocess_supported() noexcept { return false; }
+
+std::optional<ChildProcess> spawn_pipe_child(
+    const std::function<void(int)>&) {
+  return std::nullopt;
+}
+
+bool write_all(int, const void*, std::size_t) noexcept { return false; }
+
+long read_some(int, void*, std::size_t) noexcept { return -1; }
+
+std::vector<std::size_t> poll_readable(const std::vector<int>&, int) {
+  return {};
+}
+
+ChildExit wait_child(long) noexcept { return {}; }
+
+void kill_child(long) noexcept {}
+
+[[noreturn]] void exit_child_now(int) noexcept { std::abort(); }
+
+void close_fd(int) noexcept {}
+
+#endif  // FECIM_HAVE_FORK
+
+}  // namespace fecim::util

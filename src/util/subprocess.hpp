@@ -1,0 +1,71 @@
+// Thin POSIX process helpers for the fork-based shard runner
+// (core/shard_runner.hpp): fork a pipe-connected child, stream bytes back,
+// poll several children at once, reap or kill them.
+//
+// Everything platform-specific lives behind this seam so the shard runner
+// stays free of <unistd.h>: on platforms without fork,
+// subprocess_supported() is false and spawn_pipe_child() returns nullopt --
+// callers degrade to the in-process pool (fecim_solve names the reason on
+// stderr).
+//
+// Fork discipline (why children are safe): the child runs `body(write_fd)`
+// on the forking thread only and terminates with _exit -- no atexit
+// handlers, no stdio teardown, so inherited buffers are never double-
+// flushed and the parent's persistent thread pool (whose threads do not
+// survive fork) is never joined.  Children must also never SUBMIT to that
+// pool; shard workers call util::force_serial_parallelism() first thing.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace fecim::util {
+
+/// True when fork/pipe process workers are available on this platform.
+bool subprocess_supported() noexcept;
+
+struct ChildProcess {
+  long pid = -1;     ///< child process id
+  int read_fd = -1;  ///< parent's read end of the child's pipe
+};
+
+/// Fork a child connected by a pipe.  The child runs `body(write_fd)` and
+/// terminates with _exit(0); an exception escaping `body` terminates it
+/// with _exit(70) instead (EX_SOFTWARE) -- the parent sees EOF either way
+/// and judges completeness from the streamed records, not the exit code.
+/// Returns nullopt when pipe/fork fails or the platform has no fork.
+std::optional<ChildProcess> spawn_pipe_child(
+    const std::function<void(int)>& body);
+
+/// write(2) until all `size` bytes are written; EINTR-safe.  False on a
+/// write error (e.g. the parent died and the pipe broke).
+bool write_all(int fd, const void* data, std::size_t size) noexcept;
+
+/// read(2) once, EINTR retried: bytes read, 0 on EOF, -1 on error.
+long read_some(int fd, void* buffer, std::size_t size) noexcept;
+
+/// Indices into `fds` that are readable (or at EOF); empty on timeout.
+/// timeout_ms < 0 blocks indefinitely.
+std::vector<std::size_t> poll_readable(const std::vector<int>& fds,
+                                       int timeout_ms);
+
+struct ChildExit {
+  bool exited = false;  ///< terminated normally (vs killed by a signal)
+  int status = -1;      ///< exit code when exited, signal number otherwise
+};
+
+/// Blocking waitpid on one child.
+ChildExit wait_child(long pid) noexcept;
+
+/// SIGKILL, best effort (a child already gone is not an error).
+void kill_child(long pid) noexcept;
+
+/// _exit(code): terminate without atexit/stdio teardown.  For use inside
+/// spawn_pipe_child bodies that must die abruptly (kill-worker injection).
+[[noreturn]] void exit_child_now(int code) noexcept;
+
+void close_fd(int fd) noexcept;
+
+}  // namespace fecim::util
